@@ -1,0 +1,138 @@
+// Command verify reproduces the artifact's correctness methodology
+// (§A.6.2): ① corner-case graphs with known, deterministic minimum cut
+// values; ② cross-checks of the randomized algorithms against the
+// deterministic Stoer–Wagner baseline on random inputs; ③ multi-seed
+// consistency — with per-run success probability ≥ 0.9 and k independent
+// seeds agreeing, the probability that all are wrong is ≤ (1-0.9)^k;
+// ④ approximation-ratio audit of the approximate cut; ⑤ connected
+// components checked against the traversal baseline.
+//
+// Exit status 0 means every check passed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+)
+
+var failures int
+
+func check(ok bool, format string, args ...any) {
+	if ok {
+		fmt.Printf("  ok   "+format+"\n", args...)
+	} else {
+		failures++
+		fmt.Printf("  FAIL "+format+"\n", args...)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verify: ")
+	var (
+		p     = flag.Int("p", 4, "virtual processors")
+		seed  = flag.Uint64("seed", 1, "base PRNG seed")
+		seeds = flag.Int("seeds", 5, "independent seeds for consistency checks")
+		quick = flag.Bool("quick", false, "smaller random instances")
+	)
+	flag.Parse()
+
+	fmt.Println("== corner cases with known minimum cuts ==")
+	corner := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"cycle(64,w=2)", gen.Cycle(64, 2), 4},
+		{"path(32,w=5)", gen.Path(32, 5), 5},
+		{"star(24,w=3)", gen.Star(24, 3), 3},
+		{"complete(12,w=1)", gen.Complete(12, 1), 11},
+		{"twocliques(12,k=3)", gen.TwoCliques(12, 3, 4, 1), 3},
+		{"dumbbell(16)", gen.Dumbbell(16, 4, 1), 1},
+		{"grid(8x8)", gen.Grid(8, 8, 1), 2},
+	}
+	for _, c := range corner {
+		res, err := core.MinCut(c.g, core.Options{Processors: *p, Seed: *seed, SuccessProb: 0.95})
+		if err != nil {
+			log.Fatal(err)
+		}
+		check(res.Value == c.want && c.g.CutValue(res.Side) == res.Value,
+			"%-20s cut=%d want=%d certificate=%v", c.name, res.Value, c.want, c.g.CutValue(res.Side) == res.Value)
+	}
+
+	fmt.Println("== randomized vs deterministic baseline (Stoer–Wagner) ==")
+	n, m := 64, 400
+	if *quick {
+		n, m = 32, 160
+	}
+	for s := uint64(0); s < 4; s++ {
+		g := gen.ErdosRenyiM(n, m, *seed+s, gen.Config{MaxWeight: 5})
+		if !g.IsConnected() {
+			continue
+		}
+		want := mincut.StoerWagner(g).Value
+		res, err := core.MinCut(g, core.Options{Processors: *p, Seed: *seed + 100 + s, SuccessProb: 0.95})
+		if err != nil {
+			log.Fatal(err)
+		}
+		check(res.Value == want, "ER(n=%d,m=%d,seed=%d): parallel=%d SW=%d", n, m, *seed+s, res.Value, want)
+	}
+
+	fmt.Println("== multi-seed consistency (artifact §A.6.2) ==")
+	big := gen.WattsStrogatz(n*8, 16, 0.3, *seed, gen.Config{MaxWeight: 3})
+	var values []uint64
+	for s := 0; s < *seeds; s++ {
+		res, err := core.MinCut(big, core.Options{Processors: *p, Seed: *seed + uint64(s)*7919})
+		if err != nil {
+			log.Fatal(err)
+		}
+		values = append(values, res.Value)
+	}
+	allSame := true
+	for _, v := range values {
+		if v != values[0] {
+			allSame = false
+		}
+	}
+	check(allSame, "WS(n=%d): %d independent seeds agree on cut %d (P[all wrong] <= 0.1^%d)",
+		big.N, *seeds, values[0], *seeds)
+
+	fmt.Println("== approximation ratio audit ==")
+	for _, c := range corner {
+		res, err := core.ApproxMinCut(c.g, core.Options{Processors: *p, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := float64(res.Value) / float64(c.want)
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		check(ratio <= 11, "%-20s approx=%d exact=%d ratio=%.1f (artifact observed < 11)",
+			c.name, res.Value, c.want, ratio)
+	}
+
+	fmt.Println("== connected components vs traversal baseline ==")
+	for s := uint64(0); s < 3; s++ {
+		g := gen.ErdosRenyiM(n*10, m*2, *seed+s, gen.Config{})
+		want := cc.Sequential(g).Count
+		res, err := core.ConnectedComponents(g, core.Options{Processors: *p, Seed: *seed + s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		check(res.Count == want, "ER(n=%d,m=%d): parallel=%d BFS=%d", g.N, g.M(), res.Count, want)
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d check(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall checks passed")
+}

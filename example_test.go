@@ -1,0 +1,101 @@
+package camc_test
+
+import (
+	"fmt"
+
+	camc "repro"
+)
+
+// The minimum cut of a weighted ring uses its two lightest links.
+func ExampleMinCut() {
+	g := camc.NewGraph(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 0, 2)
+	res, err := camc.MinCut(g, camc.Options{Processors: 2, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut value:", res.Value)
+	fmt.Println("certified:", camc.CutValue(g, res.Side) == res.Value)
+	// Output:
+	// cut value: 3
+	// certified: true
+}
+
+func ExampleConnectedComponents() {
+	g := camc.NewGraph(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	res, err := camc.ConnectedComponents(g, camc.Options{Processors: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", res.Count)
+	fmt.Println("0 and 2 together:", res.Labels[0] == res.Labels[2])
+	fmt.Println("0 and 3 together:", res.Labels[0] == res.Labels[3])
+	// Output:
+	// components: 3
+	// 0 and 2 together: true
+	// 0 and 3 together: false
+}
+
+func ExampleApproxMinCut() {
+	// A cycle of 64 unit edges has minimum cut 2; the estimate is within
+	// an O(log n) factor using near-linear work.
+	g := camc.NewGraph(64)
+	for i := int32(0); i < 64; i++ {
+		g.AddEdge(i, (i+1)%64, 1)
+	}
+	res, err := camc.ApproxMinCut(g, camc.Options{Processors: 2, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("estimate within 8x of 2:", res.Value >= 1 && res.Value <= 16)
+	// Output:
+	// estimate within 8x of 2: true
+}
+
+func ExampleStoerWagner() {
+	g := camc.NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	value, side := camc.StoerWagner(g)
+	fmt.Println("value:", value)
+	fmt.Println("vertex 2 isolated:", side[2] != side[0] && side[0] == side[1])
+	// Output:
+	// value: 5
+	// vertex 2 isolated: true
+}
+
+// Every minimum cut of a 4-cycle: any two of its edges, C(4,2) = 6.
+func ExampleAllMinCuts() {
+	g := camc.NewGraph(4)
+	for i := int32(0); i < 4; i++ {
+		g.AddEdge(i, (i+1)%4, 1)
+	}
+	value, sides := camc.AllMinCuts(g, 7, 0.99)
+	fmt.Println("value:", value)
+	fmt.Println("distinct cuts:", len(sides))
+	// Output:
+	// value: 2
+	// distinct cuts: 6
+}
+
+// Max-flow min-cut duality on a two-path network.
+func ExampleMaxFlow() {
+	g := camc.NewGraph(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 3, 7)
+	g.AddEdge(0, 2, 9)
+	g.AddEdge(2, 3, 4)
+	value, side := camc.MaxFlow(g, 0, 3)
+	fmt.Println("flow:", value)
+	fmt.Println("cut certifies:", camc.CutValue(g, side) == value)
+	// Output:
+	// flow: 6
+	// cut certifies: true
+}

@@ -1,0 +1,127 @@
+// Hierarchical min-cut clustering (CLICK-style, per the gene-expression
+// application cited in the paper's introduction): recursively bisect the
+// graph at its global minimum cut until the cut is no longer "sparse"
+// relative to the cluster's internal connectivity. The approximate cut
+// (near-linear work) screens each cluster before the exact cut is paid
+// for — exactly the role §3.3 proposes for it.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+// cluster is a vertex set (ids into the original graph).
+type cluster struct {
+	vertices []int32
+	depth    int
+}
+
+// induced builds the subgraph on the cluster's vertices.
+func induced(g *camc.Graph, members []int32) (*camc.Graph, []int32) {
+	index := make(map[int32]int32, len(members))
+	for i, v := range members {
+		index[v] = int32(i)
+	}
+	sub := camc.NewGraph(len(members))
+	for _, e := range g.Edges {
+		u, okU := index[e.U]
+		v, okV := index[e.V]
+		if okU && okV {
+			sub.AddEdge(u, v, e.W)
+		}
+	}
+	return sub, members
+}
+
+func main() {
+	// Three planted communities of different sizes, plus noise.
+	sizes := []int{30, 20, 14}
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	g := camc.NewGraph(n)
+	st := rng.New(7, 0, 0)
+	base := 0
+	for _, size := range sizes {
+		for i := 0; i < size; i++ {
+			g.AddEdge(int32(base+i), int32(base+(i+1)%size), 4)
+			for k := 0; k < 6; k++ {
+				j := st.Intn(size)
+				if j != i {
+					g.AddEdge(int32(base+i), int32(base+j), 2)
+				}
+			}
+		}
+		base += size
+	}
+	// Sparse noise between communities.
+	g.AddEdge(3, 35, 1)
+	g.AddEdge(10, 40, 1)
+	g.AddEdge(33, 55, 1)
+	g.AddEdge(48, 60, 1)
+	g.AddEdge(5, 52, 1)
+
+	opts := camc.Options{Processors: 4, Seed: 99}
+	var leaves []cluster
+	work := []cluster{{vertices: all(n), depth: 0}}
+	for len(work) > 0 {
+		cl := work[len(work)-1]
+		work = work[:len(work)-1]
+		if len(cl.vertices) < 8 {
+			leaves = append(leaves, cl)
+			continue
+		}
+		sub, members := induced(g, cl.vertices)
+		// Cheap screen: approximate cut vs internal degree scale.
+		app, err := camc.ApproxMinCut(sub, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		degScale := 2 * sub.TotalWeight() / uint64(sub.N) // avg weighted degree
+		if app.Value*4 >= degScale {
+			leaves = append(leaves, cl) // well-knit: stop splitting
+			continue
+		}
+		exact, err := camc.MinCut(sub, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var left, right []int32
+		for i, inSide := range exact.Side {
+			if inSide {
+				left = append(left, members[i])
+			} else {
+				right = append(right, members[i])
+			}
+		}
+		fmt.Printf("split at depth %d: %d + %d vertices (cut %d, approx screen %d)\n",
+			cl.depth, len(left), len(right), exact.Value, app.Value)
+		work = append(work,
+			cluster{vertices: left, depth: cl.depth + 1},
+			cluster{vertices: right, depth: cl.depth + 1})
+	}
+
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].vertices[0] < leaves[j].vertices[0] })
+	fmt.Printf("\n%d clusters found (planted: %d)\n", len(leaves), len(sizes))
+	for i, cl := range leaves {
+		sort.Slice(cl.vertices, func(a, b int) bool { return cl.vertices[a] < cl.vertices[b] })
+		fmt.Printf("  cluster %d (%d vertices): %d..%d\n",
+			i+1, len(cl.vertices), cl.vertices[0], cl.vertices[len(cl.vertices)-1])
+	}
+}
+
+func all(n int) []int32 {
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}

@@ -1,0 +1,65 @@
+package camc
+
+import "testing"
+
+func TestAllMinCutsAPI(t *testing.T) {
+	g := ringGraph(6, 1) // C6: C(6,2) = 15 minimum cuts of value 2
+	value, sides := AllMinCuts(g, 3, 0.99)
+	if value != 2 {
+		t.Fatalf("value = %d, want 2", value)
+	}
+	if len(sides) < 12 {
+		t.Errorf("found %d of 15 cycle cuts", len(sides))
+	}
+	for _, s := range sides {
+		if CutValue(g, s) != 2 {
+			t.Fatal("side does not certify the value")
+		}
+	}
+}
+
+func TestContractHeavyEdgesAPI(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 100)
+	g.AddEdge(3, 0, 1)
+	// Minimum cut is 2 (the two light edges); bound 2 contracts the heavy
+	// ones.
+	cg, mapping := ContractHeavyEdges(g, 2)
+	if cg.N != 2 {
+		t.Fatalf("contracted N = %d, want 2", cg.N)
+	}
+	res, err := MinCut(cg, Options{Processors: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Errorf("cut on contracted graph = %d, want 2", res.Value)
+	}
+	lifted := make([]bool, g.N)
+	for v := range lifted {
+		lifted[v] = res.Side[mapping[v]]
+	}
+	if CutValue(g, lifted) != 2 {
+		t.Errorf("lifted cut = %d", CutValue(g, lifted))
+	}
+}
+
+func TestMaxFlowAPI(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 3, 7)
+	g.AddEdge(0, 2, 9)
+	g.AddEdge(2, 3, 4)
+	value, side := MaxFlow(g, 0, 3)
+	if value != 6 {
+		t.Errorf("max flow = %d, want 6", value)
+	}
+	if !side[0] || side[3] {
+		t.Errorf("source side wrong: %v", side)
+	}
+	if CutValue(g, side) != value {
+		t.Error("min s-t cut does not certify the flow (duality)")
+	}
+}

@@ -1,0 +1,186 @@
+// Package approxcut implements the paper's approximate minimum cut
+// algorithm (§3.3): subgraphs of geometrically increasing expected
+// sparsity are sampled — iteration i keeps each edge e with probability
+// 1-(1-2^-i)^w(e) — and their connectivity is tested with the
+// communication-avoiding connected-components algorithm. The sparsity at
+// which subgraphs start disconnecting estimates the minimum cut within an
+// O(log n) factor w.h.p., using near-linear work.
+//
+// Both variants from the paper are provided: the fully pipelined one
+// (every trial of every iteration is batched into a single
+// connected-components query — O(1) supersteps) and the practical
+// early-stopping one (iterations run in order and stop at the first
+// disconnection — O(log µ) supersteps, less space and time when the cut
+// is small).
+package approxcut
+
+import (
+	"math"
+
+	"repro/internal/bsp"
+	"repro/internal/cc"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Result reports the cut estimate.
+type Result struct {
+	// Value is the estimate 2^j of the minimum cut, where j is the first
+	// iteration at which a sampled subgraph came out disconnected.
+	Value uint64
+	// Iterations is the number of sparsity levels actually examined.
+	Iterations int
+	// TrialsPerIteration is the Θ(log n) trial count used.
+	TrialsPerIteration int
+	// Disconnected reports whether the estimate came from an observed
+	// disconnection (false only when the input itself was disconnected —
+	// Value 0 — or the sparsity scan was exhausted).
+	Disconnected bool
+}
+
+// Options tunes the algorithm; zero values select defaults.
+type Options struct {
+	// Trials overrides the number of trials per iteration
+	// (default ⌈log2 n⌉, minimum 4).
+	Trials int
+	// Pipelined batches all iterations into a single connected-components
+	// query (§3.3 "Theory" variant). The default is the early-stopping
+	// practical variant.
+	Pipelined bool
+	// CC tunes the underlying connected-components runs.
+	CC cc.Options
+}
+
+// Parallel estimates the minimum cut of the distributed edge array.
+// Every processor returns the same result. If the input graph is
+// disconnected the estimate is the exact answer 0.
+func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Options) *Result {
+	if n < 2 {
+		return &Result{Value: 0}
+	}
+	// ① Total weight bounds the iteration count: at sparsity 2^-i with
+	// i ≈ log2 W the expected surviving edge weight is O(1), so some
+	// trial disconnects w.h.p. before the scan runs out.
+	w := dist.TotalWeight(c, local)
+	if w == 0 {
+		return &Result{Value: 0}
+	}
+	// The input must be connected for the estimate to mean anything.
+	base := cc.Parallel(c, n, local, st.Derive(0xcc), opts.CC)
+	if base.Count > 1 {
+		return &Result{Value: 0, Disconnected: true}
+	}
+
+	trials := opts.Trials
+	if trials == 0 {
+		trials = int(math.Ceil(math.Log2(float64(n))))
+	}
+	if trials < 4 {
+		trials = 4
+	}
+	maxIter := int(math.Ceil(math.Log2(float64(w)))) + 1
+	if maxIter < 1 {
+		maxIter = 1
+	}
+
+	if opts.Pipelined {
+		return pipelined(c, n, local, st, trials, maxIter, opts.CC)
+	}
+	return earlyStopping(c, n, local, st, trials, maxIter, opts.CC)
+}
+
+// keepProb is the edge retention probability of iteration i for weight w:
+// 1 - (1 - 2^-i)^w.
+func keepProb(i int, w uint64) float64 {
+	q := 1 - math.Exp2(-float64(i))
+	return 1 - math.Pow(q, float64(w))
+}
+
+// sampleTrials draws `trials` independent subgraphs at sparsity level i
+// from the local slice, placing trial t's copy of vertex v at t*n+v.
+func sampleTrials(local []graph.Edge, n, i, trials int, st *rng.Stream) []graph.Edge {
+	out := make([]graph.Edge, 0, len(local))
+	for t := 0; t < trials; t++ {
+		off := int32(t * n)
+		for _, e := range local {
+			if st.Bernoulli(keepProb(i, e.W)) {
+				out = append(out, graph.Edge{U: off + e.U, V: off + e.V, W: 1})
+			}
+		}
+	}
+	return out
+}
+
+// disconnectedTrials inspects a labelling of the trials×n vertex space
+// and reports, per trial, whether that trial's subgraph was disconnected.
+func disconnectedTrials(labels []int32, n, base, trials int) []bool {
+	out := make([]bool, trials)
+	for t := 0; t < trials; t++ {
+		lo := (base + t) * n
+		first := labels[lo]
+		for v := 1; v < n; v++ {
+			if labels[lo+v] != first {
+				out[t] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func earlyStopping(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, trials, maxIter int, ccOpts cc.Options) *Result {
+	for i := 1; i <= maxIter; i++ {
+		sub := sampleTrials(local, n, i, trials, st.Derive(uint32(i)))
+		c.Ops(uint64(len(local)) * uint64(trials))
+		res := cc.Parallel(c, trials*n, sub, st.Derive(uint32(1000+i)), ccOpts)
+		disc := disconnectedTrials(res.Labels, n, 0, trials)
+		for _, d := range disc {
+			if d {
+				return &Result{
+					Value:              uint64(1) << uint(i),
+					Iterations:         i,
+					TrialsPerIteration: trials,
+					Disconnected:       true,
+				}
+			}
+		}
+	}
+	return &Result{
+		Value:              uint64(1) << uint(maxIter),
+		Iterations:         maxIter,
+		TrialsPerIteration: trials,
+	}
+}
+
+func pipelined(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, trials, maxIter int, ccOpts cc.Options) *Result {
+	// One labelled union over all iterations and trials, one CC query.
+	var union []graph.Edge
+	for i := 1; i <= maxIter; i++ {
+		sub := sampleTrials(local, n, i, trials, st.Derive(uint32(i)))
+		off := int32((i - 1) * trials * n)
+		for _, e := range sub {
+			union = append(union, graph.Edge{U: e.U + off, V: e.V + off, W: 1})
+		}
+	}
+	c.Ops(uint64(len(local)) * uint64(trials) * uint64(maxIter))
+	res := cc.Parallel(c, maxIter*trials*n, union, st.Derive(0xffff), ccOpts)
+	for i := 1; i <= maxIter; i++ {
+		disc := disconnectedTrials(res.Labels, n, (i-1)*trials, trials)
+		for _, d := range disc {
+			if d {
+				return &Result{
+					Value:              uint64(1) << uint(i),
+					Iterations:         maxIter,
+					TrialsPerIteration: trials,
+					Disconnected:       true,
+				}
+			}
+		}
+	}
+	return &Result{
+		Value:              uint64(1) << uint(maxIter),
+		Iterations:         maxIter,
+		TrialsPerIteration: trials,
+	}
+}

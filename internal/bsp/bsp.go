@@ -1,0 +1,470 @@
+// Package bsp implements a Bulk Synchronous Parallel runtime over
+// goroutines — the stand-in for MPI in this reproduction. A machine runs p
+// virtual processors; computation proceeds in supersteps: processors
+// compute locally, exchange word messages, and meet at a barrier (Sync).
+// Messages sent in superstep s are readable only in superstep s+1,
+// matching the BSP semantics the paper analyses (§2.1).
+//
+// The runtime doubles as the measurement apparatus: it accounts the number
+// of supersteps, the communication volume of each superstep (the maximum
+// number of unit-size words sent or received by any processor — an
+// h-relation), and splits wall-clock time into "application" time and
+// "communication" time (time spent inside Sync and collectives), which is
+// the analogue of the paper's T_MPI metric.
+//
+// All message payloads are []uint64 words; vertex ids, weights, and labels
+// all fit the word model of BSP.
+package bsp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CostModel emulates an interconnect in the classic BSP g/L sense: every
+// superstep is charged h·WordTime + SyncLatency of *virtual*
+// communication time, where h is the superstep's h-relation. Goroutines
+// exchange words through shared memory at near-zero real cost, which
+// hides exactly the costs this paper is about; the virtual clock makes
+// them visible again at configurable interconnect speeds.
+type CostModel struct {
+	// WordTime is the per-word gap g (e.g. 4ns ≈ 2 GB/s per processor
+	// for 8-byte words).
+	WordTime time.Duration
+	// SyncLatency is the per-superstep barrier latency L (e.g. 10µs for
+	// a cluster interconnect).
+	SyncLatency time.Duration
+}
+
+func (cm CostModel) enabled() bool { return cm.WordTime > 0 || cm.SyncLatency > 0 }
+
+// machine is the shared state of one communicator: a barrier plus
+// double-buffered mailboxes.
+type machine struct {
+	p int
+
+	cost    CostModel
+	simComm time.Duration // accumulated virtual communication time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	phase   uint64
+	aborted error
+
+	// staging[dst][src] collects words sent during the current superstep;
+	// inbox[dst][src] holds words delivered at the last barrier.
+	staging [][][]uint64
+	inbox   [][][]uint64
+
+	// accounting
+	supersteps int
+	volume     uint64   // sum over supersteps of the max h-relation
+	hRelations []uint64 // per-superstep max h, for model validation
+
+	// sent/recv words in the current superstep, per processor
+	sent []uint64
+	recv []uint64
+
+	// registry for Split sub-communicators, keyed by phase and color
+	subs map[subKey]*subGroup
+}
+
+type subKey struct {
+	phase uint64
+	color int
+}
+
+type subGroup struct {
+	m       *machine
+	members []int // parent ranks in rank order
+}
+
+func newMachine(p int) *machine {
+	m := &machine{
+		p:       p,
+		staging: makeMailbox(p),
+		inbox:   makeMailbox(p),
+		sent:    make([]uint64, p),
+		recv:    make([]uint64, p),
+		subs:    make(map[subKey]*subGroup),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func makeMailbox(p int) [][][]uint64 {
+	mb := make([][][]uint64, p)
+	for i := range mb {
+		mb[i] = make([][]uint64, p)
+	}
+	return mb
+}
+
+// Comm is a processor's handle on a communicator. It is owned by exactly
+// one goroutine and must not be shared.
+type Comm struct {
+	m    *machine
+	rank int
+
+	appTime  time.Duration
+	commTime time.Duration
+	lastMark time.Time
+	ops      uint64
+
+	parent *Comm // non-nil for communicators created by Split
+}
+
+// Rank returns this processor's rank in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of processors in the communicator.
+func (c *Comm) Size() int { return c.m.p }
+
+// Ops adds n to this processor's local-operation counter, the unit of BSP
+// computation time used for model validation.
+func (c *Comm) Ops(n uint64) { c.ops += n }
+
+// Send queues words for delivery to processor `to` at the next Sync.
+// The words are appended to any previously queued payload for the same
+// destination within this superstep. The slice is copied.
+func (c *Comm) Send(to int, words []uint64) {
+	if to < 0 || to >= c.m.p {
+		panic(fmt.Sprintf("bsp: Send to rank %d of %d", to, c.m.p))
+	}
+	box := c.m.staging[to][c.rank]
+	c.m.staging[to][c.rank] = append(box, words...)
+	c.m.sent[c.rank] += uint64(len(words))
+}
+
+// SendOwned queues words like Send but, when nothing is queued yet for
+// the destination, adopts the slice instead of copying it. The caller
+// transfers ownership: the slice must not be read or written afterwards.
+// Use for freshly built payloads on hot paths (large gathers); the
+// accounted communication volume is identical to Send's.
+func (c *Comm) SendOwned(to int, words []uint64) {
+	if to < 0 || to >= c.m.p {
+		panic(fmt.Sprintf("bsp: SendOwned to rank %d of %d", to, c.m.p))
+	}
+	box := c.m.staging[to][c.rank]
+	if len(box) == 0 {
+		c.m.staging[to][c.rank] = words
+	} else {
+		c.m.staging[to][c.rank] = append(box, words...)
+	}
+	c.m.sent[c.rank] += uint64(len(words))
+}
+
+// Recv returns the words delivered from processor `from` at the last Sync.
+// The slice aliases runtime storage and is valid until the next Sync.
+func (c *Comm) Recv(from int) []uint64 {
+	return c.m.inbox[c.rank][from]
+}
+
+// RecvAll returns the per-source delivered payloads (index = source rank).
+func (c *Comm) RecvAll() [][]uint64 {
+	return c.m.inbox[c.rank]
+}
+
+// errAborted is panicked in workers once any worker has failed, so that
+// barrier peers unwind instead of deadlocking.
+type abortError struct{ cause error }
+
+func (e abortError) Error() string { return "bsp: aborted: " + e.cause.Error() }
+
+// Sync is the superstep barrier: it blocks until all processors arrive,
+// then atomically delivers all queued messages. Time spent here is
+// accounted as communication time.
+func (c *Comm) Sync() {
+	m := c.m
+	start := time.Now()
+	if !c.lastMark.IsZero() {
+		c.appTime += start.Sub(c.lastMark)
+	}
+
+	m.mu.Lock()
+	if m.aborted != nil {
+		m.mu.Unlock()
+		panic(abortError{m.aborted})
+	}
+	// Account receive volume for every destination this proc sent to.
+	myPhase := m.phase
+	m.arrived++
+	if m.arrived == m.p {
+		// Last arriver: finalize the superstep.
+		var h uint64
+		for dst := 0; dst < m.p; dst++ {
+			var r uint64
+			for src := 0; src < m.p; src++ {
+				r += uint64(len(m.staging[dst][src]))
+			}
+			m.recv[dst] = r
+		}
+		for i := 0; i < m.p; i++ {
+			if m.sent[i] > h {
+				h = m.sent[i]
+			}
+			if m.recv[i] > h {
+				h = m.recv[i]
+			}
+			m.sent[i] = 0
+			m.recv[i] = 0
+		}
+		m.supersteps++
+		m.volume += h
+		m.hRelations = append(m.hRelations, h)
+		if m.cost.enabled() {
+			m.simComm += time.Duration(h)*m.cost.WordTime + m.cost.SyncLatency
+		}
+		// Swap mailboxes and clear the new staging area.
+		m.inbox, m.staging = m.staging, m.inbox
+		for dst := range m.staging {
+			for src := range m.staging[dst] {
+				m.staging[dst][src] = m.staging[dst][src][:0]
+			}
+		}
+		m.arrived = 0
+		m.phase++
+		m.cond.Broadcast()
+	} else {
+		for m.phase == myPhase && m.aborted == nil {
+			m.cond.Wait()
+		}
+		if m.aborted != nil {
+			m.mu.Unlock()
+			panic(abortError{m.aborted})
+		}
+	}
+	m.mu.Unlock()
+
+	end := time.Now()
+	c.commTime += end.Sub(start)
+	c.lastMark = end
+}
+
+// abort marks the communicator failed and wakes all waiters. Any
+// subsequent or pending Sync panics with the cause.
+func (m *machine) abort(err error) {
+	m.mu.Lock()
+	if m.aborted == nil {
+		m.aborted = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Split partitions the communicator: processors passing the same color
+// form a new communicator, ranked by (key, parent rank). It is a
+// collective call — every processor must participate. The returned Comm
+// shares cost accounting with nothing; its stats are folded back into the
+// parent's worker stats because times accumulate on the same *Comm-owning
+// goroutine via the returned child (the caller should use the child for
+// all communication until done, then resume with the parent).
+func (c *Comm) Split(color, key int) *Comm {
+	// Exchange (color, key) so everyone can compute group membership.
+	payload := []uint64{uint64(int64(color)), uint64(int64(key))}
+	for dst := 0; dst < c.m.p; dst++ {
+		c.Send(dst, payload)
+	}
+	c.Sync()
+	type member struct{ color, key, rank int }
+	members := make([]member, c.m.p)
+	for src := 0; src < c.m.p; src++ {
+		w := c.Recv(src)
+		members[src] = member{color: int(int64(w[0])), key: int(int64(w[1])), rank: src}
+	}
+	var mine []member
+	for _, mm := range members {
+		if mm.color == color {
+			mine = append(mine, mm)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	newRank := -1
+	parentRanks := make([]int, len(mine))
+	for i, mm := range mine {
+		parentRanks[i] = mm.rank
+		if mm.rank == c.rank {
+			newRank = i
+		}
+	}
+	// Get or create the shared machine for this group; it inherits the
+	// parent's interconnect cost model.
+	m := c.m
+	m.mu.Lock()
+	key2 := subKey{phase: m.phase, color: color}
+	grp, ok := m.subs[key2]
+	if !ok {
+		sm := newMachine(len(mine))
+		sm.cost = m.cost
+		grp = &subGroup{m: sm, members: parentRanks}
+		m.subs[key2] = grp
+	}
+	m.mu.Unlock()
+	child := &Comm{m: grp.m, rank: newRank, parent: c, lastMark: time.Now()}
+	return child
+}
+
+// Close folds a split communicator's accumulated times and operation
+// counts back into its parent, and (once per group, via the group's rank
+// 0) folds the child machine's superstep and volume accounting into the
+// parent machine. It must be called once per Split, after the last use of
+// the child.
+func (c *Comm) Close() {
+	if c.parent == nil {
+		return
+	}
+	c.parent.appTime += c.appTime
+	c.parent.commTime += c.commTime
+	c.parent.ops += c.ops
+	c.parent.lastMark = time.Now()
+	if c.rank == 0 {
+		pm := c.parent.m
+		cm := c.m
+		pm.mu.Lock()
+		pm.supersteps += cm.supersteps
+		pm.volume += cm.volume
+		pm.hRelations = append(pm.hRelations, cm.hRelations...)
+		pm.simComm += cm.simComm
+		pm.mu.Unlock()
+	}
+}
+
+// WorkerStats carries one processor's cost measurements.
+type WorkerStats struct {
+	Rank     int
+	AppTime  time.Duration
+	CommTime time.Duration
+	Ops      uint64
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	P          int
+	Supersteps int
+	// CommVolume is the sum over supersteps of the largest number of words
+	// sent or received by any processor (the BSP communication volume).
+	CommVolume uint64
+	// HRelations records each superstep's h-relation.
+	HRelations []uint64
+	// MaxAppTime / MaxCommTime are the per-run maxima over processors of
+	// cumulative computation and communication (Sync) wall time, matching
+	// the paper's "maximum among all participating processors" metric.
+	MaxAppTime  time.Duration
+	MaxCommTime time.Duration
+	// MaxOps is the maximum operation count over processors, the measured
+	// analogue of BSP computation time.
+	MaxOps  uint64
+	Workers []WorkerStats
+	// SimCommTime is the virtual communication time Σ(h·g + L) accrued
+	// under the run's CostModel (zero when no model was configured).
+	SimCommTime time.Duration
+}
+
+// SimTotal returns the virtual-interconnect wall time estimate: real
+// computation time plus simulated communication time.
+func (s *Stats) SimTotal() time.Duration { return s.MaxAppTime + s.SimCommTime }
+
+// SimCommFraction returns SimCommTime / SimTotal.
+func (s *Stats) SimCommFraction() float64 {
+	t := s.SimTotal()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.SimCommTime) / float64(t)
+}
+
+// Total returns total wall time (app + comm maxima).
+func (s *Stats) Total() time.Duration { return s.MaxAppTime + s.MaxCommTime }
+
+// CommFraction returns MaxCommTime / Total, the T_MPI/T ratio of Figure 1b.
+func (s *Stats) CommFraction() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.MaxCommTime) / float64(t)
+}
+
+// Run executes body on p virtual processors and returns the machine's cost
+// statistics. If any processor panics, all are unwound and the first
+// panic is returned as an error. p must be positive.
+func Run(p int, body func(c *Comm)) (*Stats, error) {
+	return RunWithCost(p, CostModel{}, body)
+}
+
+// RunWithCost is Run with an emulated interconnect: each superstep
+// accrues h·WordTime + SyncLatency of virtual communication time,
+// reported as Stats.SimCommTime.
+func RunWithCost(p int, cost CostModel, body func(c *Comm)) (*Stats, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("bsp: Run with p=%d", p)
+	}
+	m := newMachine(p)
+	m.cost = cost
+	comms := make([]*Comm, p)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for r := 0; r < p; r++ {
+		c := &Comm{m: m, rank: r, lastMark: time.Now()}
+		comms[r] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					var err error
+					if ae, ok := rec.(abortError); ok {
+						err = ae.cause
+					} else if e, ok := rec.(error); ok {
+						err = fmt.Errorf("bsp: worker %d: %w", c.rank, e)
+					} else {
+						err = fmt.Errorf("bsp: worker %d: %v", c.rank, rec)
+					}
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					m.abort(err)
+				}
+			}()
+			body(c)
+			// Account trailing app time after the last Sync.
+			c.appTime += time.Since(c.lastMark)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	st := &Stats{
+		P:           p,
+		Supersteps:  m.supersteps,
+		CommVolume:  m.volume,
+		HRelations:  m.hRelations,
+		Workers:     make([]WorkerStats, p),
+		SimCommTime: m.simComm,
+	}
+	for r, c := range comms {
+		st.Workers[r] = WorkerStats{Rank: r, AppTime: c.appTime, CommTime: c.commTime, Ops: c.ops}
+		if c.appTime > st.MaxAppTime {
+			st.MaxAppTime = c.appTime
+		}
+		if c.commTime > st.MaxCommTime {
+			st.MaxCommTime = c.commTime
+		}
+		if c.ops > st.MaxOps {
+			st.MaxOps = c.ops
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,355 @@
+package bsp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunSingleWorker(t *testing.T) {
+	ran := false
+	st, err := Run(1, func(c *Comm) {
+		if c.Rank() != 0 || c.Size() != 1 {
+			t.Errorf("rank/size = %d/%d", c.Rank(), c.Size())
+		}
+		ran = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if st.Supersteps != 0 {
+		t.Errorf("supersteps = %d, want 0", st.Supersteps)
+	}
+}
+
+func TestRunRejectsBadP(t *testing.T) {
+	if _, err := Run(0, func(c *Comm) {}); err == nil {
+		t.Error("Run(0) succeeded")
+	}
+	if _, err := Run(-3, func(c *Comm) {}); err == nil {
+		t.Error("Run(-3) succeeded")
+	}
+}
+
+func TestMessageDelivery(t *testing.T) {
+	const p = 4
+	_, err := Run(p, func(c *Comm) {
+		// Ring: send rank to the right neighbor.
+		right := (c.Rank() + 1) % p
+		c.Send(right, []uint64{uint64(c.Rank())})
+		c.Sync()
+		left := (c.Rank() + p - 1) % p
+		got := c.Recv(left)
+		if len(got) != 1 || got[0] != uint64(left) {
+			t.Errorf("rank %d received %v from %d", c.Rank(), got, left)
+		}
+		// Nothing from other ranks.
+		for src := 0; src < p; src++ {
+			if src != left && len(c.Recv(src)) != 0 {
+				t.Errorf("rank %d: unexpected words from %d", c.Rank(), src)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessagesVisibleOnlyAfterSync(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []uint64{42})
+		}
+		if c.Rank() == 1 && len(c.Recv(0)) != 0 {
+			t.Error("message visible before Sync")
+		}
+		c.Sync()
+		if c.Rank() == 1 {
+			if got := c.Recv(0); len(got) != 1 || got[0] != 42 {
+				t.Errorf("after Sync: %v", got)
+			}
+		}
+		// Next superstep clears the inbox.
+		c.Sync()
+		if c.Rank() == 1 && len(c.Recv(0)) != 0 {
+			t.Error("stale message survived a superstep")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendAppendsWithinSuperstep(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []uint64{1, 2})
+			c.Send(1, []uint64{3})
+		}
+		c.Sync()
+		if c.Rank() == 1 {
+			got := c.Recv(0)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("appended payload = %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendPanicsOutOfRange(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(5, []uint64{1})
+		}
+		c.Sync()
+	})
+	if err == nil {
+		t.Fatal("out-of-range Send did not fail the run")
+	}
+}
+
+func TestSuperstepAccounting(t *testing.T) {
+	st, err := Run(3, func(c *Comm) {
+		c.Sync()
+		c.Sync()
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supersteps != 3 {
+		t.Errorf("supersteps = %d, want 3", st.Supersteps)
+	}
+	if st.CommVolume != 0 {
+		t.Errorf("volume = %d, want 0", st.CommVolume)
+	}
+}
+
+func TestCommVolumeIsHRelation(t *testing.T) {
+	// Rank 0 sends 5 words to each of 3 others: h = 15 (sender bound).
+	st, err := Run(4, func(c *Comm) {
+		if c.Rank() == 0 {
+			for dst := 1; dst < 4; dst++ {
+				c.Send(dst, []uint64{1, 2, 3, 4, 5})
+			}
+		}
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommVolume != 15 {
+		t.Errorf("volume = %d, want 15", st.CommVolume)
+	}
+	// All send 5 words to rank 0: h = 15 (receiver bound).
+	st, err = Run(4, func(c *Comm) {
+		if c.Rank() != 0 {
+			c.Send(0, []uint64{1, 2, 3, 4, 5})
+		}
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommVolume != 15 {
+		t.Errorf("volume = %d, want 15", st.CommVolume)
+	}
+	if len(st.HRelations) != 1 || st.HRelations[0] != 15 {
+		t.Errorf("HRelations = %v", st.HRelations)
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		// Other workers would block here forever without abort handling.
+		c.Sync()
+	})
+	if err == nil {
+		t.Fatal("panic not propagated")
+	}
+}
+
+func TestWorkerErrorPanicPreserved(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			panic(sentinel)
+		}
+		c.Sync()
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	st, err := Run(3, func(c *Comm) {
+		c.Ops(uint64(10 * (c.Rank() + 1)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxOps != 30 {
+		t.Errorf("MaxOps = %d, want 30", st.MaxOps)
+	}
+	if st.Workers[0].Ops != 10 || st.Workers[2].Ops != 30 {
+		t.Errorf("per-worker ops = %+v", st.Workers)
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	const p = 6
+	_, err := Run(p, func(c *Comm) {
+		color := c.Rank() % 2
+		sub := c.Split(color, c.Rank())
+		defer sub.Close()
+		if sub.Size() != 3 {
+			t.Errorf("rank %d: sub size = %d, want 3", c.Rank(), sub.Size())
+		}
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			t.Errorf("rank %d: sub rank = %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Communicate within the group: everyone sends its parent rank to
+		// sub-root; sub-root checks colors match.
+		sub.Send(0, []uint64{uint64(c.Rank())})
+		sub.Sync()
+		if sub.Rank() == 0 {
+			for src := 0; src < sub.Size(); src++ {
+				got := sub.Recv(src)
+				if len(got) != 1 || int(got[0])%2 != color {
+					t.Errorf("group %d received foreign member %v", color, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingletons(t *testing.T) {
+	_, err := Run(3, func(c *Comm) {
+		sub := c.Split(c.Rank(), 0) // every proc its own group
+		defer sub.Close()
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			t.Errorf("singleton split wrong: size=%d rank=%d", sub.Size(), sub.Rank())
+		}
+		sub.Sync() // must not deadlock
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitStatsFoldIntoParent(t *testing.T) {
+	st, err := Run(4, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, 0)
+		sub.Send(0, []uint64{1, 2, 3})
+		sub.Sync()
+		sub.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent machine: 1 superstep for Split's exchange. Each of the 2
+	// children: 1 superstep with h = 6 (root receives 3 words from each of
+	// 2 members).
+	if st.Supersteps != 3 {
+		t.Errorf("folded supersteps = %d, want 3", st.Supersteps)
+	}
+	var wantParentH uint64 = 2 * 4 // split payload: 2 words to each of 4 ranks
+	if st.CommVolume != wantParentH+6+6 {
+		t.Errorf("folded volume = %d, want %d", st.CommVolume, wantParentH+12)
+	}
+}
+
+func TestTimingSplit(t *testing.T) {
+	st, err := Run(2, func(c *Comm) {
+		// Burn a little app time, then sync.
+		x := 0
+		for i := 0; i < 1_000_00; i++ {
+			x += i
+		}
+		_ = x
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxAppTime <= 0 {
+		t.Error("no app time recorded")
+	}
+	if st.Total() < st.MaxAppTime {
+		t.Error("total < app time")
+	}
+	f := st.CommFraction()
+	if f < 0 || f > 1 {
+		t.Errorf("CommFraction = %v", f)
+	}
+}
+
+func TestRunWithCostVirtualClock(t *testing.T) {
+	// One superstep with h=10: virtual comm = 10·WordTime + SyncLatency.
+	cost := CostModel{WordTime: 3 * time.Microsecond, SyncLatency: 50 * time.Microsecond}
+	st, err := RunWithCost(2, cost, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, make([]uint64, 10))
+		}
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*cost.WordTime + cost.SyncLatency
+	if st.SimCommTime != want {
+		t.Errorf("SimCommTime = %v, want %v", st.SimCommTime, want)
+	}
+	if st.SimTotal() < want {
+		t.Error("SimTotal below virtual comm time")
+	}
+	f := st.SimCommFraction()
+	if f <= 0 || f > 1 {
+		t.Errorf("SimCommFraction = %v", f)
+	}
+}
+
+func TestRunWithoutCostZeroSim(t *testing.T) {
+	st, err := Run(2, func(c *Comm) {
+		c.Send(0, []uint64{1, 2, 3})
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimCommTime != 0 {
+		t.Errorf("SimCommTime without model = %v", st.SimCommTime)
+	}
+}
+
+func TestCostModelInheritedBySplit(t *testing.T) {
+	cost := CostModel{WordTime: time.Microsecond, SyncLatency: 10 * time.Microsecond}
+	st, err := RunWithCost(4, cost, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, 0)
+		sub.Send(0, []uint64{1, 2})
+		sub.Sync()
+		sub.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent split superstep (h=8: 2 words to 4 ranks from each... max 8)
+	// plus each child's superstep fold in nonzero virtual time.
+	if st.SimCommTime <= 0 {
+		t.Errorf("split virtual time not accumulated: %v", st.SimCommTime)
+	}
+}

@@ -1,0 +1,201 @@
+package bsp
+
+// MPI-style collective operations (§2.1 of the paper). Each takes O(1)
+// supersteps; costs follow the paper's stated bounds: O(k) communication
+// volume and time, O(k/B + 1) cache misses (the latter is a property of
+// the sequential copying below, not separately accounted).
+//
+// All collectives are synchronizing: every processor of the communicator
+// must call them together, in the same order.
+
+// Broadcast distributes the root's words to all processors; every caller
+// returns the full payload. For payloads larger than the communicator it
+// uses the two-phase (scatter + all-gather) algorithm so that no processor
+// sends or receives more than O(k + p) words, the classic O(1)-superstep
+// communication-optimal broadcast.
+func (c *Comm) Broadcast(root int, words []uint64) []uint64 {
+	p := c.m.p
+	if p == 1 {
+		out := make([]uint64, len(words))
+		copy(out, words)
+		return out
+	}
+	// Superstep 1: the root announces the payload length, so every
+	// processor deterministically picks the same strategy. For the small
+	// (direct) strategy the payload itself piggybacks on this superstep.
+	if c.rank == root {
+		k := len(words)
+		for dst := 0; dst < p; dst++ {
+			c.Send(dst, []uint64{uint64(k)})
+			if k < 2*p {
+				c.Send(dst, words)
+			}
+		}
+	}
+	c.Sync()
+	in := c.Recv(root)
+	k := int(in[0])
+	small := k < 2*p
+	if small {
+		out := make([]uint64, k)
+		copy(out, in[1:])
+		return out
+	}
+	// Two-phase broadcast for large payloads: scatter then all-gather.
+	// Superstep 2: the root scatters ~k/p chunks.
+	if c.rank == root {
+		for dst := 0; dst < p; dst++ {
+			lo := dst * k / p
+			hi := (dst + 1) * k / p
+			c.Send(dst, []uint64{uint64(lo)})
+			c.Send(dst, words[lo:hi])
+		}
+	}
+	c.Sync()
+	chunk := c.Recv(root)
+	myOff := int(chunk[0])
+	body := chunk[1:]
+	// Superstep 3: all-gather the chunks.
+	for dst := 0; dst < p; dst++ {
+		c.Send(dst, []uint64{uint64(myOff)})
+		c.Send(dst, body)
+	}
+	c.Sync()
+	out := make([]uint64, k)
+	for src := 0; src < p; src++ {
+		in := c.Recv(src)
+		off := int(in[0])
+		copy(out[off:], in[1:])
+	}
+	return out
+}
+
+// Gather collects every processor's words at the root. At the root the
+// result has one entry per source rank (copies); at other ranks it is nil.
+func (c *Comm) Gather(root int, words []uint64) [][]uint64 {
+	c.Send(root, words)
+	c.Sync()
+	if c.rank != root {
+		return nil
+	}
+	out := make([][]uint64, c.m.p)
+	for src := 0; src < c.m.p; src++ {
+		in := c.Recv(src)
+		out[src] = append([]uint64(nil), in...)
+	}
+	return out
+}
+
+// GatherOwned is Gather for hot paths: the payload's ownership transfers
+// to the runtime (no send-side copy) and the root's result aliases
+// runtime storage, valid only until the next Sync. Non-roots return nil.
+func (c *Comm) GatherOwned(root int, words []uint64) [][]uint64 {
+	c.SendOwned(root, words)
+	c.Sync()
+	if c.rank != root {
+		return nil
+	}
+	return c.m.inbox[c.rank]
+}
+
+// AllToAllOwned is AllToAll for hot paths: each part's ownership
+// transfers to the runtime and the received parts alias runtime storage,
+// valid only until the next Sync.
+func (c *Comm) AllToAllOwned(parts [][]uint64) [][]uint64 {
+	for dst := 0; dst < c.m.p; dst++ {
+		c.SendOwned(dst, parts[dst])
+	}
+	c.Sync()
+	return c.m.inbox[c.rank]
+}
+
+// AllGather collects every processor's words at every processor.
+func (c *Comm) AllGather(words []uint64) [][]uint64 {
+	for dst := 0; dst < c.m.p; dst++ {
+		c.Send(dst, words)
+	}
+	c.Sync()
+	out := make([][]uint64, c.m.p)
+	for src := 0; src < c.m.p; src++ {
+		out[src] = append([]uint64(nil), c.Recv(src)...)
+	}
+	return out
+}
+
+// Scatter distributes parts[i] to processor i; every caller returns its
+// own part. Only the root's parts argument is consulted.
+func (c *Comm) Scatter(root int, parts [][]uint64) []uint64 {
+	if c.rank == root {
+		for dst := 0; dst < c.m.p; dst++ {
+			c.Send(dst, parts[dst])
+		}
+	}
+	c.Sync()
+	return append([]uint64(nil), c.Recv(root)...)
+}
+
+// AllToAll sends parts[i] to processor i and returns the parts received,
+// indexed by source.
+func (c *Comm) AllToAll(parts [][]uint64) [][]uint64 {
+	for dst := 0; dst < c.m.p; dst++ {
+		c.Send(dst, parts[dst])
+	}
+	c.Sync()
+	out := make([][]uint64, c.m.p)
+	for src := 0; src < c.m.p; src++ {
+		out[src] = append([]uint64(nil), c.Recv(src)...)
+	}
+	return out
+}
+
+// ReduceOp is an associative elementwise operator on words.
+type ReduceOp func(a, b uint64) uint64
+
+// Predefined reduce operators.
+var (
+	OpSum ReduceOp = func(a, b uint64) uint64 { return a + b }
+	OpMin ReduceOp = func(a, b uint64) uint64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	OpMax ReduceOp = func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines equal-length vectors elementwise with op at the root.
+// Non-roots return nil.
+func (c *Comm) Reduce(root int, vec []uint64, op ReduceOp) []uint64 {
+	c.Send(root, vec)
+	c.Sync()
+	if c.rank != root {
+		return nil
+	}
+	var out []uint64
+	for src := 0; src < c.m.p; src++ {
+		in := c.Recv(src)
+		if out == nil {
+			out = append([]uint64(nil), in...)
+			continue
+		}
+		for i := range out {
+			out[i] = op(out[i], in[i])
+		}
+	}
+	return out
+}
+
+// AllReduce combines equal-length vectors elementwise with op and returns
+// the result at every processor (reduce + broadcast, O(1) supersteps).
+func (c *Comm) AllReduce(vec []uint64, op ReduceOp) []uint64 {
+	red := c.Reduce(0, vec, op)
+	return c.Broadcast(0, red)
+}
+
+// Barrier synchronizes without exchanging data.
+func (c *Comm) Barrier() { c.Sync() }

@@ -1,0 +1,55 @@
+package cachesim
+
+// Array is a slice whose element accesses are charged to a simulated
+// cache — the convenient way to write new instrumented kernels without
+// tracking addresses by hand. Get/Set charge one word access and one
+// operation; Scan charges a sequential range access.
+type Array[T any] struct {
+	c    *Cache
+	base uint64
+	data []T
+	// wordsPerElem scales addresses for elements wider than one word.
+	wordsPerElem uint64
+}
+
+// NewArray allocates a tracked array of n elements, each occupying
+// wordsPerElem simulated words (use 1 for ints/labels, 3 for edges).
+func NewArray[T any](c *Cache, n int, wordsPerElem int) *Array[T] {
+	if wordsPerElem < 1 {
+		wordsPerElem = 1
+	}
+	return &Array[T]{
+		c:            c,
+		base:         c.Alloc(n * wordsPerElem),
+		data:         make([]T, n),
+		wordsPerElem: uint64(wordsPerElem),
+	}
+}
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Get reads element i, charging one access.
+func (a *Array[T]) Get(i int) T {
+	a.c.Access(a.base + uint64(i)*a.wordsPerElem)
+	a.c.Ops(1)
+	return a.data[i]
+}
+
+// Set writes element i, charging one access.
+func (a *Array[T]) Set(i int, v T) {
+	a.c.Access(a.base + uint64(i)*a.wordsPerElem)
+	a.c.Ops(1)
+	a.data[i] = v
+}
+
+// Scan charges a sequential read of elements [lo, hi) and returns the
+// underlying slice segment (zero-copy; mutations are the caller's
+// responsibility to charge via Set or another Scan).
+func (a *Array[T]) Scan(lo, hi int) []T {
+	if hi > lo {
+		a.c.AccessRange(a.base+uint64(lo)*a.wordsPerElem, uint64(hi-lo)*a.wordsPerElem)
+		a.c.Ops(uint64(hi - lo))
+	}
+	return a.data[lo:hi]
+}

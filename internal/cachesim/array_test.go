@@ -1,0 +1,56 @@
+package cachesim
+
+import "testing"
+
+func TestArrayGetSetCharged(t *testing.T) {
+	c := New(64, 8)
+	a := NewArray[int](c, 16, 1)
+	a.Set(3, 42)
+	if got := a.Get(3); got != 42 {
+		t.Fatalf("Get = %d", got)
+	}
+	if c.Accesses() != 2 || c.Instructions() != 2 {
+		t.Errorf("accesses=%d ops=%d, want 2/2", c.Accesses(), c.Instructions())
+	}
+	// Same block: one miss.
+	if c.Misses() != 1 {
+		t.Errorf("misses = %d", c.Misses())
+	}
+}
+
+func TestArrayWideElements(t *testing.T) {
+	c := New(1024, 8)
+	a := NewArray[[3]uint64](c, 10, 3)
+	// Elements 0 and 2 are 6 words apart -> element 3 starts at word 9,
+	// a different block from element 0.
+	a.Set(0, [3]uint64{1, 2, 3})
+	a.Set(3, [3]uint64{4, 5, 6})
+	if c.Misses() != 2 {
+		t.Errorf("wide elements should straddle blocks: %d misses", c.Misses())
+	}
+}
+
+func TestArrayScan(t *testing.T) {
+	c := New(1024, 8)
+	a := NewArray[int](c, 64, 1)
+	seg := a.Scan(0, 64)
+	if len(seg) != 64 {
+		t.Fatalf("segment len %d", len(seg))
+	}
+	if c.Misses() != 8 { // 64 words / 8-word blocks
+		t.Errorf("scan misses = %d, want 8", c.Misses())
+	}
+	// Empty scan charges nothing.
+	before := c.Accesses()
+	a.Scan(5, 5)
+	if c.Accesses() != before {
+		t.Error("empty scan charged accesses")
+	}
+}
+
+func TestArrayLen(t *testing.T) {
+	c := New(64, 8)
+	if NewArray[byte](c, 7, 0).Len() != 7 {
+		t.Error("Len wrong (and wordsPerElem floor)")
+	}
+}

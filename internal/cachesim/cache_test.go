@@ -1,0 +1,121 @@
+package cachesim
+
+import "testing"
+
+func TestColdMissesAndReuse(t *testing.T) {
+	c := New(64, 8) // 8 blocks of 8 words
+	base := c.Alloc(8)
+	c.Access(base)
+	if c.Misses() != 1 {
+		t.Fatalf("first access: %d misses", c.Misses())
+	}
+	for i := uint64(0); i < 8; i++ {
+		c.Access(base + i) // same block
+	}
+	if c.Misses() != 1 {
+		t.Errorf("same-block accesses missed: %d", c.Misses())
+	}
+	if c.Accesses() != 9 {
+		t.Errorf("accesses = %d, want 9", c.Accesses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(16, 8) // 2 blocks
+	a := c.Alloc(8)
+	b := c.Alloc(8)
+	d := c.Alloc(8)
+	c.Access(a) // miss
+	c.Access(b) // miss
+	c.Access(a) // hit, a is MRU
+	c.Access(d) // miss, evicts b
+	c.Access(a) // hit
+	c.Access(b) // miss (was evicted)
+	if c.Misses() != 4 {
+		t.Errorf("misses = %d, want 4", c.Misses())
+	}
+}
+
+func TestAccessRangeBlocks(t *testing.T) {
+	c := New(1024, 8)
+	base := c.Alloc(64)
+	c.AccessRange(base, 64) // exactly 8 blocks
+	if c.Misses() != 8 {
+		t.Errorf("range scan: %d misses, want 8", c.Misses())
+	}
+	if c.Accesses() != 64 {
+		t.Errorf("accesses = %d", c.Accesses())
+	}
+	c.AccessRange(base, 0)
+	if c.Accesses() != 64 {
+		t.Error("zero-length range changed counters")
+	}
+}
+
+func TestAllocBlockAligned(t *testing.T) {
+	c := New(1024, 8)
+	a := c.Alloc(3)
+	b := c.Alloc(3)
+	if a/8 == b/8 {
+		t.Errorf("regions share block: %d %d", a, b)
+	}
+}
+
+func TestFlushForcesColdMisses(t *testing.T) {
+	c := New(1024, 8)
+	base := c.Alloc(8)
+	c.Access(base)
+	c.Access(base)
+	if c.Misses() != 1 {
+		t.Fatal("setup")
+	}
+	c.Flush()
+	c.Access(base)
+	if c.Misses() != 2 {
+		t.Errorf("post-flush access did not miss: %d", c.Misses())
+	}
+}
+
+func TestIPMAndReset(t *testing.T) {
+	c := New(64, 8)
+	if c.IPM() != 0 {
+		t.Error("IPM nonzero with no misses")
+	}
+	c.Access(c.Alloc(1))
+	c.Ops(50)
+	if c.IPM() != 50 {
+		t.Errorf("IPM = %v, want 50", c.IPM())
+	}
+	c.ResetCounters()
+	if c.Misses() != 0 || c.Instructions() != 0 || c.Accesses() != 0 {
+		t.Error("ResetCounters incomplete")
+	}
+}
+
+func TestNewPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(4, 8) accepted")
+		}
+	}()
+	New(4, 8)
+}
+
+func TestSequentialBeatsRandom(t *testing.T) {
+	// The model must reward locality: scanning N words costs ~N/B misses,
+	// random probing costs ~min(N, distinct blocks) misses.
+	const n = 1 << 14
+	seq := New(1024, 16)
+	base := seq.Alloc(n)
+	seq.AccessRange(base, n)
+	rnd := New(1024, 16)
+	base2 := rnd.Alloc(n)
+	x := uint64(12345)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		rnd.Access(base2 + x%n)
+	}
+	if seq.Misses()*4 > rnd.Misses() {
+		t.Errorf("sequential %d misses vs random %d: model broken", seq.Misses(), rnd.Misses())
+	}
+}

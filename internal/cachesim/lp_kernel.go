@@ -1,0 +1,76 @@
+package cachesim
+
+import "repro/internal/graph"
+
+// LabelPropagationCC replays the PBGL-style baseline's per-processor
+// access pattern: every round scans the full n-word label array (the
+// replicated all-reduce operand), applies one random-access hook update
+// per local edge, and pointer-jumps over the label array. `share` is the
+// fraction of edges this processor owns (1 = sequential). Returns the
+// component count.
+func LabelPropagationCC(c *Cache, g *graph.Graph, share int) int {
+	if share < 1 {
+		share = 1
+	}
+	n := g.N
+	labBase := c.Alloc(n)
+	edgeBase := c.Alloc(3 * len(g.Edges))
+	// PBGL keeps distributed property maps with ghost cells for remote
+	// vertices: every endpoint access goes through a ghost-cell table
+	// several times the size of the plain label array.
+	ghostBase := c.Alloc(4 * n)
+
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	local := g.Edges[:len(g.Edges)/share]
+	rounds := 0
+	for {
+		rounds++
+		changed := false
+		// Hook phase: one sequential edge scan, two random label probes
+		// per edge, each through the ghost-cell table.
+		for i, e := range local {
+			c.AccessRange(edgeBase+uint64(3*i), 3)
+			c.Access(labBase + uint64(e.U))
+			c.Access(labBase + uint64(e.V))
+			c.Access(ghostBase + 4*uint64(e.U))
+			c.Access(ghostBase + 4*uint64(e.V))
+			c.Ops(10)
+			lu, lv := labels[e.U], labels[e.V]
+			if lu < lv {
+				labels[e.V] = lu
+				changed = true
+			} else if lv < lu {
+				labels[e.U] = lv
+				changed = true
+			}
+		}
+		// All-reduce operand + pointer jumping: full label-array scans
+		// with random jump targets.
+		for j := 0; j < 2; j++ {
+			c.AccessRange(labBase, uint64(n))
+			c.Ops(uint64(n))
+			for v := range labels {
+				t := labels[v]
+				c.Access(labBase + uint64(t))
+				if labels[t] != labels[v] {
+					labels[v] = labels[t]
+					changed = true
+				}
+			}
+		}
+		if !changed || rounds > 2*n {
+			break
+		}
+	}
+	// Note: with share > 1 this under-propagates by design (a single
+	// processor's view); component counting below follows the full graph
+	// so callers still get a correct count for share == 1.
+	uf := graph.NewUnionFind(n)
+	for _, e := range g.Edges {
+		uf.Union(e.U, e.V)
+	}
+	return uf.Count()
+}

@@ -1,0 +1,37 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestLabelPropagationCCCount(t *testing.T) {
+	g := gen.ErdosRenyiM(300, 500, 2, gen.Config{})
+	_, want := g.ConnectedComponents()
+	got := LabelPropagationCC(simCache(), g, 1)
+	if got != want {
+		t.Errorf("LP kernel count = %d, want %d", got, want)
+	}
+}
+
+func TestLabelPropagationShareClamped(t *testing.T) {
+	g := gen.Cycle(50, 1)
+	if got := LabelPropagationCC(simCache(), g, 0); got != 1 {
+		t.Errorf("share=0: count = %d", got)
+	}
+}
+
+func TestLabelPropagationGhostOverheadCharged(t *testing.T) {
+	// The PBGL model must pay for its ghost-cell accesses: with the label
+	// array cache-resident but the ghost region not, LP misses should
+	// greatly exceed a plain union-find pass.
+	g := gen.RMAT(13, (1<<13)*16, 4, gen.Config{})
+	small := New(1<<13, 8) // 8Ki words: labels fit, 4n ghost region doesn't
+	LabelPropagationCC(small, g, 1)
+	uf := New(1<<13, 8)
+	UnionFindCC(uf, g)
+	if small.Misses() <= uf.Misses() {
+		t.Errorf("LP misses %d not above union-find misses %d", small.Misses(), uf.Misses())
+	}
+}

@@ -1,0 +1,83 @@
+package cc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// SharedMemory is the asynchronous shared-memory baseline in the style of
+// Galois: a wait-free concurrent union-find processed by `workers`
+// goroutines over static edge chunks, unioning by smaller root id with
+// compare-and-swap and path halving. No barriers are involved beyond the
+// final join.
+func SharedMemory(g *graph.Graph, workers int) *Result {
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.N
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+
+	find := func(x int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[x])
+			if p == x {
+				return x
+			}
+			gp := atomic.LoadInt32(&parent[p])
+			if gp != p {
+				// Path halving; a failed CAS just means someone else
+				// improved the path.
+				atomic.CompareAndSwapInt32(&parent[x], p, gp)
+			}
+			x = p
+		}
+	}
+	union := func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Attach the larger root under the smaller; retry on races.
+			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(g.Edges) / workers
+		hi := (w + 1) * len(g.Edges) / workers
+		wg.Add(1)
+		go func(chunk []graph.Edge) {
+			defer wg.Done()
+			for _, e := range chunk {
+				union(e.U, e.V)
+			}
+		}(g.Edges[lo:hi])
+	}
+	wg.Wait()
+
+	res := &Result{Labels: make([]int32, n)}
+	remap := make(map[int32]int32)
+	for v := int32(0); int(v) < n; v++ {
+		r := find(v)
+		l, ok := remap[r]
+		if !ok {
+			l = int32(len(remap))
+			remap[r] = l
+		}
+		res.Labels[v] = l
+	}
+	res.Count = len(remap)
+	return res
+}

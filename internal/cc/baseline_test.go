@@ -1,0 +1,137 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bsp"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func runLabelProp(t testing.TB, g *graph.Graph, p int) *Result {
+	t.Helper()
+	var res *Result
+	_, err := bsp.Run(p, func(c *bsp.Comm) {
+		var in *graph.Graph
+		if c.Rank() == 0 {
+			in = g
+		}
+		n, local := dist.ScatterGraph(c, 0, in)
+		r := LabelPropagation(c, n, local)
+		if c.Rank() == 0 {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLabelPropagationMatchesSequential(t *testing.T) {
+	g := multiComponentGraph(3)
+	want := Sequential(g)
+	for _, p := range []int{1, 3, 5} {
+		got := runLabelProp(t, g, p)
+		if got.Count != want.Count || !samePartition(got.Labels, want.Labels) {
+			t.Errorf("p=%d: label propagation disagrees (count %d vs %d)", p, got.Count, want.Count)
+		}
+	}
+}
+
+func TestLabelPropagationPath(t *testing.T) {
+	// Long path: worst case for propagation without jumping; pointer
+	// jumping must keep rounds logarithmic-ish, certainly << n.
+	g := gen.Path(256, 1)
+	got := runLabelProp(t, g, 2)
+	if got.Count != 1 {
+		t.Fatalf("path count = %d", got.Count)
+	}
+	if got.Iterations > 64 {
+		t.Errorf("label propagation needed %d rounds on a 256-path", got.Iterations)
+	}
+}
+
+func TestSharedMemoryMatchesSequential(t *testing.T) {
+	g := multiComponentGraph(6)
+	want := Sequential(g)
+	for _, workers := range []int{1, 2, 8} {
+		got := SharedMemory(g, workers)
+		if got.Count != want.Count || !samePartition(got.Labels, want.Labels) {
+			t.Errorf("workers=%d: shared-memory CC disagrees", workers)
+		}
+	}
+}
+
+func TestSharedMemoryRandom(t *testing.T) {
+	err := quick.Check(func(rawSeed uint16) bool {
+		g := gen.ErdosRenyiM(150, 200, uint64(rawSeed), gen.Config{})
+		want := Sequential(g)
+		got := SharedMemory(g, 4)
+		return got.Count == want.Count && samePartition(got.Labels, want.Labels)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedMemoryZeroWorkers(t *testing.T) {
+	g := gen.Cycle(10, 1)
+	got := SharedMemory(g, 0)
+	if got.Count != 1 {
+		t.Errorf("count = %d", got.Count)
+	}
+}
+
+func TestAllImplementationsAgree(t *testing.T) {
+	g := gen.RMAT(9, 1500, 7, gen.Config{})
+	seqRes := Sequential(g)
+	par := runParallel(t, g, 4, 9)
+	lp := runLabelProp(t, g, 4)
+	sm := SharedMemory(g, 4)
+	for name, r := range map[string]*Result{"parallel": par, "labelprop": lp, "shared": sm} {
+		if r.Count != seqRes.Count {
+			t.Errorf("%s count = %d, want %d", name, r.Count, seqRes.Count)
+		}
+		if !samePartition(r.Labels, seqRes.Labels) {
+			t.Errorf("%s partition differs from sequential", name)
+		}
+	}
+}
+
+func TestCommunicationAdvantage(t *testing.T) {
+	// The headline claim of §3.2: iterated-sampling CC needs O(1)
+	// synchronizations and little volume, while label propagation pays an
+	// n-word all-reduce per round and the round count grows with the
+	// graph's diameter. A cycle makes the contrast stark.
+	g := gen.Cycle(2000, 1)
+	const p = 4
+	run := func(body func(c *bsp.Comm, n int, local []graph.Edge)) *bsp.Stats {
+		st, err := bsp.Run(p, func(c *bsp.Comm) {
+			var in *graph.Graph
+			if c.Rank() == 0 {
+				in = g
+			}
+			n, local := dist.ScatterGraph(c, 0, in)
+			body(c, n, local)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	stCC := run(func(c *bsp.Comm, n int, local []graph.Edge) {
+		Parallel(c, n, local, rngFor(c), Options{})
+	})
+	stLP := run(func(c *bsp.Comm, n int, local []graph.Edge) {
+		LabelPropagation(c, n, local)
+	})
+	if stCC.CommVolume >= stLP.CommVolume {
+		t.Errorf("no volume advantage: CC %d words vs LP %d words", stCC.CommVolume, stLP.CommVolume)
+	}
+	if stCC.Supersteps >= stLP.Supersteps {
+		t.Errorf("no synchronization advantage: CC %d supersteps vs LP %d", stCC.Supersteps, stLP.Supersteps)
+	}
+}

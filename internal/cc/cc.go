@@ -1,0 +1,178 @@
+// Package cc implements the communication-avoiding connected-components
+// algorithm of §3.2 — iterated sampling without bulk edge contraction,
+// taking O(1) supersteps and O(n^{1+ε}) communication volume w.h.p. — and
+// the three baseline families the paper compares against: a sequential
+// linear-time traversal (the BGL baseline), a synchronization-heavy BSP
+// label-propagation algorithm (the PBGL baseline), and an asynchronous
+// shared-memory union-find (the Galois baseline).
+package cc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sparsify"
+)
+
+// Result is a connected-components labelling.
+type Result struct {
+	// Labels maps every original vertex to its component label. Labels
+	// are dense in [0, Count).
+	Labels []int32
+	// Count is the number of connected components.
+	Count int
+	// Iterations is the number of sparsify→contract rounds performed
+	// (w.h.p. O(1)).
+	Iterations int
+}
+
+// Options tunes the parallel algorithm. Zero values select the defaults.
+type Options struct {
+	// Epsilon controls the sample size s = n^(1+Epsilon/2); default 0.5.
+	Epsilon float64
+	// Delta is the Chernoff oversampling slack of the unweighted
+	// sampler; default 0.5.
+	Delta float64
+	// MaxIterations bounds the sampling rounds (default 64); exceeding it
+	// indicates a logic error and panics the worker.
+	MaxIterations int
+}
+
+func (o *Options) defaults() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.5
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.5
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 64
+	}
+}
+
+// Parallel computes connected components of the distributed edge array
+// (n vertices, each processor holding a slice of edges) by iterated
+// sampling: sparsify, solve the sample at the root, broadcast the
+// relabelling, contract locally, repeat until no edge remains. Every
+// processor returns the same Result.
+func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Options) *Result {
+	opts.defaults()
+	const root = 0
+
+	// The root tracks the label of each original vertex.
+	var comp []int32
+	if c.Rank() == root {
+		comp = make([]int32, n)
+		for i := range comp {
+			comp[i] = int32(i)
+		}
+	}
+	s := sampleSize(n, opts.Epsilon)
+	// Work on a private copy so the caller's slice survives.
+	edges := append([]graph.Edge(nil), local...)
+
+	iters := 0
+	prevM := uint64(math.MaxUint64)
+	for {
+		m := c.AllReduce([]uint64{uint64(len(edges))}, bsp.OpSum)[0]
+		if m == 0 {
+			break
+		}
+		if iters >= opts.MaxIterations {
+			panic(fmt.Sprintf("cc: no convergence after %d iterations (m=%d)", iters, m))
+		}
+		if m == prevM {
+			// Safety net: the sample failed to shrink the edge set (only
+			// possible with tiny samples); double s to force progress.
+			s *= 2
+		}
+		prevM = m
+		iters++
+
+		sample := sparsify.Unweighted(c, root, edges, s, n, opts.Delta, st)
+
+		// Root: solve the sampled graph over the current label space and
+		// produce the mapping g from old to new labels.
+		var g []uint64
+		if c.Rank() == root {
+			uf := graph.NewUnionFind(n)
+			for _, e := range sample {
+				uf.Union(e.U, e.V)
+			}
+			labels := uf.Labels()
+			c.Ops(uint64(len(sample)) + uint64(n))
+			g = make([]uint64, n)
+			for i, l := range labels {
+				g[i] = uint64(uint32(l))
+			}
+			for v := range comp {
+				comp[v] = labels[comp[v]]
+			}
+		}
+		gw := c.Broadcast(root, g)
+
+		// Everyone: relabel local edges and drop loops.
+		out := edges[:0]
+		for _, e := range edges {
+			u := int32(uint32(gw[e.U]))
+			v := int32(uint32(gw[e.V]))
+			if u != v {
+				out = append(out, graph.Edge{U: u, V: v, W: e.W})
+			}
+		}
+		c.Ops(uint64(len(edges)))
+		edges = out
+	}
+
+	// Publish the final labelling. The per-round relabellings keep comp
+	// dense over the final label space already, but singleton components
+	// of untouched vertices share that space; recompact for a dense
+	// [0, Count) labelling.
+	var words []uint64
+	if c.Rank() == root {
+		remap := make(map[int32]int32)
+		for v := range comp {
+			l, ok := remap[comp[v]]
+			if !ok {
+				l = int32(len(remap))
+				remap[comp[v]] = l
+			}
+			comp[v] = l
+		}
+		words = make([]uint64, n+1)
+		words[0] = uint64(len(remap))
+		for v, l := range comp {
+			words[v+1] = uint64(uint32(l))
+		}
+	}
+	words = c.Broadcast(root, words)
+	res := &Result{
+		Labels:     make([]int32, n),
+		Count:      int(words[0]),
+		Iterations: iters,
+	}
+	for v := 0; v < n; v++ {
+		res.Labels[v] = int32(uint32(words[v+1]))
+	}
+	return res
+}
+
+// sampleSize returns s = ⌈n^(1+ε/2)⌉, clamped to at least 32.
+func sampleSize(n int, epsilon float64) int {
+	s := int(math.Ceil(math.Pow(float64(n), 1+epsilon/2)))
+	if s < 32 {
+		s = 32
+	}
+	return s
+}
+
+// Sequential computes connected components with a linear-time BFS over a
+// CSR adjacency — the sequential baseline corresponding to BGL's
+// connected_components.
+func Sequential(g *graph.Graph) *Result {
+	labels, count := graph.BuildCSR(g).ConnectedComponents()
+	return &Result{Labels: labels, Count: count, Iterations: 0}
+}

@@ -1,0 +1,11 @@
+package cc
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/rng"
+)
+
+// rngFor derives a per-worker stream for tests.
+func rngFor(c *bsp.Comm) *rng.Stream {
+	return rng.New(12345, uint32(c.Rank()), 0)
+}

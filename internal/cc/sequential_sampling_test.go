@@ -1,0 +1,54 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestSequentialSamplingMatchesBFS(t *testing.T) {
+	g := multiComponentGraph(12)
+	want := Sequential(g)
+	got := SequentialSampling(g, rng.New(3, 0, 0), 0.5)
+	if got.Count != want.Count || !samePartition(got.Labels, want.Labels) {
+		t.Errorf("sequential sampling: count %d vs %d", got.Count, want.Count)
+	}
+}
+
+func TestSequentialSamplingRandom(t *testing.T) {
+	err := quick.Check(func(rawSeed uint16) bool {
+		g := gen.ErdosRenyiM(200, 300, uint64(rawSeed), gen.Config{})
+		want := Sequential(g)
+		got := SequentialSampling(g, rng.New(uint64(rawSeed)+7, 0, 0), 0.5)
+		return got.Count == want.Count && samePartition(got.Labels, want.Labels)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialSamplingEdgeless(t *testing.T) {
+	g := gen.Path(1, 1)
+	got := SequentialSampling(g, rng.New(1, 0, 0), 0.5)
+	if got.Count != 1 || got.Iterations != 0 {
+		t.Errorf("%+v", got)
+	}
+}
+
+func TestSequentialSamplingFewIterations(t *testing.T) {
+	g := gen.ErdosRenyiM(2000, 16000, 3, gen.Config{})
+	got := SequentialSampling(g, rng.New(5, 0, 0), 0.5)
+	if got.Iterations > 5 {
+		t.Errorf("%d iterations, want O(1) small", got.Iterations)
+	}
+}
+
+func TestSequentialSamplingDefaultEpsilon(t *testing.T) {
+	g := gen.Cycle(100, 1)
+	got := SequentialSampling(g, rng.New(2, 0, 0), 0)
+	if got.Count != 1 {
+		t.Errorf("count = %d", got.Count)
+	}
+}

@@ -1,0 +1,105 @@
+// Package cli provides the plumbing shared by the command-line tools:
+// loading a graph from a file or generating one from a compact spec, and
+// emitting artifact-style result rows.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// LoadGraph reads a graph from path, or generates one if the path has the
+// form "gen:TYPE:n=...,d=...,seed=...,w=...". Paths with a "snap:" prefix
+// or a ".snap" suffix are parsed in the SNAP text format (no header,
+// vertex count inferred). Supported generator TYPEs:
+// er (Erdős–Rényi, n and d), ws (Watts–Strogatz, n, d, beta=0.3),
+// ba (Barabási–Albert, n, d), rmat (R-MAT, n rounded to a power of two,
+// d), cycle (n), twocliques (n, k bridges), grid (rows, cols).
+func LoadGraph(path string) (*graph.Graph, string, error) {
+	if spec, ok := strings.CutPrefix(path, "gen:"); ok {
+		g, name, err := Generate(spec)
+		return g, name, err
+	}
+	snap := false
+	if rest, ok := strings.CutPrefix(path, "snap:"); ok {
+		path, snap = rest, true
+	} else if strings.HasSuffix(path, ".snap") {
+		snap = true
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	var g *graph.Graph
+	if snap {
+		g, err = graph.ReadSNAP(f)
+	} else {
+		g, err = graph.ReadEdgeList(f)
+	}
+	return g, path, err
+}
+
+// Generate builds a graph from "TYPE:k=v,k=v" (see LoadGraph).
+func Generate(spec string) (*graph.Graph, string, error) {
+	typ, rest, _ := strings.Cut(spec, ":")
+	params := map[string]int{
+		"n": 1000, "d": 16, "seed": 1, "w": 1, "k": 2, "rows": 32, "cols": 32,
+	}
+	beta := 0.3
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, "", fmt.Errorf("cli: bad parameter %q", kv)
+			}
+			if k == "beta" {
+				b, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("cli: bad beta %q", v)
+				}
+				beta = b
+				continue
+			}
+			x, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, "", fmt.Errorf("cli: bad value %q for %q", v, k)
+			}
+			params[k] = x
+		}
+	}
+	n, d, seed := params["n"], params["d"], uint64(params["seed"])
+	cfg := gen.Config{MaxWeight: uint64(params["w"])}
+	name := fmt.Sprintf("%s_%d_%d", typ, n, d)
+	switch typ {
+	case "er":
+		return gen.ErdosRenyiM(n, n*d/2, seed, cfg), name, nil
+	case "ws":
+		k := d
+		if k%2 == 1 {
+			k++
+		}
+		return gen.WattsStrogatz(n, k, beta, seed, cfg), name, nil
+	case "ba":
+		return gen.BarabasiAlbert(n, (d+1)/2, seed, cfg), name, nil
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(scale, (1<<scale)*d/2, seed, cfg), fmt.Sprintf("rmat_%d_%d", 1<<scale, d), nil
+	case "cycle":
+		return gen.Cycle(n, uint64(params["w"])), fmt.Sprintf("cycle_%d", n), nil
+	case "twocliques":
+		return gen.TwoCliques(n/2, params["k"], 2, 1), fmt.Sprintf("twocliques_%d_%d", n, params["k"]), nil
+	case "grid":
+		return gen.Grid(params["rows"], params["cols"], uint64(params["w"])), fmt.Sprintf("grid_%dx%d", params["rows"], params["cols"]), nil
+	default:
+		return nil, "", fmt.Errorf("cli: unknown generator %q", typ)
+	}
+}

@@ -1,0 +1,144 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateAllTypes(t *testing.T) {
+	cases := []struct {
+		spec   string
+		n      int
+		checkM int // -1 = skip
+	}{
+		{"er:n=100,d=10", 100, 500},
+		{"ws:n=100,d=10", 100, 500},
+		{"ws:n=100,d=9", 100, 500}, // odd degree rounds up
+		{"ba:n=100,d=10", 100, -1},
+		{"rmat:n=100,d=10", 128, -1}, // rounds n to a power of two
+		{"cycle:n=50", 50, 50},
+		{"twocliques:n=20,k=3", 20, -1},
+		{"grid:rows=4,cols=5", 20, 31},
+	}
+	for _, c := range cases {
+		g, name, err := Generate(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if g.N != c.n {
+			t.Errorf("%s: n = %d, want %d", c.spec, g.N, c.n)
+		}
+		if c.checkM >= 0 && g.M() != c.checkM {
+			t.Errorf("%s: m = %d, want %d", c.spec, g.M(), c.checkM)
+		}
+		if name == "" {
+			t.Errorf("%s: empty name", c.spec)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", c.spec, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nope:n=10",
+		"er:n",
+		"er:n=abc",
+		"ws:beta=x",
+	} {
+		if _, _, err := Generate(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestGenerateWeights(t *testing.T) {
+	g, _, err := Generate("er:n=50,d=8,w=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for _, e := range g.Edges {
+		if e.W < 1 || e.W > 5 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+		if e.W > 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("w=5 produced only unit weights")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g, _, err := Generate("cycle:n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, name, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != path || back.N != 10 || back.M() != 10 {
+		t.Errorf("loaded %s: n=%d m=%d", name, back.N, back.M())
+	}
+}
+
+func TestLoadGraphGenSpec(t *testing.T) {
+	g, name, err := LoadGraph("gen:cycle:n=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 7 || name != "cycle_7" {
+		t.Errorf("gen spec: n=%d name=%s", g.N, name)
+	}
+}
+
+func TestLoadGraphMissingFile(t *testing.T) {
+	if _, _, err := LoadGraph("/nonexistent/file.txt"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadGraphSNAP(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.snap")
+	if err := os.WriteFile(path, []byte("# snap\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Errorf("snap suffix load: n=%d m=%d", g.N, g.M())
+	}
+	// Explicit prefix on an arbitrary extension.
+	path2 := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path2, []byte("5 6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := LoadGraph("snap:" + path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != 7 || g2.M() != 1 {
+		t.Errorf("snap prefix load: n=%d m=%d", g2.N, g2.M())
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.processors() < 1 {
+		t.Error("default processors < 1")
+	}
+	if o.seed() != 1 {
+		t.Errorf("default seed = %d", o.seed())
+	}
+	if o.successProb() != 0.9 {
+		t.Errorf("default success prob = %v", o.successProb())
+	}
+	o = Options{Processors: 3, Seed: 9, SuccessProb: 0.75}
+	if o.processors() != 3 || o.seed() != 9 || o.successProb() != 0.75 {
+		t.Error("explicit options not honored")
+	}
+	o = Options{SuccessProb: 1.5}
+	if o.successProb() != 0.9 {
+		t.Error("out-of-range success prob not defaulted")
+	}
+}
+
+func TestMinCutEndToEnd(t *testing.T) {
+	g := gen.TwoCliques(10, 2, 5, 1)
+	res, err := MinCut(g, Options{Processors: 3, Seed: 4, SuccessProb: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Errorf("cut = %d, want 2", res.Value)
+	}
+	if g.CutValue(res.Side) != res.Value {
+		t.Error("certificate mismatch")
+	}
+	if res.Stats.P != 3 {
+		t.Errorf("stats.P = %d", res.Stats.P)
+	}
+	if res.Stats.Time <= 0 {
+		t.Error("no time recorded")
+	}
+	if res.Stats.CommFraction < 0 || res.Stats.CommFraction > 1 {
+		t.Errorf("comm fraction = %v", res.Stats.CommFraction)
+	}
+}
+
+func TestApproxMinCutEndToEnd(t *testing.T) {
+	g := gen.Cycle(64, 1)
+	res, err := ApproxMinCut(g, Options{Processors: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < 1 || res.Value > 16 {
+		t.Errorf("estimate = %d for true cut 2", res.Value)
+	}
+	// Pipelined variant.
+	res2, err := ApproxMinCut(g, Options{Processors: 2, Seed: 6, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Value < 1 || res2.Value > 16 {
+		t.Errorf("pipelined estimate = %d", res2.Value)
+	}
+}
+
+func TestConnectedComponentsEndToEnd(t *testing.T) {
+	g := graph.New(9)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(4, 5, 1)
+	res, err := ConnectedComponents(g, Options{Processors: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 6 {
+		t.Errorf("count = %d, want 6", res.Count)
+	}
+	if len(res.Labels) != 9 {
+		t.Errorf("labels len %d", len(res.Labels))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if _, err := MinCut(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	bad := graph.New(1)
+	bad.Edges = []graph.Edge{{U: 0, V: 0, W: 1}}
+	if _, err := ConnectedComponents(bad, Options{}); err == nil {
+		t.Error("loop accepted")
+	}
+}
+
+func TestMaxTrialsRespected(t *testing.T) {
+	g := gen.Cycle(40, 1)
+	res, err := MinCut(g, Options{Processors: 2, Seed: 3, MaxTrials: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 5 {
+		t.Errorf("trials = %d, want capped 5", res.Trials)
+	}
+}
+
+func TestEpsilonOption(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 8, 3, gen.Config{})
+	// Both extremes must agree on the answer; the knob only shifts the
+	// iteration/volume trade-off.
+	small, err := ConnectedComponents(g, Options{Processors: 2, Seed: 5, Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ConnectedComponents(g, Options{Processors: 2, Seed: 5, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Count != big.Count {
+		t.Errorf("epsilon changed the answer: %d vs %d", small.Count, big.Count)
+	}
+}
+
+func TestApproxTrialsOption(t *testing.T) {
+	g := gen.Cycle(64, 1)
+	res, err := ApproxMinCut(g, Options{Processors: 2, Seed: 4, ApproxTrials: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < 1 || res.Value > 16 {
+		t.Errorf("estimate %d", res.Value)
+	}
+}
+
+func TestAllMinCutsCore(t *testing.T) {
+	g := gen.Star(7, 2)
+	res, err := AllMinCuts(g, Options{Processors: 3, Seed: 8, SuccessProb: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 || len(res.Sides) != 6 {
+		t.Errorf("value %d with %d sides, want 2 with 6", res.Value, len(res.Sides))
+	}
+	if res.Stats.P != 3 {
+		t.Errorf("stats.P = %d", res.Stats.P)
+	}
+}

@@ -1,0 +1,160 @@
+// Package dist provides the distributed graph representations of §3 of
+// the paper on top of the BSP runtime: the distributed edge array (every
+// processor keeps O(m/p) weighted edges — robust to skewed degree
+// distributions, unlike distributed adjacency lists) and the distributed
+// adjacency matrix (Θ(n/p) rows per processor — used when the graph is
+// dense, m ≥ n²/log n, and inside recursive contraction). It also
+// implements the O(1)-superstep parallel sample sort that underlies
+// sparse bulk edge contraction (§4.1).
+package dist
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/graph"
+)
+
+// Words per encoded edge: (u, v, w).
+const edgeWords = 3
+
+// EncodeEdges packs edges into BSP words (3 per edge).
+func EncodeEdges(es []graph.Edge) []uint64 {
+	out := make([]uint64, 0, len(es)*edgeWords)
+	return AppendEdges(out, es)
+}
+
+// AppendEdges appends the encoded form of es to dst and returns it.
+func AppendEdges(dst []uint64, es []graph.Edge) []uint64 {
+	for _, e := range es {
+		dst = append(dst, uint64(uint32(e.U)), uint64(uint32(e.V)), e.W)
+	}
+	return dst
+}
+
+// DecodeEdges unpacks words produced by EncodeEdges. It panics if the
+// length is not a multiple of the edge size.
+func DecodeEdges(words []uint64) []graph.Edge {
+	if len(words)%edgeWords != 0 {
+		panic("dist: ragged edge payload")
+	}
+	es := make([]graph.Edge, len(words)/edgeWords)
+	for i := range es {
+		es[i] = graph.Edge{
+			U: int32(uint32(words[i*edgeWords])),
+			V: int32(uint32(words[i*edgeWords+1])),
+			W: words[i*edgeWords+2],
+		}
+	}
+	return es
+}
+
+// BlockRange splits n items evenly over p processors and returns the
+// half-open range owned by rank.
+func BlockRange(n, p, rank int) (lo, hi int) {
+	lo = rank * n / p
+	hi = (rank + 1) * n / p
+	return lo, hi
+}
+
+// OwnerOf returns the rank owning item i under BlockRange distribution.
+// n must be positive and i in [0, n).
+func OwnerOf(n, p, i int) int {
+	// Inverse of BlockRange: the owner is the largest r with r*n/p <= i.
+	r := (i*p + p - 1) / n
+	for r*n/p > i {
+		r--
+	}
+	for (r+1)*n/p <= i {
+		r++
+	}
+	return r
+}
+
+// ScatterGraph distributes the root's graph: the vertex count is
+// broadcast and the edges are split into contiguous equal slices. Every
+// processor returns (n, its local edges). Only the root's g is consulted.
+func ScatterGraph(c *bsp.Comm, root int, g *graph.Graph) (int, []graph.Edge) {
+	var header []uint64
+	if c.Rank() == root {
+		header = []uint64{uint64(g.N)}
+	}
+	n := int(c.Broadcast(root, header)[0])
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			lo, hi := BlockRange(len(g.Edges), c.Size(), r)
+			c.SendOwned(r, EncodeEdges(g.Edges[lo:hi]))
+		}
+	}
+	c.Sync()
+	return n, DecodeEdges(c.Recv(root))
+}
+
+// GatherEdges collects all local edge slices at the root; non-roots get
+// nil.
+func GatherEdges(c *bsp.Comm, root int, local []graph.Edge) []graph.Edge {
+	parts := c.GatherOwned(root, EncodeEdges(local))
+	if c.Rank() != root {
+		return nil
+	}
+	var all []graph.Edge
+	for _, p := range parts {
+		all = append(all, DecodeEdges(p)...)
+	}
+	return all
+}
+
+// AllGatherEdges collects all local edge slices at every processor.
+func AllGatherEdges(c *bsp.Comm, local []graph.Edge) []graph.Edge {
+	words := EncodeEdges(local)
+	for dst := 0; dst < c.Size(); dst++ {
+		c.Send(dst, words)
+	}
+	c.Sync()
+	var all []graph.Edge
+	for src := 0; src < c.Size(); src++ {
+		all = append(all, DecodeEdges(c.Recv(src))...)
+	}
+	return all
+}
+
+// CountEdges returns the global number of edges across processors.
+func CountEdges(c *bsp.Comm, local []graph.Edge) uint64 {
+	return c.AllReduce([]uint64{uint64(len(local))}, bsp.OpSum)[0]
+}
+
+// TotalWeight returns the global sum of local edge weights.
+func TotalWeight(c *bsp.Comm, local []graph.Edge) uint64 {
+	var w uint64
+	for _, e := range local {
+		w += e.W
+	}
+	return c.AllReduce([]uint64{w}, bsp.OpSum)[0]
+}
+
+// Rebalance redistributes edges so that every processor ends with
+// ⌈m/p⌉±1 edges, preserving nothing about order. It takes O(1)
+// supersteps. Useful after contraction shrinks some processors' slices.
+func Rebalance(c *bsp.Comm, local []graph.Edge) []graph.Edge {
+	p := c.Size()
+	counts := c.AllGather([]uint64{uint64(len(local))})
+	// Compute global offsets: this proc's edges occupy positions
+	// [myOff, myOff+len) of the conceptual concatenation.
+	var myOff, total uint64
+	for r := 0; r < p; r++ {
+		if r < c.Rank() {
+			myOff += counts[r][0]
+		}
+		total += counts[r][0]
+	}
+	parts := make([][]uint64, p)
+	for i, e := range local {
+		pos := myOff + uint64(i)
+		dst := OwnerOf(int(total), p, int(pos))
+		parts[dst] = AppendEdges(parts[dst], []graph.Edge{e})
+	}
+	got := c.AllToAllOwned(parts)
+	var out []graph.Edge
+	for _, w := range got {
+		out = append(out, DecodeEdges(w)...)
+	}
+	return out
+}

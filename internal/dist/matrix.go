@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/graph"
+)
+
+// MatrixBlock is one processor's row block of a distributed adjacency
+// matrix: rows [Lo, Hi) of an N×N symmetric weight matrix, stored
+// row-major with full width N.
+type MatrixBlock struct {
+	N      int
+	Lo, Hi int
+	W      []uint64 // len (Hi-Lo)*N
+}
+
+// NewMatrixBlock allocates the zero block owned by rank under the
+// BlockRange row distribution.
+func NewMatrixBlock(c *bsp.Comm, n int) *MatrixBlock {
+	lo, hi := BlockRange(n, c.Size(), c.Rank())
+	return &MatrixBlock{N: n, Lo: lo, Hi: hi, W: make([]uint64, (hi-lo)*n)}
+}
+
+// Row returns row i (global index) of the block; i must be in [Lo, Hi).
+func (b *MatrixBlock) Row(i int) []uint64 {
+	return b.W[(i-b.Lo)*b.N : (i-b.Lo+1)*b.N]
+}
+
+// ScatterMatrix distributes the root's dense matrix by row blocks.
+// Only the root's m is consulted; its N is broadcast.
+func ScatterMatrix(c *bsp.Comm, root int, m *graph.Matrix) *MatrixBlock {
+	var header []uint64
+	if c.Rank() == root {
+		header = []uint64{uint64(m.N)}
+	}
+	n := int(c.Broadcast(root, header)[0])
+	var parts [][]uint64
+	if c.Rank() == root {
+		parts = make([][]uint64, c.Size())
+		for r := 0; r < c.Size(); r++ {
+			lo, hi := BlockRange(n, c.Size(), r)
+			parts[r] = m.W[lo*n : hi*n]
+		}
+	}
+	words := c.Scatter(root, parts)
+	lo, hi := BlockRange(n, c.Size(), c.Rank())
+	blk := &MatrixBlock{N: n, Lo: lo, Hi: hi, W: words}
+	if len(blk.W) != (hi-lo)*n {
+		panic("dist: scattered matrix block has wrong size")
+	}
+	return blk
+}
+
+// GatherMatrix reassembles the distributed matrix at the root; non-roots
+// return nil.
+func GatherMatrix(c *bsp.Comm, root int, b *MatrixBlock) *graph.Matrix {
+	parts := c.Gather(root, b.W)
+	if c.Rank() != root {
+		return nil
+	}
+	m := graph.NewMatrix(b.N)
+	off := 0
+	for _, p := range parts {
+		copy(m.W[off:], p)
+		off += len(p)
+	}
+	return m
+}
+
+// Contract performs dense bulk edge contraction (§4.1) under mapping
+// (old vertex -> new vertex in [0,newN)): ① combine columns locally,
+// ② transpose via a single all-to-all, ③ combine columns again, and
+// ④ zero the diagonal. It takes O(1) supersteps and O(n²/p)
+// communication volume and time per processor (Lemma 4.1). Every
+// processor must pass the same mapping. The result is distributed by
+// BlockRange over newN rows.
+func (b *MatrixBlock) Contract(c *bsp.Comm, mapping []int32, newN int) *MatrixBlock {
+	p := c.Size()
+	n := b.N
+
+	// ① Combine columns: rows keep their original global index, width
+	// shrinks to newN.
+	rows := b.Hi - b.Lo
+	comb := make([]uint64, rows*newN)
+	for r := 0; r < rows; r++ {
+		src := b.W[r*n : (r+1)*n]
+		dst := comb[r*newN : (r+1)*newN]
+		for j, w := range src {
+			if w != 0 {
+				dst[mapping[j]] += w
+			}
+		}
+	}
+	c.Ops(uint64(rows) * uint64(n))
+
+	// ② Transpose: destination d owns new-matrix rows [dLo, dHi) of the
+	// (newN × n) transposed intermediate. For each d send the submatrix
+	// comb[:, dLo:dHi] transposed, prefixed by our row range.
+	parts := make([][]uint64, p)
+	for d := 0; d < p; d++ {
+		dLo, dHi := BlockRange(newN, p, d)
+		payload := make([]uint64, 0, 2+(dHi-dLo)*rows)
+		payload = append(payload, uint64(b.Lo), uint64(b.Hi))
+		for t := dLo; t < dHi; t++ {
+			for r := 0; r < rows; r++ {
+				payload = append(payload, comb[r*newN+t])
+			}
+		}
+		parts[d] = payload
+	}
+	got := c.AllToAll(parts)
+
+	// Assemble the transposed intermediate: rows are new vertices
+	// [myLo, myHi), columns are original vertices 0..n-1.
+	myLo, myHi := BlockRange(newN, p, c.Rank())
+	myRows := myHi - myLo
+	trans := make([]uint64, myRows*n)
+	for _, payload := range got {
+		if len(payload) < 2 {
+			continue
+		}
+		sLo, sHi := int(payload[0]), int(payload[1])
+		body := payload[2:]
+		width := sHi - sLo
+		for t := 0; t < myRows; t++ {
+			copy(trans[t*n+sLo:t*n+sHi], body[t*width:(t+1)*width])
+		}
+	}
+
+	// ③ Combine columns again; ④ zero the diagonal.
+	out := &MatrixBlock{N: newN, Lo: myLo, Hi: myHi, W: make([]uint64, myRows*newN)}
+	for t := 0; t < myRows; t++ {
+		src := trans[t*n : (t+1)*n]
+		dst := out.W[t*newN : (t+1)*newN]
+		for j, w := range src {
+			if w != 0 {
+				dst[mapping[j]] += w
+			}
+		}
+		dst[myLo+t] = 0
+	}
+	c.Ops(uint64(myRows) * uint64(n))
+	return out
+}
+
+// WeightedDegrees returns each local row's total weight, i.e. the
+// weighted degree of the locally owned vertices.
+func (b *MatrixBlock) WeightedDegrees() []uint64 {
+	rows := b.Hi - b.Lo
+	out := make([]uint64, rows)
+	for r := 0; r < rows; r++ {
+		var s uint64
+		for _, w := range b.W[r*b.N : (r+1)*b.N] {
+			s += w
+		}
+		out[r] = s
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestScatterGatherMatrix(t *testing.T) {
+	g := gen.ErdosRenyiM(17, 60, 2, gen.Config{MaxWeight: 5})
+	m := graph.MatrixFromGraph(g)
+	for _, p := range []int{1, 2, 3, 5} {
+		_, err := bsp.Run(p, func(c *bsp.Comm) {
+			var in *graph.Matrix
+			if c.Rank() == 0 {
+				in = m
+			}
+			blk := ScatterMatrix(c, 0, in)
+			lo, hi := BlockRange(17, p, c.Rank())
+			if blk.Lo != lo || blk.Hi != hi || blk.N != 17 {
+				t.Errorf("rank %d: block [%d,%d) of %d", c.Rank(), blk.Lo, blk.Hi, blk.N)
+			}
+			back := GatherMatrix(c, 0, blk)
+			if c.Rank() == 0 {
+				for i := range m.W {
+					if back.W[i] != m.W[i] {
+						t.Fatalf("matrix changed at %d", i)
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistributedContractMatchesSequential(t *testing.T) {
+	g := gen.ErdosRenyiM(23, 150, 3, gen.Config{MaxWeight: 7})
+	m := graph.MatrixFromGraph(g)
+	// Random mapping onto 9 labels (all labels used to keep newN tight).
+	s := rng.New(10, 0, 0)
+	newN := 9
+	mapping := make([]int32, 23)
+	for i := range mapping {
+		if i < newN {
+			mapping[i] = int32(i)
+		} else {
+			mapping[i] = int32(s.Intn(newN))
+		}
+	}
+	want := m.Contract(mapping, newN)
+	for _, p := range []int{1, 2, 4, 6} {
+		_, err := bsp.Run(p, func(c *bsp.Comm) {
+			var in *graph.Matrix
+			if c.Rank() == 0 {
+				in = m
+			}
+			blk := ScatterMatrix(c, 0, in)
+			got := blk.Contract(c, mapping, newN)
+			full := GatherMatrix(c, 0, got)
+			if c.Rank() == 0 {
+				if full.N != newN {
+					t.Fatalf("p=%d: contracted N = %d", p, full.N)
+				}
+				for i := range want.W {
+					if full.W[i] != want.W[i] {
+						t.Fatalf("p=%d: mismatch at %d: %d vs %d", p, i, full.W[i], want.W[i])
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestContractChain(t *testing.T) {
+	// Two successive distributed contractions match two sequential ones.
+	g := gen.Complete(12, 2)
+	m := graph.MatrixFromGraph(g)
+	map1 := make([]int32, 12)
+	for i := range map1 {
+		map1[i] = int32(i / 2) // 12 -> 6
+	}
+	map2 := make([]int32, 6)
+	for i := range map2 {
+		map2[i] = int32(i / 3) // 6 -> 2
+	}
+	want := m.Contract(map1, 6).Contract(map2, 2)
+	_, err := bsp.Run(4, func(c *bsp.Comm) {
+		var in *graph.Matrix
+		if c.Rank() == 0 {
+			in = m
+		}
+		blk := ScatterMatrix(c, 0, in)
+		blk = blk.Contract(c, map1, 6)
+		blk = blk.Contract(c, map2, 2)
+		full := GatherMatrix(c, 0, blk)
+		if c.Rank() == 0 {
+			if full.CutOfTwo() != want.CutOfTwo() {
+				t.Errorf("chained contraction: cut %d vs %d", full.CutOfTwo(), want.CutOfTwo())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedDegreesBlock(t *testing.T) {
+	g := gen.Cycle(10, 3)
+	m := graph.MatrixFromGraph(g)
+	_, err := bsp.Run(3, func(c *bsp.Comm) {
+		var in *graph.Matrix
+		if c.Rank() == 0 {
+			in = m
+		}
+		blk := ScatterMatrix(c, 0, in)
+		for i, d := range blk.WeightedDegrees() {
+			if d != 6 {
+				t.Errorf("rank %d: degree of %d = %d, want 6", c.Rank(), blk.Lo+i, d)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractVolumeScalesDown(t *testing.T) {
+	// Communication volume per §4.1 should be O(n²/p), so doubling p
+	// should not increase the volume.
+	g := gen.ErdosRenyiM(64, 1200, 4, gen.Config{})
+	m := graph.MatrixFromGraph(g)
+	mapping := make([]int32, 64)
+	for i := range mapping {
+		mapping[i] = int32(i / 2)
+	}
+	vol := map[int]uint64{}
+	for _, p := range []int{2, 8} {
+		st, err := bsp.Run(p, func(c *bsp.Comm) {
+			var in *graph.Matrix
+			if c.Rank() == 0 {
+				in = m
+			}
+			blk := ScatterMatrix(c, 0, in)
+			blk.Contract(c, mapping, 32)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol[p] = st.CommVolume
+	}
+	if vol[8] > vol[2] {
+		t.Errorf("contract volume grew with p: p=2 %d, p=8 %d", vol[2], vol[8])
+	}
+}

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+)
+
+// edgeLess orders edges by (smaller endpoint, larger endpoint) — the
+// global order sparse bulk edge contraction needs so that parallel edges
+// land in one processor or adjacent ones (§4.1). Callers must normalize
+// edges first (U <= V).
+func edgeLess(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+func sortLocal(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool { return edgeLess(es[i], es[j]) })
+}
+
+// SampleSortEdges globally sorts the distributed edge array by
+// (U, V) in O(1) supersteps using sample sort: local sort, splitter
+// selection at the root from p samples per processor, then a single
+// all-to-all redistribution. On return every processor holds a sorted
+// run, runs are globally ordered by rank, and with high probability each
+// holds O(m/p) edges. Edges must be normalized (U <= V).
+func SampleSortEdges(c *bsp.Comm, local []graph.Edge) []graph.Edge {
+	p := c.Size()
+	if p == 1 {
+		out := append([]graph.Edge(nil), local...)
+		sortLocal(out)
+		return out
+	}
+	sortLocal(local)
+
+	// Each processor contributes p evenly spaced sample keys (oversampling
+	// factor p keeps buckets balanced w.h.p.). Missing samples (short
+	// slices) are simply not sent.
+	samples := make([]graph.Edge, 0, p)
+	for i := 0; i < p; i++ {
+		if len(local) == 0 {
+			break
+		}
+		idx := (2*i + 1) * len(local) / (2 * p)
+		samples = append(samples, local[idx])
+	}
+	gathered := c.Gather(0, EncodeEdges(samples))
+
+	// Root picks p-1 splitters from the sorted sample set.
+	var splitterWords []uint64
+	if c.Rank() == 0 {
+		var all []graph.Edge
+		for _, w := range gathered {
+			all = append(all, DecodeEdges(w)...)
+		}
+		sortLocal(all)
+		splitters := make([]graph.Edge, 0, p-1)
+		for i := 1; i < p; i++ {
+			if len(all) == 0 {
+				break
+			}
+			splitters = append(splitters, all[i*len(all)/p])
+		}
+		splitterWords = EncodeEdges(splitters)
+	}
+	splitters := DecodeEdges(c.Broadcast(0, splitterWords))
+
+	// Partition the local run by splitters and redistribute.
+	parts := make([][]uint64, p)
+	for _, e := range local {
+		dst := sort.Search(len(splitters), func(i int) bool { return edgeLess(e, splitters[i]) })
+		parts[dst] = AppendEdges(parts[dst], []graph.Edge{e})
+	}
+	got := c.AllToAllOwned(parts)
+	var out []graph.Edge
+	for _, w := range got {
+		out = append(out, DecodeEdges(w)...)
+	}
+	sortLocal(out)
+	return out
+}

@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// checkGloballySorted gathers all runs and verifies global order and
+// multiset preservation against want.
+func checkGloballySorted(t *testing.T, p int, want []graph.Edge) {
+	t.Helper()
+	norm := make([]graph.Edge, len(want))
+	for i, e := range want {
+		norm[i] = e.Normalize()
+	}
+	_, err := bsp.Run(p, func(c *bsp.Comm) {
+		lo, hi := BlockRange(len(norm), p, c.Rank())
+		local := append([]graph.Edge(nil), norm[lo:hi]...)
+		// Shuffle locally so the sort has work to do.
+		s := rng.New(77, uint32(c.Rank()), 0)
+		s.Shuffle(len(local), func(i, j int) { local[i], local[j] = local[j], local[i] })
+		sorted := SampleSortEdges(c, local)
+		all := GatherEdges(c, 0, sorted)
+		if c.Rank() == 0 {
+			if len(all) != len(norm) {
+				t.Fatalf("sort changed edge count: %d -> %d", len(norm), len(all))
+			}
+			for i := 1; i < len(all); i++ {
+				if edgeLess(all[i], all[i-1]) {
+					t.Fatalf("not sorted at %d: %v > %v", i, all[i-1], all[i])
+				}
+			}
+			// Multiset check via weight sum and endpoint sum.
+			var ws, us uint64
+			var ws2, us2 uint64
+			for i := range all {
+				ws += all[i].W
+				us += uint64(all[i].U) + uint64(all[i].V)
+				ws2 += norm[i].W
+				us2 += uint64(norm[i].U) + uint64(norm[i].V)
+			}
+			if ws != ws2 || us != us2 {
+				t.Fatal("sort changed the edge multiset")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleSortRandom(t *testing.T) {
+	g := gen.ErdosRenyiM(200, 2000, 5, gen.Config{MaxWeight: 50})
+	for _, p := range []int{1, 2, 4, 7} {
+		checkGloballySorted(t, p, g.Edges)
+	}
+}
+
+func TestSampleSortFewEdges(t *testing.T) {
+	// Fewer edges than processors.
+	es := []graph.Edge{{U: 3, V: 1, W: 2}, {U: 0, V: 2, W: 1}}
+	checkGloballySorted(t, 5, es)
+}
+
+func TestSampleSortEmpty(t *testing.T) {
+	checkGloballySorted(t, 4, nil)
+}
+
+func TestSampleSortAllEqual(t *testing.T) {
+	es := make([]graph.Edge, 100)
+	for i := range es {
+		es[i] = graph.Edge{U: 1, V: 2, W: uint64(i + 1)}
+	}
+	checkGloballySorted(t, 4, es)
+}
+
+func TestSampleSortBalance(t *testing.T) {
+	g := gen.ErdosRenyiM(300, 6000, 9, gen.Config{})
+	const p = 4
+	_, err := bsp.Run(p, func(c *bsp.Comm) {
+		lo, hi := BlockRange(len(g.Edges), p, c.Rank())
+		local := make([]graph.Edge, 0, hi-lo)
+		for _, e := range g.Edges[lo:hi] {
+			local = append(local, e.Normalize())
+		}
+		sorted := SampleSortEdges(c, local)
+		// No processor should hold more than ~4x the average.
+		if len(sorted) > 4*len(g.Edges)/p {
+			t.Errorf("rank %d holds %d of %d edges", c.Rank(), len(sorted), len(g.Edges))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+)
+
+func TestMaxFlowPath(t *testing.T) {
+	// Path 0-1-2 with capacities 5, 3: max flow 0->2 is 3.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	nw := NewNetwork(g)
+	if f := nw.MaxFlow(0, 2); f != 3 {
+		t.Errorf("flow = %d, want 3", f)
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	// Two disjoint 0->3 paths of bottlenecks 2 and 4.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 3, 7)
+	g.AddEdge(0, 2, 9)
+	g.AddEdge(2, 3, 4)
+	nw := NewNetwork(g)
+	if f := nw.MaxFlow(0, 3); f != 6 {
+		t.Errorf("flow = %d, want 6", f)
+	}
+}
+
+func TestMaxFlowSameSourceSink(t *testing.T) {
+	g := gen.Cycle(5, 1)
+	nw := NewNetwork(g)
+	if f := nw.MaxFlow(2, 2); f != 0 {
+		t.Errorf("s==t flow = %d", f)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	nw := NewNetwork(g)
+	if f := nw.MaxFlow(0, 3); f != 0 {
+		t.Errorf("cross-component flow = %d", f)
+	}
+}
+
+func TestMaxFlowEqualsSTCut(t *testing.T) {
+	// Max-flow min-cut duality: the residual source side must evaluate to
+	// the flow value.
+	err := quick.Check(func(seed uint64) bool {
+		g := gen.ErdosRenyiM(20, 70, seed, gen.Config{MaxWeight: 6})
+		nw := NewNetwork(g)
+		f := nw.MaxFlow(0, 19)
+		side := nw.MinCutSide(0)
+		if side[19] {
+			return f == 0 || !g.IsConnected()
+		}
+		return g.CutValue(side) == f
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalMinCutMatchesStoerWagner(t *testing.T) {
+	for seed := uint64(60); seed < 66; seed++ {
+		g := gen.ErdosRenyiM(24, 120, seed, gen.Config{MaxWeight: 4})
+		if !g.IsConnected() {
+			continue
+		}
+		want := mincut.StoerWagner(g).Value
+		got, side, flows := GlobalMinCut(g)
+		if got != want {
+			t.Errorf("seed %d: flow-based cut %d vs SW %d", seed, got, want)
+		}
+		if g.CutValue(side) != got {
+			t.Error("side does not certify value")
+		}
+		if flows != g.N-1 {
+			t.Errorf("flows = %d, want n-1 = %d", flows, g.N-1)
+		}
+	}
+}
+
+func TestGlobalMinCutKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"cycle", gen.Cycle(12, 3), 6},
+		{"dumbbell", gen.Dumbbell(6, 4, 1), 1},
+		{"twocliques", gen.TwoCliques(6, 2, 5, 1), 2},
+	}
+	for _, c := range cases {
+		got, side, _ := GlobalMinCut(c.g)
+		if got != c.want || c.g.CutValue(side) != got {
+			t.Errorf("%s: %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGlobalMinCutTrivial(t *testing.T) {
+	if v, _, f := GlobalMinCut(graph.New(1)); v != 0 || f != 0 {
+		t.Error("single vertex")
+	}
+	g := graph.New(4)
+	g.AddEdge(0, 1, 2)
+	if v, side, _ := GlobalMinCut(g); v != 0 || side[3] {
+		t.Error("disconnected graph should report a zero component cut")
+	}
+}

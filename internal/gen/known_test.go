@@ -1,0 +1,105 @@
+package gen
+
+import "testing"
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6, 3)
+	if g.M() != 6 {
+		t.Fatalf("cycle edge count = %d", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("cycle disconnected")
+	}
+	// Any contiguous arc is a cut of value 2w.
+	side := []bool{true, true, true, false, false, false}
+	if got := g.CutValue(side); got != 6 {
+		t.Errorf("arc cut = %d, want 6", got)
+	}
+}
+
+func TestPathAndStar(t *testing.T) {
+	p := Path(5, 2)
+	if p.M() != 4 || !p.IsConnected() {
+		t.Errorf("path malformed: m=%d", p.M())
+	}
+	s := Star(5, 2)
+	if s.M() != 4 || !s.IsConnected() {
+		t.Errorf("star malformed: m=%d", s.M())
+	}
+	if d := s.DegreeCut(1); d != 2 {
+		t.Errorf("star leaf cut = %d, want 2", d)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6, 2)
+	if g.M() != 15 {
+		t.Fatalf("K6 edge count = %d, want 15", g.M())
+	}
+	if d := g.DegreeCut(0); d != 10 {
+		t.Errorf("K6 singleton cut = %d, want 10", d)
+	}
+}
+
+func TestTwoCliques(t *testing.T) {
+	g := TwoCliques(8, 3, 5, 1)
+	if g.N != 16 {
+		t.Fatalf("n = %d", g.N)
+	}
+	side := make([]bool, 16)
+	for i := 0; i < 8; i++ {
+		side[i] = true
+	}
+	if got := g.CutValue(side); got != 3 {
+		t.Errorf("clique-separating cut = %d, want 3", got)
+	}
+	if !g.IsConnected() {
+		t.Error("TwoCliques disconnected")
+	}
+}
+
+func TestTwoCliquesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > half accepted")
+		}
+	}()
+	TwoCliques(2, 3, 1, 1)
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, 2)
+	if g.N != 12 {
+		t.Fatalf("grid n = %d", g.N)
+	}
+	// 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.M() != 17 {
+		t.Errorf("grid m = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("grid disconnected")
+	}
+	if MinCutOfGrid(3, 4, 2) != 4 {
+		t.Errorf("MinCutOfGrid(3,4,2) = %d, want 4 (corner)", MinCutOfGrid(3, 4, 2))
+	}
+	if MinCutOfGrid(1, 5, 3) != 3 {
+		t.Error("1-row grid should have path cut w")
+	}
+	if MinCutOfGrid(1, 1, 3) != 0 {
+		t.Error("degenerate grid cut must be 0")
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(5, 4, 1)
+	if g.N != 10 || g.M() != 11 {
+		t.Fatalf("dumbbell shape (%d,%d)", g.N, g.M())
+	}
+	side := make([]bool, 10)
+	for i := 0; i < 5; i++ {
+		side[i] = true
+	}
+	if got := g.CutValue(side); got != 1 {
+		t.Errorf("bridge cut = %d, want 1", got)
+	}
+}

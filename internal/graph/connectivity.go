@@ -1,0 +1,38 @@
+package graph
+
+// ConnectedComponents computes a dense component labelling of g with
+// union-find. Labels are assigned in order of first appearance, so vertex
+// 0 always has label 0.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	uf := NewUnionFind(g.N)
+	for _, e := range g.Edges {
+		uf.Union(e.U, e.V)
+	}
+	return uf.Labels(), uf.Count()
+}
+
+// IsConnected reports whether g has exactly one connected component.
+// Empty and single-vertex graphs count as connected.
+func (g *Graph) IsConnected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	uf := NewUnionFind(g.N)
+	for _, e := range g.Edges {
+		if uf.Union(e.U, e.V) && uf.Count() == 1 {
+			return true
+		}
+	}
+	return uf.Count() == 1
+}
+
+// ComponentOf returns the vertex set of the component containing v as a
+// boolean membership slice.
+func (g *Graph) ComponentOf(v int32) []bool {
+	labels, _ := g.ConnectedComponents()
+	side := make([]bool, g.N)
+	for i := range side {
+		side[i] = labels[i] == labels[v]
+	}
+	return side
+}

@@ -1,0 +1,92 @@
+package graph
+
+// CSR is a compressed sparse row adjacency representation for fast
+// traversals. Each undirected edge appears twice (once per direction).
+type CSR struct {
+	N      int
+	Offset []int32  // len N+1
+	Adj    []int32  // neighbor ids, len 2m
+	Weight []uint64 // parallel to Adj
+}
+
+// BuildCSR converts an edge array to CSR in O(n + m).
+func BuildCSR(g *Graph) *CSR {
+	n := g.N
+	deg := make([]int32, n+1)
+	for _, e := range g.Edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	c := &CSR{
+		N:      n,
+		Offset: deg,
+		Adj:    make([]int32, len(g.Edges)*2),
+		Weight: make([]uint64, len(g.Edges)*2),
+	}
+	pos := make([]int32, n)
+	copy(pos, deg[:n])
+	for _, e := range g.Edges {
+		c.Adj[pos[e.U]] = e.V
+		c.Weight[pos[e.U]] = e.W
+		pos[e.U]++
+		c.Adj[pos[e.V]] = e.U
+		c.Weight[pos[e.V]] = e.W
+		pos[e.V]++
+	}
+	return c
+}
+
+// Neighbors returns the adjacency slice of v. The result aliases internal
+// storage and must not be modified.
+func (c *CSR) Neighbors(v int32) []int32 {
+	return c.Adj[c.Offset[v]:c.Offset[v+1]]
+}
+
+// Degree returns the unweighted degree of v (loops excluded at build).
+func (c *CSR) Degree(v int32) int {
+	return int(c.Offset[v+1] - c.Offset[v])
+}
+
+// ConnectedComponents labels every vertex with a component id in
+// [0, count) using an iterative BFS over the CSR structure; this is the
+// "linear-time graph traversal" sequential baseline (BGL's approach).
+func (c *CSR) ConnectedComponents() (labels []int32, count int) {
+	labels = make([]int32, c.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, c.N)
+	id := int32(0)
+	for s := int32(0); int(s) < c.N; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range c.Neighbors(v) {
+				if labels[w] < 0 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		id++
+	}
+	return labels, int(id)
+}
+
+// IsConnected reports whether the graph has a single connected component
+// (true for the empty and single-vertex graph).
+func (c *CSR) IsConnected() bool {
+	if c.N <= 1 {
+		return true
+	}
+	_, k := c.ConnectedComponents()
+	return k == 1
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomGraph builds a random simple graph for property tests.
+func randomGraph(seed uint64, n, m int) *Graph {
+	s := rng.New(seed, 0, 0)
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u := int32(s.Intn(n))
+		v := int32(s.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, uint64(s.Intn(10)+1))
+		}
+	}
+	return g
+}
+
+func TestAddEdgeIgnoresLoops(t *testing.T) {
+	g := New(3)
+	g.AddEdge(1, 1, 5)
+	if g.M() != 0 {
+		t.Errorf("loop was stored: m=%d", g.M())
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddEdge did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 2, 1)
+}
+
+func TestAddEdgePanicsZeroWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight AddEdge did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 1, 0)
+}
+
+func TestCombineParallel(t *testing.T) {
+	edges := []Edge{
+		{U: 1, V: 0, W: 2},
+		{U: 0, V: 1, W: 3},
+		{U: 2, V: 2, W: 9}, // loop dropped
+		{U: 1, V: 2, W: 1},
+	}
+	got := CombineParallel(edges)
+	if len(got) != 2 {
+		t.Fatalf("got %d edges, want 2: %v", len(got), got)
+	}
+	if got[0] != (Edge{U: 0, V: 1, W: 5}) {
+		t.Errorf("combined edge = %v, want {0 1 5}", got[0])
+	}
+	if got[1] != (Edge{U: 1, V: 2, W: 1}) {
+		t.Errorf("second edge = %v", got[1])
+	}
+}
+
+func TestCombineParallelPreservesTotalWeight(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 20, 100)
+		before := g.TotalWeight()
+		s := g.Simplify()
+		return s.TotalWeight() == before && s.Validate() == nil
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelContractsTriangle(t *testing.T) {
+	// Contract edge (1,2) of a weighted triangle; parallel edges combine.
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 2, 7)
+	mapping := []int32{0, 1, 1}
+	got := g.Relabel(mapping, 2)
+	if got.N != 2 || len(got.Edges) != 1 {
+		t.Fatalf("contracted graph = %+v", got)
+	}
+	if got.Edges[0].W != 5 {
+		t.Errorf("combined weight = %d, want 5", got.Edges[0].W)
+	}
+}
+
+func TestRelabelPreservesCutValue(t *testing.T) {
+	// Contracting within one side of a cut preserves the cut's value
+	// (Figure 2 of the paper).
+	g := New(6)
+	// Two triangles {0,1,2} and {3,4,5} joined by two unit edges.
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(3, 4, 2)
+	g.AddEdge(4, 5, 2)
+	g.AddEdge(3, 5, 2)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(2, 5, 1)
+	side := []bool{true, true, true, false, false, false}
+	want := g.CutValue(side)
+	if want != 2 {
+		t.Fatalf("setup: cut = %d, want 2", want)
+	}
+	// Contract (0,1) and (3,4).
+	mapping := []int32{0, 0, 1, 2, 2, 3}
+	cg := g.Relabel(mapping, 4)
+	cside := []bool{true, true, false, false}
+	if got := cg.CutValue(cside); got != want {
+		t.Errorf("cut after contraction = %d, want %d", got, want)
+	}
+}
+
+func TestCutValueSingleton(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(0, 3, 4)
+	g.AddEdge(1, 2, 8)
+	side := []bool{true, false, false, false}
+	if got := g.CutValue(side); got != 7 {
+		t.Errorf("singleton cut = %d, want 7", got)
+	}
+	if got := g.DegreeCut(0); got != 7 {
+		t.Errorf("DegreeCut(0) = %d, want 7", got)
+	}
+}
+
+func TestMinDegreeVertex(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1)
+	v, d := g.MinDegreeVertex()
+	if v != 2 || d != 1 {
+		t.Errorf("MinDegreeVertex = (%d,%d), want (2,1)", v, d)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := New(2)
+	g.Edges = append(g.Edges, Edge{U: 0, V: 5, W: 1})
+	if g.Validate() == nil {
+		t.Error("Validate accepted out-of-range endpoint")
+	}
+	g.Edges = []Edge{{U: 1, V: 1, W: 1}}
+	if g.Validate() == nil {
+		t.Error("Validate accepted loop")
+	}
+	g.Edges = []Edge{{U: 0, V: 1, W: 0}}
+	if g.Validate() == nil {
+		t.Error("Validate accepted zero weight")
+	}
+	g.Edges = []Edge{{U: 0, V: 1, W: 3}}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate rejected valid graph: %v", err)
+	}
+}
+
+func TestDegreesSumTwiceTotalWeight(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 15, 60)
+		var sum uint64
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.TotalWeight()
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.Edges[0].W = 99
+	if g.Edges[0].W != 1 {
+		t.Error("Clone shares edge storage")
+	}
+}

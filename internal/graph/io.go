@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g in the artifact's plain edge-list format:
+// a header line "n m" followed by one "u v w" line per edge.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSNAP parses the SNAP text format the artifact's dataset scripts
+// consume: one "u v" (or "u v w") pair per line, '#'-comment lines, no
+// header. The vertex count is inferred as max id + 1. Weights default
+// to 1; self loops are dropped.
+func ReadSNAP(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int64(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: snap line %d: need 'u v [w]'", line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("graph: snap line %d: bad endpoint %q", line, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("graph: snap line %d: bad endpoint %q", line, fields[1])
+		}
+		w := uint64(1)
+		if len(fields) >= 3 {
+			w, err = strconv.ParseUint(fields[2], 10, 64)
+			if err != nil || w == 0 {
+				return nil, fmt.Errorf("graph: snap line %d: bad weight %q", line, fields[2])
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		if u != v {
+			edges = append(edges, Edge{U: int32(u), V: int32(v), W: w})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &Graph{N: int(maxID + 1), Edges: edges}, nil
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. A missing
+// weight column defaults to weight 1, so unweighted graph files load too.
+// Lines starting with '#' or '%' are comments.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if g == nil {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: header needs 'n m'", line)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[0])
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[1])
+			}
+			g = &Graph{N: n, Edges: make([]Edge, 0, m)}
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: edge needs 'u v [w]'", line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[1])
+		}
+		w := uint64(1)
+		if len(fields) >= 3 {
+			w, err = strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
+			}
+		}
+		if u < 0 || v < 0 || int(u) >= g.N || int(v) >= g.N {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range for n=%d", line, u, v, g.N)
+		}
+		if w == 0 {
+			return nil, fmt.Errorf("graph: line %d: zero weight", line)
+		}
+		if u != v {
+			g.Edges = append(g.Edges, Edge{U: int32(u), V: int32(v), W: w})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(99, 20, 50)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || len(back.Edges) != len(g.Edges) {
+		t.Fatalf("round trip changed shape: n %d->%d, m %d->%d", g.N, back.N, len(g.Edges), len(back.Edges))
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != back.Edges[i] {
+			t.Fatalf("edge %d changed: %v -> %v", i, g.Edges[i], back.Edges[i])
+		}
+	}
+}
+
+func TestReadEdgeListDefaultsWeight(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("3 2\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges[0].W != 1 || g.Edges[1].W != 1 {
+		t.Errorf("default weight not 1: %+v", g.Edges)
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# header comment\n2 1\n% mid comment\n0 1 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 || len(g.Edges) != 1 || g.Edges[0].W != 7 {
+		t.Errorf("parsed %+v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"2\n",            // short header
+		"2 1\n0\n",       // short edge
+		"2 1\n0 5 1\n",   // out of range
+		"2 1\n0 1 0\n",   // zero weight
+		"x 1\n",          // bad n
+		"2 1\n0 one 1\n", // bad endpoint
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q: expected error", c)
+		}
+	}
+}
+
+func TestReadEdgeListDropsSelfLoops(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("3 2\n1 1 4\n0 2 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 1 {
+		t.Errorf("self loop kept: %+v", g.Edges)
+	}
+}
+
+func TestReadSNAP(t *testing.T) {
+	in := "# Directed graph: example\n# Nodes: 5 Edges: 3\n0\t1\n3 4 7\n2 2\n1 3\n"
+	g, err := ReadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 5 {
+		t.Errorf("inferred n = %d, want 5", g.N)
+	}
+	if len(g.Edges) != 3 { // self loop (2,2) dropped
+		t.Fatalf("edges = %+v", g.Edges)
+	}
+	if g.Edges[1].W != 7 {
+		t.Errorf("weighted snap edge = %+v", g.Edges[1])
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSNAPErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 1 0\n", "-1 2\n"} {
+		if _, err := ReadSNAP(strings.NewReader(in)); err == nil {
+			t.Errorf("snap input %q accepted", in)
+		}
+	}
+}
+
+func TestReadSNAPEmpty(t *testing.T) {
+	g, err := ReadSNAP(strings.NewReader("# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 0 || len(g.Edges) != 0 {
+		t.Errorf("empty snap: %+v", g)
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+// Matrix is a dense weighted adjacency matrix in row-major order, the
+// representation used when m >= n^2/log n and inside the Recursive Step,
+// where contracted graphs become arbitrarily dense (§4.3). The diagonal is
+// kept at zero (no loops).
+type Matrix struct {
+	N int
+	W []uint64 // len N*N, W[i*N+j] = weight of edge (i, j)
+}
+
+// NewMatrix returns an n-vertex matrix with no edges.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, W: make([]uint64, n*n)}
+}
+
+// MatrixFromGraph accumulates the edge array into a dense matrix,
+// combining parallel edges along the way.
+func MatrixFromGraph(g *Graph) *Matrix {
+	m := NewMatrix(g.N)
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			continue
+		}
+		m.W[int(e.U)*m.N+int(e.V)] += e.W
+		m.W[int(e.V)*m.N+int(e.U)] += e.W
+	}
+	return m
+}
+
+// At returns the weight between i and j (0 if absent).
+func (m *Matrix) At(i, j int32) uint64 { return m.W[int(i)*m.N+int(j)] }
+
+// Set assigns the weight between i and j symmetrically.
+func (m *Matrix) Set(i, j int32, w uint64) {
+	m.W[int(i)*m.N+int(j)] = w
+	m.W[int(j)*m.N+int(i)] = w
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	w := make([]uint64, len(m.W))
+	copy(w, m.W)
+	return &Matrix{N: m.N, W: w}
+}
+
+// ToGraph converts back to an edge array (upper triangle only).
+func (m *Matrix) ToGraph() *Graph {
+	g := New(m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.W[i*m.N : (i+1)*m.N]
+		for j := i + 1; j < m.N; j++ {
+			if row[j] > 0 {
+				g.Edges = append(g.Edges, Edge{U: int32(i), V: int32(j), W: row[j]})
+			}
+		}
+	}
+	return g
+}
+
+// TotalWeight returns the sum of edge weights (each undirected edge once).
+func (m *Matrix) TotalWeight() uint64 {
+	var t uint64
+	for i := 0; i < m.N; i++ {
+		row := m.W[i*m.N : (i+1)*m.N]
+		for j := i + 1; j < m.N; j++ {
+			t += row[j]
+		}
+	}
+	return t
+}
+
+// WeightedDegree returns the total weight incident to vertex i.
+func (m *Matrix) WeightedDegree(i int32) uint64 {
+	var d uint64
+	for _, w := range m.W[int(i)*m.N : (int(i)+1)*m.N] {
+		d += w
+	}
+	return d
+}
+
+// Contract merges the vertices of m according to mapping (vertex v of the
+// result is the fusion of all i with mapping[i] == v) and returns the
+// contracted matrix on newN vertices. Row/column summation mirrors the
+// dense bulk edge contraction of §4.1: columns are combined, the matrix is
+// transposed, columns are combined again, and the diagonal is zeroed.
+func (m *Matrix) Contract(mapping []int32, newN int) *Matrix {
+	out := NewMatrix(newN)
+	for i := 0; i < m.N; i++ {
+		ti := int(mapping[i])
+		row := m.W[i*m.N : (i+1)*m.N]
+		outRow := out.W[ti*newN : (ti+1)*newN]
+		for j, w := range row {
+			if w != 0 {
+				outRow[mapping[j]] += w
+			}
+		}
+	}
+	for v := 0; v < newN; v++ {
+		out.W[v*newN+v] = 0
+	}
+	return out
+}
+
+// CutOfTwo returns the weight between the two remaining vertices; it is
+// only meaningful when N == 2 (the base of recursive contraction).
+func (m *Matrix) CutOfTwo() uint64 { return m.W[1] }

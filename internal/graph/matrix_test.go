@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixFromGraphSymmetric(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3) // parallel: combined to 5
+	g.AddEdge(1, 2, 7)
+	m := MatrixFromGraph(g)
+	if m.At(0, 1) != 5 || m.At(1, 0) != 5 {
+		t.Errorf("At(0,1)=%d At(1,0)=%d, want 5", m.At(0, 1), m.At(1, 0))
+	}
+	if m.At(0, 2) != 0 {
+		t.Errorf("absent edge has weight %d", m.At(0, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("diagonal nonzero")
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 12, 40).Simplify()
+		m := MatrixFromGraph(g)
+		back := m.ToGraph().Simplify()
+		if back.TotalWeight() != g.TotalWeight() {
+			return false
+		}
+		return m.TotalWeight() == g.TotalWeight()
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixContract(t *testing.T) {
+	// Triangle with weights; contract vertices 1,2 together.
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 2, 7)
+	m := MatrixFromGraph(g)
+	c := m.Contract([]int32{0, 1, 1}, 2)
+	if c.N != 2 {
+		t.Fatalf("contracted N = %d", c.N)
+	}
+	if c.At(0, 1) != 5 {
+		t.Errorf("contracted weight = %d, want 5", c.At(0, 1))
+	}
+	if c.At(0, 0) != 0 || c.At(1, 1) != 0 {
+		t.Error("diagonal not zeroed after contraction")
+	}
+	if c.CutOfTwo() != 5 {
+		t.Errorf("CutOfTwo = %d, want 5", c.CutOfTwo())
+	}
+}
+
+func TestMatrixContractMatchesRelabel(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 10, 30)
+		// Random mapping onto 4 groups covering all of 0..3 is not
+		// required; just compare weights.
+		mapping := make([]int32, g.N)
+		s := seed
+		for i := range mapping {
+			s = s*6364136223846793005 + 1442695040888963407
+			mapping[i] = int32(s % 4)
+		}
+		a := MatrixFromGraph(g).Contract(mapping, 4)
+		b := MatrixFromGraph(g.Relabel(mapping, 4))
+		for i := range a.W {
+			if a.W[i] != b.W[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixWeightedDegree(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	m := MatrixFromGraph(g)
+	if d := m.WeightedDegree(0); d != 5 {
+		t.Errorf("WeightedDegree(0) = %d, want 5", d)
+	}
+	if d := m.WeightedDegree(1); d != 2 {
+		t.Errorf("WeightedDegree(1) = %d, want 2", d)
+	}
+}
+
+func TestMatrixCloneIsDeep(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 4)
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	if m.At(0, 1) != 4 {
+		t.Error("Clone shares storage")
+	}
+}

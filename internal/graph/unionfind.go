@@ -1,0 +1,77 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression. It backs the root's connected-components computation in
+// iterated sampling and the prefix-selection step of bulk contraction.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of x and y; it reports whether they were distinct.
+func (uf *UnionFind) Union(x, y int32) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int32) bool { return uf.Find(x) == uf.Find(y) }
+
+// Labels returns a dense labelling: a slice mapping every element to a
+// component id in [0, Count()), assigned in order of first appearance.
+func (uf *UnionFind) Labels() []int32 {
+	labels := make([]int32, len(uf.parent))
+	next := int32(0)
+	remap := make(map[int32]int32, uf.count)
+	for i := range uf.parent {
+		r := uf.Find(int32(i))
+		id, ok := remap[r]
+		if !ok {
+			id = next
+			remap[r] = id
+			next++
+		}
+		labels[i] = id
+	}
+	return labels
+}

@@ -1,0 +1,100 @@
+package mincut
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sparsify"
+)
+
+// eagerDistributed is the Eager Step (§4.2) on a distributed edge array:
+// sparse iterated sampling contracts the graph from n vertices to at most
+// t. Each round runs distributed-edge-array sparsification (Lemma 3.2),
+// prefix selection at the root, and sparse bulk edge contraction
+// (Lemma 4.2). It returns the contracted local edges, the resulting
+// vertex count, and the (replicated) mapping from original vertices to
+// contracted labels.
+func eagerDistributed(c *bsp.Comm, n int, local []graph.Edge, t int, st *rng.Stream) ([]graph.Edge, int, []int32) {
+	if t < 2 {
+		t = 2
+	}
+	mapping := make([]int32, n)
+	for i := range mapping {
+		mapping[i] = int32(i)
+	}
+	edges := append([]graph.Edge(nil), local...)
+	nCur := n
+	for nCur > t {
+		m := dist.CountEdges(c, edges)
+		if m == 0 {
+			break
+		}
+		s := sampleBudget(nCur, int(m))
+		sample := sparsify.Weighted(c, 0, edges, s, st)
+
+		// Prefix selection at the root (§2.4): contract sampled edges in
+		// permuted order while at least t components remain.
+		var payload []uint64
+		if c.Rank() == 0 {
+			uf := graph.NewUnionFind(nCur)
+			prefixContract(uf, sample, t)
+			labels := uf.Labels()
+			c.Ops(uint64(len(sample)) + uint64(nCur))
+			payload = make([]uint64, nCur+1)
+			payload[0] = uint64(uf.Count())
+			for i, l := range labels {
+				payload[i+1] = uint64(uint32(l))
+			}
+		}
+		payload = c.Broadcast(0, payload)
+		count := int(payload[0])
+		labels := make([]int32, nCur)
+		for i := range labels {
+			labels[i] = int32(uint32(payload[i+1]))
+		}
+
+		// Bulk edge contraction across the distributed array.
+		edges = sparseBulkContract(c, edges, labels)
+		for v := 0; v < n; v++ {
+			mapping[v] = labels[mapping[v]]
+		}
+		c.Ops(uint64(n))
+		nCur = count
+	}
+	return edges, nCur, mapping
+}
+
+// matrixFromDistributedEdges assembles a row-block distributed adjacency
+// matrix over n vertices from a distributed edge array: each edge is sent
+// to the owners of both its endpoints' rows. O(1) supersteps, O(m/p)
+// expected volume.
+func matrixFromDistributedEdges(c *bsp.Comm, n int, local []graph.Edge) *dist.MatrixBlock {
+	p := c.Size()
+	parts := make([][]uint64, p)
+	for _, e := range local {
+		du := dist.OwnerOf(n, p, int(e.U))
+		dv := dist.OwnerOf(n, p, int(e.V))
+		parts[du] = append(parts[du], uint64(uint32(e.U)), uint64(uint32(e.V)), e.W)
+		if dv != du {
+			parts[dv] = append(parts[dv], uint64(uint32(e.U)), uint64(uint32(e.V)), e.W)
+		}
+	}
+	got := c.AllToAllOwned(parts)
+	blk := dist.NewMatrixBlock(c, n)
+	for _, words := range got {
+		for i := 0; i+3 <= len(words); i += 3 {
+			u := int(uint32(words[i]))
+			v := int(uint32(words[i+1]))
+			w := words[i+2]
+			if u >= blk.Lo && u < blk.Hi {
+				blk.Row(u)[v] += w
+			}
+			if v >= blk.Lo && v < blk.Hi {
+				blk.Row(v)[u] += w
+			}
+		}
+	}
+	c.Ops(uint64(len(local)))
+	return blk
+}

@@ -1,0 +1,81 @@
+package mincut
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// sigma is the sparsification exponent: iterated sampling draws
+// s = n^(1+sigma) edges per round (§2.4 fixes 0 < σ < 1).
+const sigma = 0.5
+
+// sampleBudget returns the iterated-sampling batch size for a graph with
+// nCur live vertices and m edges, clamped to useful bounds.
+func sampleBudget(nCur, m int) int {
+	s := int(math.Ceil(math.Pow(float64(nCur), 1+sigma)))
+	if s < 64 {
+		s = 64
+	}
+	if s > 2*m {
+		s = 2 * m
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// prefixContract processes sampled edges in order, contracting as many as
+// possible while at least t components remain (Prefix Selection + Bulk
+// Edge Contraction, §2.4). It mutates uf and returns the new component
+// count.
+func prefixContract(uf *graph.UnionFind, sample []graph.Edge, t int) int {
+	for _, e := range sample {
+		if uf.Count() <= t {
+			break
+		}
+		uf.Union(e.U, e.V)
+	}
+	return uf.Count()
+}
+
+// eagerSequential contracts g to at most t vertices using sequential
+// iterated sampling: repeatedly sparsify, select the longest usable
+// prefix, and bulk-contract. It returns the contracted simple graph and
+// the vertex mapping g.N → contracted ids. If the graph has fewer than t
+// connected components reachable by contraction (disconnected input), it
+// stops when no edges remain.
+func eagerSequential(g *graph.Graph, t int, st *rng.Stream) (*graph.Graph, []int32) {
+	n := g.N
+	mapping := make([]int32, n)
+	for i := range mapping {
+		mapping[i] = int32(i)
+	}
+	cur := g
+	if t < 2 {
+		t = 2
+	}
+	for cur.N > t && len(cur.Edges) > 0 {
+		s := sampleBudget(cur.N, len(cur.Edges))
+		weights := make([]uint64, len(cur.Edges))
+		for i, e := range cur.Edges {
+			weights[i] = e.W
+		}
+		ps := rng.NewPrefixSampler(weights)
+		sample := make([]graph.Edge, s)
+		for i := range sample {
+			sample[i] = cur.Edges[ps.Sample(st)]
+		}
+		uf := graph.NewUnionFind(cur.N)
+		prefixContract(uf, sample, t)
+		labels := uf.Labels()
+		next := cur.Relabel(labels, uf.Count())
+		for v := 0; v < n; v++ {
+			mapping[v] = labels[mapping[v]]
+		}
+		cur = next
+	}
+	return cur, mapping
+}

@@ -1,0 +1,202 @@
+package mincut
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// baseCaseSize is the vertex count below which recursive contraction
+// switches to deterministic brute force. Karger–Stein use 6; we stop a
+// little earlier (2^(b-1) cut enumerations stay trivial) because the
+// t = ⌈n/√2⌉+1 recurrence shrinks slowly near the bottom, and cutting
+// those last levels removes an 8× blowup in recursion-tree nodes.
+const baseCaseSize = 9
+
+// contractTo randomly contracts the matrix to t vertices: edges are
+// selected with probability proportional to their weight and contracted
+// until t vertices remain (§2.4). It returns the compacted t×t matrix and
+// the mapping from m's vertices to the contracted ones. m is not
+// modified. O(n·(n-t)) time, O(n²) space.
+func contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32) {
+	n := m.N
+	if t >= n {
+		mapping := make([]int32, n)
+		for i := range mapping {
+			mapping[i] = int32(i)
+		}
+		return m.Clone(), mapping
+	}
+	w := m.Clone()
+	alive := make([]int32, n)
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	deg := make([]uint64, n)
+	var total uint64 // 2 * sum of edge weights
+	for i := 0; i < n; i++ {
+		deg[i] = w.WeightedDegree(int32(i))
+		total += deg[i]
+	}
+	uf := graph.NewUnionFind(n)
+
+	live := n
+	for live > t && total > 0 {
+		// Pick endpoint u with probability deg[u]/total, then neighbor v
+		// with probability w(u,v)/deg[u]; together (u,v) has probability
+		// proportional to its weight (counting both directions).
+		x := st.Uint64n(total)
+		var u int32 = -1
+		for _, a := range alive[:live] {
+			if x < deg[a] {
+				u = a
+				break
+			}
+			x -= deg[a]
+		}
+		if u < 0 { // numerical corner: nothing live with weight
+			break
+		}
+		y := st.Uint64n(deg[u])
+		var v int32 = -1
+		rowU := w.W[int(u)*n : (int(u)+1)*n]
+		for _, b := range alive[:live] {
+			if b == u {
+				continue
+			}
+			if y < rowU[b] {
+				v = b
+				break
+			}
+			y -= rowU[b]
+		}
+		if v < 0 {
+			break
+		}
+		// Merge v into u.
+		wuv := rowU[v]
+		rowV := w.W[int(v)*n : (int(v)+1)*n]
+		for _, k := range alive[:live] {
+			if k == u || k == v {
+				continue
+			}
+			nw := rowU[k] + rowV[k]
+			rowU[k] = nw
+			w.W[int(k)*n+int(u)] = nw
+			w.W[int(k)*n+int(v)] = 0
+		}
+		deg[u] = deg[u] + deg[v] - 2*wuv
+		total -= 2 * wuv
+		rowU[v] = 0
+		w.W[int(v)*n+int(u)] = 0
+		uf.Union(u, v)
+		// u stays the representative row in the matrix; remove v from the
+		// live set (matrix representative identity is positional and
+		// independent of union-find internals).
+		for idx, a := range alive[:live] {
+			if a == v {
+				alive[idx] = alive[live-1]
+				live--
+				break
+			}
+		}
+	}
+
+	// Compact: map union-find classes of live vertices to [0, live).
+	mapping := make([]int32, n)
+	classToLabel := make([]int32, n)
+	for idx := 0; idx < live; idx++ {
+		classToLabel[uf.Find(alive[idx])] = int32(idx)
+	}
+	for i := 0; i < n; i++ {
+		mapping[i] = classToLabel[uf.Find(int32(i))]
+	}
+
+	out := graph.NewMatrix(live)
+	for ai := 0; ai < live; ai++ {
+		srcRow := w.W[int(alive[ai])*n : (int(alive[ai])+1)*n]
+		dstRow := out.W[ai*live : (ai+1)*live]
+		for aj := 0; aj < live; aj++ {
+			dstRow[aj] = srcRow[alive[aj]]
+		}
+		dstRow[ai] = 0
+	}
+	return out, mapping
+}
+
+// ksRecurse is one run of recursive contraction (§2.4): contract to
+// ⌈n/√2⌉+1 twice independently, recurse on both, keep the better cut.
+// Returns the best cut value found and its side over m's vertices.
+func ksRecurse(m *graph.Matrix, st *rng.Stream) (uint64, []bool) {
+	n := m.N
+	if n <= baseCaseSize {
+		return bruteForce(m)
+	}
+	t := int(math.Ceil(float64(n)/math.Sqrt2)) + 1
+	if t >= n {
+		t = n - 1
+	}
+	bestVal := uint64(math.MaxUint64)
+	var bestSide []bool
+	for branch := 0; branch < 2; branch++ {
+		cm, mapping := contractTo(m, t, st)
+		val, side := ksRecurse(cm, st)
+		if val < bestVal {
+			bestVal = val
+			lifted := make([]bool, n)
+			for v := 0; v < n; v++ {
+				lifted[v] = side[mapping[v]]
+			}
+			bestSide = lifted
+		}
+	}
+	return bestVal, bestSide
+}
+
+// KargerSteinTrials returns the number of independent recursive
+// contraction runs needed to find a minimum cut with probability at least
+// successProb, using the Ω(1/log n) per-run success bound of Lemma 2.2.
+func KargerSteinTrials(n int, successProb float64) int {
+	if n < 8 {
+		return 1
+	}
+	if successProb <= 0 {
+		successProb = 0.9
+	}
+	if successProb >= 1 {
+		successProb = 1 - 1e-9
+	}
+	perRun := 1 / (2 * math.Log(float64(n)))
+	t := int(math.Ceil(math.Log(1/(1-successProb)) / perRun))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// KargerStein computes a global minimum cut with probability at least
+// successProb by repeated recursive contraction — the paper's sequential
+// "KS" baseline (the cache-oblivious variant shares this exact algorithm;
+// our compact matrix layout stands in for its cache-friendly layout).
+func KargerStein(g *graph.Graph, st *rng.Stream, successProb float64) *CutResult {
+	if g.N < 2 {
+		return &CutResult{Value: 0, Side: make([]bool, g.N)}
+	}
+	best := &CutResult{Value: math.MaxUint64}
+	m := graph.MatrixFromGraph(g)
+	trials := KargerSteinTrials(g.N, successProb)
+	for i := 0; i < trials; i++ {
+		val, side := ksRecurse(m, st)
+		if val < best.Value {
+			best.Value = val
+			best.Side = side
+		}
+	}
+	if dv, ds := minDegreeCut(g); dv < best.Value {
+		best.Value = dv
+		best.Side = ds
+	}
+	best.Trials = trials
+	return best
+}

@@ -1,0 +1,144 @@
+package mincut
+
+import (
+	"math"
+
+	"repro/internal/bsp"
+	"repro/internal/cc"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Options tunes the parallel minimum cut computation.
+type Options struct {
+	// SuccessProb is the target probability that the returned cut is a
+	// true minimum cut; default 0.9 (the artifact's setting).
+	SuccessProb float64
+	// MaxTrials caps the trial count (0 = theory-derived count). Useful
+	// for benchmarking fixed workloads.
+	MaxTrials int
+}
+
+func (o *Options) defaults() {
+	if o.SuccessProb <= 0 || o.SuccessProb >= 1 {
+		o.SuccessProb = 0.9
+	}
+}
+
+// Parallel computes a global minimum cut of the distributed edge array
+// with probability at least SuccessProb — the full algorithm of §4. The
+// trials are scheduled over the processors: with p ≤ t the graph is
+// replicated and each processor runs ⌈t/p⌉ sequential trials; with p > t
+// the processors split into t groups, each running one distributed trial
+// (Eager Step within the group, then Recursive Contraction with
+// processor-group halving). Every processor returns the same result.
+func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Options) *CutResult {
+	opts.defaults()
+	if n < 2 {
+		return &CutResult{Value: 0, Side: make([]bool, n)}
+	}
+
+	// A disconnected input has minimum cut 0; detect it with the
+	// communication-avoiding CC algorithm (O(1) supersteps).
+	comp := cc.Parallel(c, n, local, st.Derive(0xc0), cc.Options{})
+	if comp.Count > 1 {
+		side := make([]bool, n)
+		for v := range side {
+			side[v] = comp.Labels[v] == comp.Labels[0]
+		}
+		return &CutResult{Value: 0, Side: side}
+	}
+
+	m := int(dist.CountEdges(c, local))
+	trials := Trials(n, m, opts.SuccessProb)
+	if opts.MaxTrials > 0 && trials > opts.MaxTrials {
+		trials = opts.MaxTrials
+	}
+
+	var bestVal uint64 = math.MaxUint64
+	var bestSide []bool
+	p := c.Size()
+
+	if p <= trials {
+		// Replicate the graph; split the trials.
+		all := dist.AllGatherEdges(c, local)
+		g := &graph.Graph{N: n, Edges: all}
+		lo, hi := dist.BlockRange(trials, p, c.Rank())
+		// Per-trial operation estimate for the BSP cost ledger: the Eager
+		// Step scans the edge array a constant number of times and the
+		// Recursive Step does O(t̄² log t̄) work on the contracted graph.
+		tbar := float64(eagerTarget(m))
+		trialOps := uint64(3*m) + uint64(2*tbar*tbar*math.Log2(tbar+2))
+		for i := lo; i < hi; i++ {
+			val, side := sequentialTrial(g, st)
+			c.Ops(trialOps)
+			if val < bestVal {
+				bestVal = val
+				bestSide = side
+			}
+		}
+	} else {
+		// One distributed trial per group of ~p/trials processors.
+		all := dist.AllGatherEdges(c, local)
+		color := c.Rank() * trials / p
+		sub := c.Split(color, c.Rank())
+		lo, hi := dist.BlockRange(len(all), sub.Size(), sub.Rank())
+		groupLocal := all[lo:hi]
+
+		edges, count, mapping := eagerDistributed(sub, n, groupLocal, eagerTarget(m), st)
+		if count >= 2 {
+			blk := matrixFromDistributedEdges(sub, count, edges)
+			val, side := recursiveDistributed(sub, blk, st)
+			bestVal = val
+			bestSide = make([]bool, n)
+			for v := 0; v < n; v++ {
+				bestSide[v] = side[mapping[v]]
+			}
+		}
+		isLeader := sub.Rank() == 0
+		sub.Close()
+		if !isLeader {
+			bestVal = math.MaxUint64
+			bestSide = nil
+		}
+	}
+
+	// Fold in the min-degree (singleton) cut, computed distributedly.
+	deg := make([]uint64, n)
+	for _, e := range local {
+		deg[e.U] += e.W
+		deg[e.V] += e.W
+	}
+	deg = c.AllReduce(deg, bsp.OpSum)
+	minV, minD := 0, deg[0]
+	for v := 1; v < n; v++ {
+		if deg[v] < minD {
+			minV, minD = v, deg[v]
+		}
+	}
+	if minD < bestVal {
+		bestVal = minD
+		bestSide = make([]bool, n)
+		bestSide[minV] = true
+	}
+
+	// Global argmin across processors, then broadcast the winning side.
+	vals := c.AllGather([]uint64{bestVal})
+	winner, winVal := 0, vals[0][0]
+	for r := 1; r < p; r++ {
+		if vals[r][0] < winVal {
+			winner, winVal = r, vals[r][0]
+		}
+	}
+	var packed []uint64
+	if c.Rank() == winner {
+		packed = packSide(bestSide)
+	}
+	packed = c.Broadcast(winner, packed)
+	return &CutResult{
+		Value:  winVal,
+		Side:   unpackSide(packed),
+		Trials: trials,
+	}
+}

@@ -1,0 +1,62 @@
+package mincut
+
+import (
+	"repro/internal/graph"
+)
+
+// The bounds of the paper assume edge weights bounded by the minimum cut
+// value times a polynomial in n (§2.3); Karger–Stein §7.1 give a
+// preprocessing step that removes the assumption without changing any
+// minimum cut: an edge whose weight strictly exceeds an upper bound U on
+// the minimum cut value cannot cross any minimum cut (a single crossing
+// edge heavier than the cut value is a contradiction), so such edges can
+// be contracted away up front.
+
+// WeightCapBound returns a cheap deterministic upper bound on the
+// minimum cut: the smallest weighted vertex degree.
+func WeightCapBound(g *graph.Graph) uint64 {
+	if g.N == 0 {
+		return 0
+	}
+	_, d := g.MinDegreeVertex()
+	return d
+}
+
+// ContractHeavyEdges contracts every edge of weight > bound (an upper
+// bound on the minimum cut value, e.g. WeightCapBound) and returns the
+// contracted graph together with the mapping from g's vertices to the
+// contracted ones. All minimum cuts survive exactly: lifting a side
+// through the mapping recovers a side of equal value in g. Contracting
+// can cascade — merged parallel edges may themselves exceed the bound —
+// so the reduction runs to a fixed point.
+func ContractHeavyEdges(g *graph.Graph, bound uint64) (*graph.Graph, []int32) {
+	n := g.N
+	mapping := make([]int32, n)
+	for i := range mapping {
+		mapping[i] = int32(i)
+	}
+	cur := g
+	for {
+		uf := graph.NewUnionFind(cur.N)
+		merged := false
+		// Combine parallel edges first so parallel bundles heavier than
+		// the bound are caught.
+		simple := cur.Simplify()
+		for _, e := range simple.Edges {
+			if e.W > bound {
+				if uf.Union(e.U, e.V) {
+					merged = true
+				}
+			}
+		}
+		if !merged {
+			return simple, mapping
+		}
+		labels := uf.Labels()
+		next := simple.Relabel(labels, uf.Count())
+		for v := 0; v < n; v++ {
+			mapping[v] = labels[mapping[v]]
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,102 @@
+// Package mincut implements the paper's exact communication-avoiding
+// global minimum cut algorithm (§4) and its sequential baselines. The
+// parallel algorithm runs Θ((n²/m)·polylog) independent trials, each of
+// which (1) eagerly contracts the graph to ⌈√m⌉+1 vertices with sparse
+// iterated sampling — sparsification (§3.1) plus sparse bulk edge
+// contraction (§4.1) — and (2) runs recursive contraction (Karger–Stein)
+// with dense bulk edge contraction and processor-group halving (§4.3).
+// The trials are distributed over processors (p ≤ t: replicate the graph
+// and split the trials; p > t: processor groups run distributed trials).
+//
+// The sequential baselines are Karger–Stein recursive contraction (the
+// "KS" baseline, whose cache-oblivious variant the paper compares
+// against) and Stoer–Wagner's deterministic maximum-adjacency-search
+// algorithm (the "SW" baseline).
+package mincut
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// CutResult describes a global cut: its value and one side of the vertex
+// partition.
+type CutResult struct {
+	// Value is the total weight of edges crossing the cut.
+	Value uint64
+	// Side marks the vertices of one side of the cut (the side not
+	// containing vertex 0 unless the whole assignment was flipped —
+	// callers should treat it as an unordered bipartition).
+	Side []bool
+	// Trials is the number of contraction trials executed (randomized
+	// algorithms only).
+	Trials int
+}
+
+// Check verifies the result against g: the side must be a nonempty proper
+// subset and its cut value must equal Value. It returns false for
+// inconsistent results.
+func (r *CutResult) Check(g *graph.Graph) bool {
+	if len(r.Side) != g.N {
+		return false
+	}
+	in := 0
+	for _, s := range r.Side {
+		if s {
+			in++
+		}
+	}
+	if in == 0 || in == g.N {
+		return false
+	}
+	return g.CutValue(r.Side) == r.Value
+}
+
+// bruteForce finds the exact minimum cut of a small dense matrix by
+// enumerating all 2^(n-1)-1 bipartitions (vertex 0 fixed to one side) in
+// Gray-code order, so each step flips one vertex and updates the cut
+// value in O(n). It is the deterministic base case of recursive
+// contraction; n must be at least 2 and should stay tiny (≤
+// baseCaseSize, so the mask fits easily in 32 bits).
+func bruteForce(m *graph.Matrix) (uint64, []bool) {
+	n := m.N
+	side := make([]bool, n) // state for mask 0: everything on one side
+	bestVal := uint64(math.MaxUint64)
+	bestSide := make([]bool, n)
+	var cur int64
+	for g := uint32(1); g < uint32(1)<<(n-1); g++ {
+		// Gray codes of consecutive indices differ in exactly the lowest
+		// set bit of g; bit b toggles vertex b+1 (vertex 0 never moves).
+		v := bits.TrailingZeros32(g) + 1
+		row := m.W[v*n : (v+1)*n]
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			if side[u] != side[v] {
+				cur -= int64(row[u]) // edge leaves the cut
+			} else {
+				cur += int64(row[u]) // edge enters the cut
+			}
+		}
+		side[v] = !side[v]
+		if uint64(cur) < bestVal {
+			bestVal = uint64(cur)
+			copy(bestSide, side)
+		}
+	}
+	return bestVal, bestSide
+}
+
+// minDegreeCut returns the best singleton cut of the graph — a cheap
+// deterministic upper bound folded into every randomized result.
+func minDegreeCut(g *graph.Graph) (uint64, []bool) {
+	v, d := g.MinDegreeVertex()
+	side := make([]bool, g.N)
+	if v >= 0 {
+		side[v] = true
+	}
+	return d, side
+}

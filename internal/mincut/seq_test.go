@@ -1,0 +1,309 @@
+package mincut
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestBruteForceTriangle(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	val, side := bruteForce(graph.MatrixFromGraph(g))
+	if val != 5 { // isolate vertex 2: 2+3
+		t.Errorf("triangle min cut = %d, want 5", val)
+	}
+	if side[2] == side[0] || side[0] != side[1] {
+		t.Errorf("partition should isolate vertex 2: %v", side)
+	}
+	if g.CutValue(side) != val {
+		t.Errorf("side inconsistent: cut %d vs val %d", g.CutValue(side), val)
+	}
+}
+
+func TestBruteForceMatchesExhaustiveRandom(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := gen.ErdosRenyiM(6, 10, seed, gen.Config{MaxWeight: 8})
+		if !g.IsConnected() {
+			return true
+		}
+		val, side := bruteForce(graph.MatrixFromGraph(g))
+		return g.CutValue(side) == val && StoerWagner(g).Value == val
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoerWagnerKnownCuts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"cycle", gen.Cycle(12, 3), 6},
+		{"path", gen.Path(9, 4), 4},
+		{"star", gen.Star(7, 2), 2},
+		{"complete", gen.Complete(8, 1), 7},
+		{"twocliques", gen.TwoCliques(6, 2, 5, 1), 2},
+		{"dumbbell", gen.Dumbbell(6, 4, 1), 1},
+		{"grid", gen.Grid(4, 5, 1), 2},
+	}
+	for _, c := range cases {
+		got := StoerWagner(c.g)
+		if got.Value != c.want {
+			t.Errorf("%s: SW = %d, want %d", c.name, got.Value, c.want)
+		}
+		if !got.Check(c.g) {
+			t.Errorf("%s: SW returned inconsistent partition", c.name)
+		}
+	}
+}
+
+func TestStoerWagnerClassicExample(t *testing.T) {
+	// The example graph from the Stoer–Wagner paper (8 vertices,
+	// min cut 4).
+	g := graph.New(8)
+	type e struct {
+		u, v int32
+		w    uint64
+	}
+	for _, x := range []e{
+		{0, 1, 2}, {0, 4, 3}, {1, 2, 3}, {1, 4, 2}, {1, 5, 2},
+		{2, 3, 4}, {2, 6, 2}, {3, 6, 2}, {3, 7, 2}, {4, 5, 3},
+		{5, 6, 1}, {6, 7, 3},
+	} {
+		g.AddEdge(x.u, x.v, x.w)
+	}
+	got := StoerWagner(g)
+	if got.Value != 4 {
+		t.Errorf("classic example: SW = %d, want 4", got.Value)
+	}
+	if !got.Check(g) {
+		t.Error("inconsistent partition")
+	}
+}
+
+func TestContractToPreservesWeightStructure(t *testing.T) {
+	g := gen.ErdosRenyiM(20, 80, 3, gen.Config{MaxWeight: 6})
+	m := graph.MatrixFromGraph(g)
+	st := rng.New(7, 0, 0)
+	cm, mapping := contractTo(m, 8, st)
+	if cm.N != 8 {
+		t.Fatalf("contracted to %d vertices, want 8", cm.N)
+	}
+	// The contracted matrix must equal the mapping-contraction of m.
+	want := m.Contract(mapping, 8)
+	for i := range want.W {
+		if want.W[i] != cm.W[i] {
+			t.Fatalf("contracted matrix differs from Contract(mapping) at %d", i)
+		}
+	}
+	// Mapping must be surjective onto [0,8).
+	seen := make([]bool, 8)
+	for _, l := range mapping {
+		if l < 0 || l >= 8 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	for l, ok := range seen {
+		if !ok {
+			t.Errorf("label %d unused", l)
+		}
+	}
+}
+
+func TestContractToNoOp(t *testing.T) {
+	g := gen.Cycle(5, 1)
+	m := graph.MatrixFromGraph(g)
+	cm, mapping := contractTo(m, 10, rng.New(1, 0, 0))
+	if cm.N != 5 {
+		t.Errorf("t >= n should be a no-op, got n=%d", cm.N)
+	}
+	for i, l := range mapping {
+		if l != int32(i) {
+			t.Errorf("mapping[%d] = %d", i, l)
+		}
+	}
+}
+
+func TestKargerSteinKnownCuts(t *testing.T) {
+	st := rng.New(99, 0, 0)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"cycle", gen.Cycle(20, 2), 4},
+		{"twocliques", gen.TwoCliques(8, 2, 4, 1), 2},
+		{"dumbbell", gen.Dumbbell(8, 4, 1), 1},
+		{"complete", gen.Complete(10, 1), 9},
+	}
+	for _, c := range cases {
+		got := KargerStein(c.g, st, 0.95)
+		if got.Value != c.want {
+			t.Errorf("%s: KS = %d, want %d", c.name, got.Value, c.want)
+		}
+		if !got.Check(c.g) {
+			t.Errorf("%s: inconsistent partition", c.name)
+		}
+	}
+}
+
+func TestKargerSteinMatchesStoerWagnerRandom(t *testing.T) {
+	st := rng.New(123, 0, 0)
+	for seed := uint64(0); seed < 10; seed++ {
+		g := gen.ErdosRenyiM(24, 100, seed, gen.Config{MaxWeight: 5})
+		if !g.IsConnected() {
+			continue
+		}
+		want := StoerWagner(g).Value
+		got := KargerStein(g, st, 0.95)
+		if got.Value != want {
+			t.Errorf("seed %d: KS = %d, SW = %d", seed, got.Value, want)
+		}
+	}
+}
+
+func TestEagerSequentialContracts(t *testing.T) {
+	g := gen.ErdosRenyiM(200, 2000, 5, gen.Config{MaxWeight: 4})
+	cg, mapping := eagerSequential(g, 40, rng.New(3, 0, 0))
+	if cg.N > 40 {
+		t.Errorf("eager left %d vertices, want <= 40", cg.N)
+	}
+	if err := cg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mapping consistency: edges of cg must be the mapped non-loop edges.
+	if cg.TotalWeight() > g.TotalWeight() {
+		t.Error("contraction increased weight")
+	}
+	for v, l := range mapping {
+		if int(l) >= cg.N || l < 0 {
+			t.Fatalf("mapping[%d] = %d out of range", v, l)
+		}
+	}
+	// The contracted graph's cut values are cuts of the original: check a
+	// singleton of the contracted graph.
+	side := make([]bool, g.N)
+	for v := range side {
+		side[v] = mapping[v] == 0
+	}
+	cside := make([]bool, cg.N)
+	cside[0] = true
+	if g.CutValue(side) != cg.CutValue(cside) {
+		t.Errorf("lifted cut %d != contracted cut %d", g.CutValue(side), cg.CutValue(cside))
+	}
+}
+
+func TestEagerSequentialDisconnected(t *testing.T) {
+	g := graph.New(30)
+	for i := int32(0); i < 10; i++ {
+		g.AddEdge(i, (i+1)%10, 1)
+		g.AddEdge(10+i, 10+(i+1)%10, 1)
+	}
+	// 10 isolated + two rings; contracting to 2 is impossible (>= 12
+	// components), must stop when edges run out.
+	cg, _ := eagerSequential(g, 2, rng.New(4, 0, 0))
+	if len(cg.Edges) != 0 {
+		t.Errorf("%d edges left after exhaustive contraction", len(cg.Edges))
+	}
+	if cg.N != 12 {
+		t.Errorf("components = %d, want 12", cg.N)
+	}
+}
+
+func TestSequentialMinCutKnownCuts(t *testing.T) {
+	st := rng.New(2024, 0, 0)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"cycle", gen.Cycle(64, 2), 4},
+		{"twocliques", gen.TwoCliques(16, 3, 4, 1), 3},
+		{"dumbbell", gen.Dumbbell(20, 4, 1), 1},
+		{"grid", gen.Grid(8, 8, 1), 2},
+	}
+	for _, c := range cases {
+		got := Sequential(c.g, st, 0.9)
+		if got.Value != c.want {
+			t.Errorf("%s: MC = %d, want %d (trials %d)", c.name, got.Value, c.want, got.Trials)
+		}
+		if !got.Check(c.g) {
+			t.Errorf("%s: inconsistent partition", c.name)
+		}
+	}
+}
+
+func TestSequentialMatchesSWRandom(t *testing.T) {
+	st := rng.New(31337, 0, 0)
+	for seed := uint64(20); seed < 28; seed++ {
+		g := gen.ErdosRenyiM(40, 240, seed, gen.Config{MaxWeight: 3})
+		if !g.IsConnected() {
+			continue
+		}
+		want := StoerWagner(g).Value
+		got := Sequential(g, st, 0.9)
+		if got.Value != want {
+			t.Errorf("seed %d: MC = %d, SW = %d", seed, got.Value, want)
+		}
+	}
+}
+
+func TestSequentialDisconnectedIsZero(t *testing.T) {
+	g := graph.New(10)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(2, 3, 3)
+	got := Sequential(g, rng.New(1, 0, 0), 0.9)
+	if got.Value != 0 {
+		t.Errorf("disconnected: %d, want 0", got.Value)
+	}
+	if !got.Check(g) {
+		t.Error("inconsistent zero cut")
+	}
+}
+
+func TestTrialsFormula(t *testing.T) {
+	// More trials for sparser graphs (n²/m factor).
+	sparse := Trials(1000, 2000, 0.9)
+	dense := Trials(1000, 100000, 0.9)
+	if sparse <= dense {
+		t.Errorf("sparse trials %d <= dense trials %d", sparse, dense)
+	}
+	// More trials for higher confidence.
+	lo := Trials(500, 5000, 0.5)
+	hi := Trials(500, 5000, 0.99)
+	if hi <= lo {
+		t.Errorf("trials not monotone in success prob: %d <= %d", hi, lo)
+	}
+	if Trials(4, 10, 0.9) != 1 {
+		t.Error("tiny graphs should use a single trial")
+	}
+}
+
+func TestCutResultCheck(t *testing.T) {
+	g := gen.Cycle(4, 1)
+	good := &CutResult{Value: 2, Side: []bool{true, true, false, false}}
+	if !good.Check(g) {
+		t.Error("valid result rejected")
+	}
+	badVal := &CutResult{Value: 3, Side: []bool{true, true, false, false}}
+	if badVal.Check(g) {
+		t.Error("wrong value accepted")
+	}
+	empty := &CutResult{Value: 0, Side: []bool{false, false, false, false}}
+	if empty.Check(g) {
+		t.Error("empty side accepted")
+	}
+	short := &CutResult{Value: 2, Side: []bool{true}}
+	if short.Check(g) {
+		t.Error("short side accepted")
+	}
+}

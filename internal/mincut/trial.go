@@ -1,0 +1,154 @@
+package mincut
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// eagerTarget is the Eager Step's contraction target: ⌈√m⌉+1 vertices
+// (§4), bounded below so the recursion base case stays meaningful.
+func eagerTarget(m int) int {
+	t := int(math.Ceil(math.Sqrt(float64(m)))) + 1
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// sequentialTrial runs one full trial — Eager Step followed by one run of
+// Recursive Contraction — and returns the cut found, lifted to g's
+// vertices. The graph must have at least 2 vertices and 1 edge.
+func sequentialTrial(g *graph.Graph, st *rng.Stream) (uint64, []bool) {
+	t := eagerTarget(len(g.Edges))
+	work := g
+	mapping := make([]int32, g.N)
+	for i := range mapping {
+		mapping[i] = int32(i)
+	}
+	if t < g.N {
+		work, mapping = eagerSequential(g, t, st)
+	}
+	if work.N < 2 {
+		// Fully contracted (can happen on tiny graphs): fall back to the
+		// min-degree cut of the original.
+		return minDegreeCut(g)
+	}
+	val, side := ksRecurse(graph.MatrixFromGraph(work), st)
+	lifted := make([]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		lifted[v] = side[mapping[v]]
+	}
+	return val, lifted
+}
+
+// perTrialSuccess lower-bounds the probability that one Eager+Recursive
+// trial finds a particular minimum cut: the cut survives the eager
+// contraction to ⌈√m⌉+1 vertices with probability at least ~m/n²
+// (Lemma 2.1), and one recursive contraction run finds a surviving cut
+// with probability at least 1/Θ(log n) (Lemma 2.2).
+func perTrialSuccess(n, m int) float64 {
+	tv := float64(eagerTarget(m))
+	nn := float64(n)
+	survive := tv * (tv - 1) / (nn * (nn - 1))
+	if survive > 1 {
+		survive = 1
+	}
+	recurse := 1 / (2 * math.Log(tv+1))
+	return survive * recurse
+}
+
+func clampSuccessProb(p float64) float64 {
+	if p <= 0 {
+		return 0.9
+	}
+	if p >= 1 {
+		return 1 - 1e-9
+	}
+	return p
+}
+
+// Trials returns the number of independent Eager+Recursive trials needed
+// to find a minimum cut with probability successProb; the product of the
+// Lemma 2.1/2.2 bounds yields the paper's Θ((n²/m)·polylog n) count.
+func Trials(n, m int, successProb float64) int {
+	if n < 8 || m == 0 {
+		return 1
+	}
+	successProb = clampSuccessProb(successProb)
+	q := perTrialSuccess(n, m)
+	t := int(math.Ceil(math.Log(1/(1-successProb)) / q))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// allCutsTrials returns the trial count needed to find *every* minimum
+// cut with probability successProb: a union bound over the at most
+// n(n-1)/2 minimum cuts (Lemma 4.3).
+func allCutsTrials(n, m int, successProb float64) int {
+	if n < 2 || m == 0 {
+		return 1
+	}
+	successProb = clampSuccessProb(successProb)
+	q := perTrialSuccess(n, m)
+	numCuts := float64(n) * float64(n-1) / 2
+	t := int(math.Ceil(math.Log(numCuts/(1-successProb)) / q))
+	if t < 8 {
+		t = 8
+	}
+	return t
+}
+
+// denseRegime reports whether the graph is dense enough (m ≥ n²/log n,
+// §3 "Graph Representation") that the Eager Step degenerates and trials
+// should run recursive contraction directly on a shared adjacency
+// matrix.
+func denseRegime(n, m int) bool {
+	if n < 4 {
+		return true
+	}
+	return float64(m) >= float64(n)*float64(n)/math.Log2(float64(n))
+}
+
+// Sequential computes a global minimum cut with probability at least
+// successProb using the full algorithm of §4 run on one processor: t
+// trials of Eager Step + Recursive Contraction, keeping the best cut.
+// Dense inputs (m ≥ n²/log n) skip the Eager Step and share one
+// adjacency matrix across trials — the paper's AM representation.
+func Sequential(g *graph.Graph, st *rng.Stream, successProb float64) *CutResult {
+	if g.N < 2 {
+		return &CutResult{Value: 0, Side: make([]bool, g.N)}
+	}
+	if !g.IsConnected() {
+		// The minimum cut of a disconnected graph is 0: any component.
+		return &CutResult{Value: 0, Side: g.ComponentOf(0), Trials: 0}
+	}
+	trials := Trials(g.N, len(g.Edges), successProb)
+	best := &CutResult{Value: math.MaxUint64, Trials: trials}
+	if denseRegime(g.N, len(g.Edges)) && eagerTarget(len(g.Edges)) >= g.N {
+		mat := graph.MatrixFromGraph(g)
+		for i := 0; i < trials; i++ {
+			val, side := ksRecurse(mat, st)
+			if val < best.Value {
+				best.Value = val
+				best.Side = side
+			}
+		}
+	} else {
+		for i := 0; i < trials; i++ {
+			val, side := sequentialTrial(g, st)
+			if val < best.Value {
+				best.Value = val
+				best.Side = side
+			}
+		}
+	}
+	if dv, ds := minDegreeCut(g); dv < best.Value {
+		best.Value = dv
+		best.Side = ds
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+// Package rng provides the pseudorandom machinery used throughout the
+// library: a counter-based Philox4x32-10 generator (Salmon et al., SC'11),
+// which yields independent, uncorrelated streams for every (seed, rank,
+// stream) triple, and the weighted samplers required by graph
+// sparsification (prefix-sum binary search and Vose's alias method).
+//
+// The paper's artifact uses the same generator family so that all
+// non-determinism is controlled by a single initial seed; this package
+// preserves that property: two runs with the same seed perform identical
+// random choices on every virtual processor.
+package rng
+
+import "math"
+
+// Philox4x32-10 round constants (Salmon et al., "Parallel Random Numbers:
+// As Easy as 1, 2, 3").
+const (
+	philoxM0 = 0xD2511F53
+	philoxM1 = 0xCD9E8D57
+	philoxW0 = 0x9E3779B9 // golden ratio
+	philoxW1 = 0xBB67AE85 // sqrt(3)-1
+)
+
+// philoxBlock applies 10 Philox rounds to the counter ctr under key,
+// producing 128 bits of output.
+func philoxBlock(ctr [4]uint32, key [2]uint32) [4]uint32 {
+	k0, k1 := key[0], key[1]
+	c0, c1, c2, c3 := ctr[0], ctr[1], ctr[2], ctr[3]
+	for i := 0; i < 10; i++ {
+		p0 := uint64(philoxM0) * uint64(c0)
+		p1 := uint64(philoxM1) * uint64(c2)
+		hi0, lo0 := uint32(p0>>32), uint32(p0)
+		hi1, lo1 := uint32(p1>>32), uint32(p1)
+		c0, c1, c2, c3 = hi1^c1^k0, lo1, hi0^c3^k1, lo0
+		k0 += philoxW0
+		k1 += philoxW1
+	}
+	return [4]uint32{c0, c1, c2, c3}
+}
+
+// Stream is a deterministic random stream. Distinct (seed, rank, sub)
+// triples give statistically independent streams; the same triple always
+// replays the same sequence. The zero value is a valid stream seeded with
+// zeros. Stream is not safe for concurrent use; each goroutine (virtual
+// processor) owns its own.
+type Stream struct {
+	key  [2]uint32
+	base [2]uint32 // rank and sub-stream occupy the upper counter words
+	ctr  uint64    // lower 64 bits of the counter, incremented per block
+	buf  [4]uint32
+	n    int // unread words left in buf
+}
+
+// New returns a stream for the given global seed, processor rank, and
+// sub-stream index. Different triples yield uncorrelated sequences.
+func New(seed uint64, rank, sub uint32) *Stream {
+	return &Stream{
+		key:  [2]uint32{uint32(seed), uint32(seed >> 32)},
+		base: [2]uint32{rank, sub},
+	}
+}
+
+// Derive returns a new independent stream obtained from s's identity with a
+// different sub-stream index. It does not advance s.
+func (s *Stream) Derive(sub uint32) *Stream {
+	return &Stream{key: s.key, base: [2]uint32{s.base[0], s.base[1] ^ 0x5851f42d ^ sub}}
+}
+
+func (s *Stream) refill() {
+	s.buf = philoxBlock([4]uint32{uint32(s.ctr), uint32(s.ctr >> 32), s.base[0], s.base[1]}, s.key)
+	s.ctr++
+	s.n = 4
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (s *Stream) Uint32() uint32 {
+	if s.n == 0 {
+		s.refill()
+	}
+	s.n--
+	return s.buf[s.n]
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	hi := uint64(s.Uint32())
+	lo := uint64(s.Uint32())
+	return hi<<32 | lo
+}
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 bits of
+// precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Bias is removed by rejection.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return s.Uint64() & (n - 1)
+	}
+	// Rejection sampling over the largest multiple of n below 2^64.
+	limit := -n % n // (2^64 - n) mod n == 2^64 mod n
+	for {
+		v := s.Uint64()
+		if v >= limit {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli reports true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success of a
+// Bernoulli(p) process, i.e. a sample of the geometric distribution with
+// support {0, 1, 2, ...}. Used for skip-based subgraph sampling. p must be
+// in (0, 1].
+func (s *Stream) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric with p <= 0")
+	}
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	g := math.Floor(math.Log(u) / math.Log1p(-p))
+	if g > float64(math.MaxInt64/2) {
+		return math.MaxInt64 / 2
+	}
+	return int(g)
+}

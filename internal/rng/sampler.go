@@ -1,0 +1,118 @@
+package rng
+
+import "sort"
+
+// PrefixSampler draws indices with probability proportional to fixed
+// nonnegative integer weights. Construction is O(n); each draw is
+// O(log n) by binary search over the cumulative weights — the scheme
+// Karger–Stein §5 assume for weighted edge selection.
+type PrefixSampler struct {
+	cum   []uint64 // cum[i] = sum of weights[0..i]
+	total uint64
+}
+
+// NewPrefixSampler builds a sampler over the given weights. Zero-weight
+// entries are never drawn. Total returns 0 if all weights are zero, in
+// which case Sample must not be called.
+func NewPrefixSampler(weights []uint64) *PrefixSampler {
+	cum := make([]uint64, len(weights))
+	var total uint64
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	return &PrefixSampler{cum: cum, total: total}
+}
+
+// Total returns the sum of all weights.
+func (ps *PrefixSampler) Total() uint64 { return ps.total }
+
+// Sample draws one index i with probability weights[i]/Total().
+func (ps *PrefixSampler) Sample(s *Stream) int {
+	if ps.total == 0 {
+		panic("rng: PrefixSampler.Sample with zero total weight")
+	}
+	x := s.Uint64n(ps.total) // uniform in [0, total)
+	// Find the first index with cum[i] > x.
+	return sort.Search(len(ps.cum), func(i int) bool { return ps.cum[i] > x })
+}
+
+// AliasSampler draws indices with probability proportional to fixed
+// nonnegative weights in O(1) per draw (Vose's alias method) after O(n)
+// construction. Preferred when many draws are taken from the same
+// distribution, e.g. the root's distribution of s sample slots over
+// processors in communication-avoiding sparsification.
+type AliasSampler struct {
+	prob  []float64
+	alias []int32
+	n     int
+}
+
+// NewAliasSampler builds an alias table over the weights. At least one
+// weight must be positive.
+func NewAliasSampler(weights []uint64) *AliasSampler {
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		total += float64(w)
+	}
+	if total == 0 || n == 0 {
+		panic("rng: NewAliasSampler with zero total weight")
+	}
+	as := &AliasSampler{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		n:     n,
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = float64(w) * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		as.prob[l] = scaled[l]
+		as.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, g)
+		}
+	}
+	for _, g := range large {
+		as.prob[g] = 1
+	}
+	for _, l := range small {
+		as.prob[l] = 1 // numerical leftovers
+	}
+	return as
+}
+
+// Sample draws one index with probability proportional to its weight.
+func (as *AliasSampler) Sample(s *Stream) int {
+	i := s.Intn(as.n)
+	if s.Float64() < as.prob[i] {
+		return i
+	}
+	return int(as.alias[i])
+}
+
+// Multinomial distributes s draws over the categories of the sampler and
+// returns the per-category counts. This implements step 2 of the paper's
+// sparsification: the root repeatedly (s times) chooses a processor i with
+// probability W_i / ΣW_z.
+func (as *AliasSampler) Multinomial(st *Stream, draws int) []int {
+	counts := make([]int, as.n)
+	for k := 0; k < draws; k++ {
+		counts[as.Sample(st)]++
+	}
+	return counts
+}

@@ -1,0 +1,167 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func checkProportional(t *testing.T, name string, weights []uint64, counts []int, draws int) {
+	t.Helper()
+	var total float64
+	for _, w := range weights {
+		total += float64(w)
+	}
+	for i, w := range weights {
+		expect := float64(w) / total * float64(draws)
+		if w == 0 {
+			if counts[i] != 0 {
+				t.Errorf("%s: zero-weight index %d drawn %d times", name, i, counts[i])
+			}
+			continue
+		}
+		tol := 6 * math.Sqrt(expect+1)
+		if math.Abs(float64(counts[i])-expect) > tol {
+			t.Errorf("%s: index %d drawn %d times, expected ~%.0f (tol %.0f)", name, i, counts[i], expect, tol)
+		}
+	}
+}
+
+func TestPrefixSamplerProportional(t *testing.T) {
+	weights := []uint64{1, 0, 2, 7, 0, 10, 100}
+	ps := NewPrefixSampler(weights)
+	if ps.Total() != 120 {
+		t.Fatalf("Total = %d, want 120", ps.Total())
+	}
+	s := New(21, 0, 0)
+	const draws = 120000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[ps.Sample(s)]++
+	}
+	checkProportional(t, "prefix", weights, counts, draws)
+}
+
+func TestPrefixSamplerSingle(t *testing.T) {
+	ps := NewPrefixSampler([]uint64{5})
+	s := New(1, 0, 0)
+	for i := 0; i < 10; i++ {
+		if ps.Sample(s) != 0 {
+			t.Fatal("single-element sampler returned nonzero index")
+		}
+	}
+}
+
+func TestPrefixSamplerZeroTotalPanics(t *testing.T) {
+	ps := NewPrefixSampler([]uint64{0, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample on zero-total sampler did not panic")
+		}
+	}()
+	ps.Sample(New(1, 0, 0))
+}
+
+func TestAliasSamplerProportional(t *testing.T) {
+	weights := []uint64{3, 1, 0, 6, 20, 2}
+	as := NewAliasSampler(weights)
+	s := New(33, 0, 0)
+	const draws = 160000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[as.Sample(s)]++
+	}
+	checkProportional(t, "alias", weights, counts, draws)
+}
+
+func TestAliasSamplerUniformCase(t *testing.T) {
+	weights := []uint64{1, 1, 1, 1}
+	as := NewAliasSampler(weights)
+	s := New(4, 0, 0)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[as.Sample(s)]++
+	}
+	checkProportional(t, "alias-uniform", weights, counts, draws)
+}
+
+func TestAliasSamplerZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAliasSampler with zero weights did not panic")
+		}
+	}()
+	NewAliasSampler([]uint64{0, 0, 0})
+}
+
+func TestMultinomialCountsSum(t *testing.T) {
+	err := quick.Check(func(seed uint64, rawDraws uint16) bool {
+		draws := int(rawDraws % 2000)
+		as := NewAliasSampler([]uint64{1, 2, 3, 4})
+		counts := as.Multinomial(New(seed, 0, 0), draws)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		return sum == draws
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultinomialProportional(t *testing.T) {
+	weights := []uint64{10, 30, 60}
+	as := NewAliasSampler(weights)
+	counts := as.Multinomial(New(5, 0, 0), 100000)
+	checkProportional(t, "multinomial", weights, counts, 100000)
+}
+
+// Property: prefix and alias samplers agree in distribution.
+func TestSamplersAgree(t *testing.T) {
+	weights := []uint64{5, 15, 30, 50}
+	ps := NewPrefixSampler(weights)
+	as := NewAliasSampler(weights)
+	s1 := New(77, 0, 0)
+	s2 := New(78, 0, 0)
+	const draws = 200000
+	c1 := make([]int, len(weights))
+	c2 := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		c1[ps.Sample(s1)]++
+		c2[as.Sample(s2)]++
+	}
+	for i := range weights {
+		diff := math.Abs(float64(c1[i]-c2[i])) / draws
+		if diff > 0.01 {
+			t.Errorf("samplers disagree at index %d: prefix %d vs alias %d", i, c1[i], c2[i])
+		}
+	}
+}
+
+func BenchmarkPrefixSample(b *testing.B) {
+	weights := make([]uint64, 1<<16)
+	s := New(1, 0, 0)
+	for i := range weights {
+		weights[i] = uint64(s.Intn(100) + 1)
+	}
+	ps := NewPrefixSampler(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps.Sample(s)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]uint64, 1<<16)
+	s := New(1, 0, 0)
+	for i := range weights {
+		weights[i] = uint64(s.Intn(100) + 1)
+	}
+	as := NewAliasSampler(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = as.Sample(s)
+	}
+}

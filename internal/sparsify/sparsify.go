@@ -1,0 +1,132 @@
+// Package sparsify implements the paper's communication-avoiding
+// sparsification (§3.1): drawing s edges from a distributed edge array,
+// each independently with probability proportional to its weight, in O(1)
+// supersteps and O(s + p) communication volume (Lemmas 3.1 and 3.2).
+//
+// Two variants are provided: the weighted scheme used by iterated
+// sampling for minimum cuts, and the cheaper unweighted oversampling
+// scheme (Chernoff-bounded) used by the connected-components algorithm,
+// which skips the root's distribution step and samples O(1) per edge.
+package sparsify
+
+import (
+	"math"
+
+	"repro/internal/bsp"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Weighted draws s edges from the distributed edge array, each slot
+// independently holding edge e with probability w(e)/W (with
+// replacement). The permuted sample is returned at the root; other ranks
+// return nil. It takes O(1) supersteps, O(s+p) communication volume,
+// O(s log n + m/p) time (Lemma 3.2).
+//
+// Steps: ① gather per-slice weights W_i at the root; ② the root draws the
+// multinomial split of s slots over processors and scatters the counts;
+// ③ each processor draws its quota from its slice by binary search over
+// local cumulative weights; ④ the root gathers and randomly permutes the
+// sample (the order matters for prefix selection downstream).
+func Weighted(c *bsp.Comm, root int, local []graph.Edge, s int, st *rng.Stream) []graph.Edge {
+	p := c.Size()
+
+	// ① Local weight sums, gathered at the root.
+	var wi uint64
+	for _, e := range local {
+		wi += e.W
+	}
+	c.Ops(uint64(len(local)))
+	sums := c.Gather(root, []uint64{wi})
+
+	// ② Root distributes the s slots over processors proportionally to W_i.
+	var counts [][]uint64
+	if c.Rank() == root {
+		weights := make([]uint64, p)
+		var total uint64
+		for r := 0; r < p; r++ {
+			weights[r] = sums[r][0]
+			total += sums[r][0]
+		}
+		counts = make([][]uint64, p)
+		for r := range counts {
+			counts[r] = []uint64{0}
+		}
+		if total > 0 {
+			alias := rng.NewAliasSampler(weights)
+			for k := 0; k < s; k++ {
+				counts[alias.Sample(st)][0]++
+			}
+			c.Ops(uint64(s))
+		}
+	}
+	quota := int(c.Scatter(root, counts)[0])
+
+	// ③ Draw the local quota by weight-proportional selection.
+	chosen := make([]graph.Edge, 0, quota)
+	if quota > 0 {
+		weights := make([]uint64, len(local))
+		for i, e := range local {
+			weights[i] = e.W
+		}
+		ps := rng.NewPrefixSampler(weights)
+		for k := 0; k < quota; k++ {
+			chosen = append(chosen, local[ps.Sample(st)])
+		}
+		c.Ops(uint64(len(local)) + uint64(quota)*uint64(math.Ilogb(float64(len(local)+2))+1))
+	}
+	gathered := gatherEdges(c, root, chosen)
+	if c.Rank() != root {
+		return nil
+	}
+
+	// ④ Random permutation at the root, required so that every edge is
+	// equally likely at every sample position (Lemma 3.1).
+	st.Shuffle(len(gathered), func(i, j int) {
+		gathered[i], gathered[j] = gathered[j], gathered[i]
+	})
+	c.Ops(uint64(len(gathered)))
+	return gathered
+}
+
+// Unweighted draws an (over)sample of about s edges uniformly from the
+// distributed edge array without the root round-trip: each processor
+// expects µ_i = s·m_i/m slots and draws ⌈(1+δ)µ_i⌉ uniform local edges,
+// or contributes its whole slice when µ_i is below the Chernoff threshold
+// (9 ln n)/δ². The combined sample is returned at the root (other ranks
+// nil). Sampling is O(1) per edge; no permutation is applied — the
+// connected-components consumer is order-insensitive.
+func Unweighted(c *bsp.Comm, root int, local []graph.Edge, s, n int, delta float64, st *rng.Stream) []graph.Edge {
+	counts := c.AllReduce([]uint64{uint64(len(local))}, bsp.OpSum)
+	m := counts[0]
+	var chosen []graph.Edge
+	if m > 0 && len(local) > 0 {
+		mu := float64(s) * float64(len(local)) / float64(m)
+		threshold := 9 * math.Log(float64(n)+2) / (delta * delta)
+		if mu < threshold || int(math.Ceil((1+delta)*mu)) >= len(local) {
+			chosen = local
+		} else {
+			k := int(math.Ceil((1 + delta) * mu))
+			chosen = make([]graph.Edge, k)
+			for i := range chosen {
+				chosen[i] = local[st.Intn(len(local))]
+			}
+			c.Ops(uint64(k))
+		}
+	}
+	return gatherEdges(c, root, chosen)
+}
+
+// gatherEdges gathers edge slices at the root (3 words per edge).
+func gatherEdges(c *bsp.Comm, root int, es []graph.Edge) []graph.Edge {
+	parts := c.GatherOwned(root, dist.EncodeEdges(es))
+	if c.Rank() != root {
+		return nil
+	}
+	var out []graph.Edge
+	for _, part := range parts {
+		out = append(out, dist.DecodeEdges(part)...)
+	}
+	return out
+}

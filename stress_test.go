@@ -1,0 +1,85 @@
+package camc
+
+import (
+	"testing"
+)
+
+// Larger cross-checks; skipped with -short.
+
+func TestStressCCLargeSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := BarabasiAlbert(300_000, 8, 5, GenConfig{})
+	labels, want := SequentialCC(g)
+	res, err := ConnectedComponents(g, Options{Processors: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("count %d vs %d", res.Count, want)
+	}
+	// Spot-check label partition agreement on a sample of pairs.
+	for i := 0; i+1000 < g.N; i += 7919 {
+		a, b := i, i+1000
+		if (labels[a] == labels[b]) != (res.Labels[a] == res.Labels[b]) {
+			t.Fatalf("partition disagreement at (%d,%d)", a, b)
+		}
+	}
+}
+
+func TestStressMinCutMediumGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := WattsStrogatz(1024, 16, 0.3, 11, GenConfig{MaxWeight: 3})
+	res, err := MinCut(g, Options{Processors: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Side[0] && res.Value == 0 {
+		t.Fatal("implausible zero cut on connected WS graph")
+	}
+	if CutValue(g, res.Side) != res.Value {
+		t.Fatal("certificate mismatch")
+	}
+	// The approximation must bracket the exact value within its factor.
+	app, err := ApproxMinCut(g, Options{Processors: 4, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(app.Value) / float64(res.Value)
+	if ratio < 1.0/16 || ratio > 16 {
+		t.Errorf("approx %d vs exact %d: ratio %.2f outside generous bracket", app.Value, res.Value, ratio)
+	}
+	// Exact value can never exceed the min weighted degree.
+	minDeg := ^uint64(0)
+	deg := g.Degrees()
+	for _, d := range deg {
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	if res.Value > minDeg {
+		t.Errorf("cut %d exceeds min degree %d", res.Value, minDeg)
+	}
+}
+
+func TestStressDeterministicAcrossP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// The cut VALUE must agree across processor counts whp; sides may
+	// differ between ties.
+	g := ErdosRenyi(256, 2048, 31, GenConfig{MaxWeight: 4})
+	want, _ := StoerWagner(g)
+	for _, p := range []int{1, 3, 5, 8} {
+		res, err := MinCut(g, Options{Processors: p, Seed: 17, SuccessProb: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want {
+			t.Errorf("p=%d: %d, want %d", p, res.Value, want)
+		}
+	}
+}
