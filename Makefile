@@ -1,0 +1,31 @@
+# Development targets. `make check` is the default gate: build + vet +
+# full tests + race detector over the concurrent subsystems (the serving
+# layer and the BSP runtime).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench camcd
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The service layer and BSP runtime are heavily concurrent; they are
+# race-checked on every default run.
+race:
+	$(GO) test -race ./internal/service/... ./internal/bsp/...
+
+check: build vet test race
+
+bench:
+	$(GO) run ./cmd/bench -exp all -quick
+
+camcd:
+	$(GO) run ./cmd/camcd

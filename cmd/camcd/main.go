@@ -1,0 +1,115 @@
+// Command camcd is the graph-analytics daemon: it serves the paper's
+// communication-avoiding kernels (connected components, approximate and
+// exact minimum cut) over HTTP, with a graph registry, an LRU result
+// cache, singleflight coalescing of identical in-flight queries, and
+// admission control (bounded queue, fixed worker pool, per-request
+// deadlines).
+//
+// API:
+//
+//	POST /v1/graphs?name=NAME&format=edgelist|snap   register a graph
+//	POST /v1/query                                   {"graph":..., "algorithm":"cc|mincut|approxcut", ...}
+//	GET  /v1/stats                                   serving metrics (JSON)
+//	GET  /healthz                                    liveness
+//
+// See the README section "Running camcd" for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("camcd: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8387", "listen address")
+		workers    = flag.Int("workers", 0, "kernel worker pool size (0 = CPUs, max 4)")
+		queueBound = flag.Int("queue", 64, "admission-control queue bound")
+		cacheCap   = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
+		maxP       = flag.Int("maxp", 0, "largest per-query BSP machine (0 = CPUs, max 16)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "default per-query deadline")
+		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "largest honored per-query deadline")
+	)
+	flag.Parse()
+
+	engine := service.NewEngine(service.Config{
+		Workers:        *workers,
+		QueueBound:     *queueBound,
+		CacheCapacity:  *cacheCap,
+		MaxProcessors:  *maxP,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           NewLoggingHandler(service.NewHandler(engine)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("received %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		// Kernels are not cancellable: Engine.Close waits for the worker
+		// pool to finish whatever is running. Bound the drain so a
+		// long-running kernel (exact min cut on a large graph) cannot
+		// hold shutdown hostage.
+		drained := make(chan struct{})
+		go func() {
+			engine.Close()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			log.Print("drain timed out: a kernel is still running, exiting anyway")
+		}
+	}()
+
+	log.Printf("serving on http://%s (POST /v1/graphs, POST /v1/query, GET /v1/stats)", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Print("bye")
+}
+
+// NewLoggingHandler wraps h with one access-log line per request.
+func NewLoggingHandler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

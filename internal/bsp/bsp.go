@@ -384,6 +384,27 @@ func (s *Stats) SimCommFraction() float64 {
 // Total returns total wall time (app + comm maxima).
 func (s *Stats) Total() time.Duration { return s.MaxAppTime + s.MaxCommTime }
 
+// MaxHRelation returns the largest single-superstep h-relation of the
+// run — the bottleneck superstep the BSP cost model charges g·h for.
+func (s *Stats) MaxHRelation() uint64 {
+	var max uint64
+	for _, h := range s.HRelations {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// MeanHRelation returns the average per-superstep h-relation, or 0 for a
+// run with no supersteps.
+func (s *Stats) MeanHRelation() float64 {
+	if s.Supersteps == 0 {
+		return 0
+	}
+	return float64(s.CommVolume) / float64(s.Supersteps)
+}
+
 // CommFraction returns MaxCommTime / Total, the T_MPI/T ratio of Figure 1b.
 func (s *Stats) CommFraction() float64 {
 	t := s.Total()

@@ -2,11 +2,24 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// ErrMalformed tags every input-format error returned by the loaders:
+// unparsable lines, negative or out-of-range endpoints, zero weights,
+// bad headers. Callers distinguish caller mistakes from I/O failures
+// with errors.Is(err, ErrMalformed) — the service layer maps the former
+// to HTTP 400 and everything else to 500.
+var ErrMalformed = errors.New("malformed graph input")
+
+// malformedf builds a descriptive format error wrapping ErrMalformed.
+func malformedf(format string, args ...interface{}) error {
+	return fmt.Errorf("graph: "+format+": %w", append(args, ErrMalformed)...)
+}
 
 // WriteEdgeList serializes g in the artifact's plain edge-list format:
 // a header line "n m" followed by one "u v w" line per edge.
@@ -41,21 +54,21 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: snap line %d: need 'u v [w]'", line)
+			return nil, malformedf("snap line %d: need 'u v [w]'", line)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil || u < 0 {
-			return nil, fmt.Errorf("graph: snap line %d: bad endpoint %q", line, fields[0])
+			return nil, malformedf("snap line %d: bad endpoint %q", line, fields[0])
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil || v < 0 {
-			return nil, fmt.Errorf("graph: snap line %d: bad endpoint %q", line, fields[1])
+			return nil, malformedf("snap line %d: bad endpoint %q", line, fields[1])
 		}
 		w := uint64(1)
 		if len(fields) >= 3 {
 			w, err = strconv.ParseUint(fields[2], 10, 64)
 			if err != nil || w == 0 {
-				return nil, fmt.Errorf("graph: snap line %d: bad weight %q", line, fields[2])
+				return nil, malformedf("snap line %d: bad weight %q", line, fields[2])
 			}
 		}
 		if u > maxID {
@@ -91,42 +104,42 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		fields := strings.Fields(text)
 		if g == nil {
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("graph: line %d: header needs 'n m'", line)
+				return nil, malformedf("line %d: header needs 'n m'", line)
 			}
 			n, err := strconv.Atoi(fields[0])
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[0])
+				return nil, malformedf("line %d: bad vertex count %q", line, fields[0])
 			}
 			m, err := strconv.Atoi(fields[1])
 			if err != nil || m < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[1])
+				return nil, malformedf("line %d: bad edge count %q", line, fields[1])
 			}
 			g = &Graph{N: n, Edges: make([]Edge, 0, m)}
 			continue
 		}
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: edge needs 'u v [w]'", line)
+			return nil, malformedf("line %d: edge needs 'u v [w]'", line)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[0])
+			return nil, malformedf("line %d: bad endpoint %q", line, fields[0])
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[1])
+			return nil, malformedf("line %d: bad endpoint %q", line, fields[1])
 		}
 		w := uint64(1)
 		if len(fields) >= 3 {
 			w, err = strconv.ParseUint(fields[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
+				return nil, malformedf("line %d: bad weight %q", line, fields[2])
 			}
 		}
 		if u < 0 || v < 0 || int(u) >= g.N || int(v) >= g.N {
-			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range for n=%d", line, u, v, g.N)
+			return nil, malformedf("line %d: edge (%d,%d) out of range for n=%d", line, u, v, g.N)
 		}
 		if w == 0 {
-			return nil, fmt.Errorf("graph: line %d: zero weight", line)
+			return nil, malformedf("line %d: zero weight", line)
 		}
 		if u != v {
 			g.Edges = append(g.Edges, Edge{U: int32(u), V: int32(v), W: w})
@@ -136,7 +149,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	if g == nil {
-		return nil, fmt.Errorf("graph: empty input")
+		return nil, malformedf("empty input")
 	}
 	return g, nil
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,52 @@ func TestReadEdgeListErrors(t *testing.T) {
 		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
 			t.Errorf("input %q: expected error", c)
 		}
+	}
+}
+
+func TestLoaderErrorsWrapErrMalformed(t *testing.T) {
+	edgelist := []string{
+		"",                       // empty input
+		"2\n",                    // short header
+		"-1 0\n",                 // negative vertex count
+		"2 1\n0\n",               // short edge
+		"2 1\n0 5 1\n",           // out of range
+		"2 1\n-1 1 1\n",          // negative endpoint
+		"2 1\n0 1 0\n",           // zero weight
+		"2 1\n0 99999999999 1\n", // endpoint overflows int32
+	}
+	for _, in := range edgelist {
+		_, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("edge list %q accepted", in)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("edge list %q: error %v does not wrap ErrMalformed", in, err)
+		}
+	}
+	snap := []string{
+		"0\n",             // short line
+		"a b\n",           // unparsable endpoints
+		"-1 2\n",          // negative endpoint
+		"0 99999999999\n", // endpoint overflows int32
+		"0 1 0\n",         // zero weight
+		"0 1 x\n",         // bad weight
+	}
+	for _, in := range snap {
+		_, err := ReadSNAP(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("snap %q accepted", in)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("snap %q: error %v does not wrap ErrMalformed", in, err)
+		}
+	}
+	// The error text stays descriptive: line number and offending token.
+	_, err := ReadEdgeList(strings.NewReader("2 1\n0 one 1\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "one") {
+		t.Errorf("error lost context: %v", err)
 	}
 }
 

@@ -1,0 +1,64 @@
+package graph
+
+import "testing"
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 5)
+	s := g.Snapshot()
+
+	// Mutate the original after the snapshot; the view must not move.
+	g.AddEdge(2, 3, 7)
+	g.Edges[0].W = 99
+
+	if s.N() != 4 || s.M() != 2 {
+		t.Fatalf("snapshot shape n=%d m=%d, want 4, 2", s.N(), s.M())
+	}
+	if s.Edges()[0].W != 3 {
+		t.Errorf("snapshot saw mutation of original: %+v", s.Edges()[0])
+	}
+	if s.TotalWeight() != 8 {
+		t.Errorf("total weight = %d, want 8", s.TotalWeight())
+	}
+}
+
+func TestSnapshotFingerprint(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 4)
+	a := g.Snapshot()
+	b := g.Snapshot()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical graphs fingerprint differently: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() == 0 {
+		t.Error("zero fingerprint")
+	}
+
+	g.Edges[1].W = 5
+	c := g.Snapshot()
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("weight change did not change fingerprint")
+	}
+
+	// Same edges, different vertex count.
+	h := &Graph{N: 4, Edges: append([]Edge(nil), a.Edges()...)}
+	if h.Snapshot().Fingerprint() == a.Fingerprint() {
+		t.Error("vertex-count change did not change fingerprint")
+	}
+}
+
+func TestSnapshotGraphView(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	s := g.Snapshot()
+	v := s.Graph()
+	if v.N != 5 || v.M() != 2 {
+		t.Fatalf("view shape: n=%d m=%d", v.N, v.M())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU map from query key to query result.
+// Keys embed the graph's (name, version, fingerprint), so replacing a
+// graph naturally strands the old entries until the LRU evicts them —
+// stale results are unreachable, never served.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *QueryResult
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used, or nil on a miss. Hit/miss counters update accordingly.
+func (c *lruCache) get(key string) *QueryResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entries beyond capacity. A zero-capacity cache stores nothing.
+func (c *lruCache) put(key string, res *QueryResult) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *lruCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,345 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Config tunes an Engine. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// Workers is the number of kernel-executing workers (default: CPUs,
+	// max 4). Each worker runs one BSP machine at a time, so worker
+	// count × MaxProcessors bounds total goroutine fan-out.
+	Workers int
+	// QueueBound is the admission-control queue capacity (default 64).
+	// A query arriving to a full queue is rejected with ErrOverloaded;
+	// the worker pool never grows.
+	QueueBound int
+	// CacheCapacity is the LRU result cache size in entries (default 128;
+	// negative disables caching).
+	CacheCapacity int
+	// MaxProcessors caps the per-query BSP machine size (default: CPUs,
+	// max 16).
+	MaxProcessors int
+	// DefaultTimeout bounds a query's queueing plus result wait when the
+	// request does not set one (default 60s). MaxTimeout clamps
+	// per-request overrides (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// BeforeExec, when non-nil, runs on the worker goroutine immediately
+	// before each kernel execution. It exists for tests, which use it to
+	// hold kernels at a gate and observe coalescing and admission
+	// control deterministically. Leave nil in production.
+	BeforeExec func(alg string)
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+		if cfg.Workers > 4 {
+			cfg.Workers = 4
+		}
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 64
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 128
+	} else if cfg.CacheCapacity < 0 {
+		cfg.CacheCapacity = 0
+	}
+	if cfg.MaxProcessors <= 0 {
+		cfg.MaxProcessors = runtime.NumCPU()
+		if cfg.MaxProcessors > 16 {
+			cfg.MaxProcessors = 16
+		}
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+}
+
+// call is one scheduled kernel execution plus everyone waiting on it:
+// the leader that enqueued it and any coalesced followers.
+type call struct {
+	key      string
+	alg      string
+	sg       *StoredGraph
+	p        int
+	pr       params
+	deadline time.Time
+
+	done chan struct{} // closed when res/err are final
+	res  *QueryResult
+	err  error
+
+	waiters int // coalesced followers currently waiting (guarded by engine mu)
+}
+
+// Reply is the engine's answer to one query.
+type Reply struct {
+	// Outcome is a trace.Outcome* constant: executed, cache_hit, or
+	// coalesced.
+	Outcome string
+	Result  *QueryResult
+	Latency time.Duration
+}
+
+// Engine is the query engine: registry + cache + bounded scheduler with
+// coalescing, instrumented through a trace.Collector.
+type Engine struct {
+	cfg       Config
+	reg       *Registry
+	cache     *lruCache
+	collector *trace.Collector
+	started   time.Time
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	closed   bool
+
+	jobs chan *call
+	wg   sync.WaitGroup
+}
+
+// NewEngine starts an engine with cfg's worker pool running.
+func NewEngine(cfg Config) *Engine {
+	cfg.defaults()
+	e := &Engine{
+		cfg:       cfg,
+		reg:       NewRegistry(),
+		cache:     newLRUCache(cfg.CacheCapacity),
+		collector: trace.NewCollector(),
+		started:   time.Now(),
+		inflight:  make(map[string]*call),
+		jobs:      make(chan *call, cfg.QueueBound),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Registry exposes the engine's graph registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Collector exposes the engine's metrics collector.
+func (e *Engine) Collector() *trace.Collector { return e.collector }
+
+// Close shuts the engine down: new queries fail with ErrClosed, queued
+// jobs drain, workers exit. It blocks until the pool is idle.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// worker executes queued calls one at a time. Admission control is
+// two-sided: the bounded queue sheds load at submission, and a job whose
+// deadline passed while queued is dropped here without running — stale
+// work must not occupy a worker.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for c := range e.jobs {
+		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+			c.err = fmt.Errorf("%w: expired after queueing", ErrDeadline)
+		} else {
+			if e.cfg.BeforeExec != nil {
+				e.cfg.BeforeExec(c.alg)
+			}
+			c.res, c.err = executeKernel(c.sg, c.alg, c.p, c.pr)
+		}
+		if c.err == nil {
+			e.cache.put(c.key, c.res)
+		}
+		e.mu.Lock()
+		delete(e.inflight, c.key)
+		e.mu.Unlock()
+		close(c.done)
+	}
+}
+
+// Query answers one analytics request: cache lookup, coalescing with an
+// identical in-flight query, or a scheduled kernel execution — in that
+// order. It blocks until a result, the request deadline, or rejection.
+func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
+	start := time.Now()
+	pr, err := normalize(&req)
+	if err != nil {
+		e.observeFailure(req.Algorithm, trace.OutcomeError, start)
+		return nil, err
+	}
+	sg, err := e.reg.Get(req.Graph)
+	if err != nil {
+		e.observeFailure(req.Algorithm, trace.OutcomeError, start)
+		return nil, err
+	}
+	p := chooseP(sg.Snap.M(), req.Processors, e.cfg.MaxProcessors)
+	key := cacheKey(sg, req.Algorithm, p, pr)
+
+	timeout := e.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > e.cfg.MaxTimeout {
+			timeout = e.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	deadline, _ := ctx.Deadline()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// ① Coalesce onto an identical in-flight query: a thundering herd of
+	// equal requests computes once. Checked before the cache so
+	// followers never inflate the miss counter.
+	if c, ok := e.inflight[key]; ok {
+		c.waiters++
+		e.mu.Unlock()
+		return e.wait(ctx, c, start, trace.OutcomeCoalesced, true)
+	}
+	// ② Cache.
+	if !req.NoCache {
+		if res := e.cache.get(key); res != nil {
+			e.mu.Unlock()
+			lat := time.Since(start)
+			e.collector.Observe(trace.QuerySample{
+				Algorithm: req.Algorithm,
+				Outcome:   trace.OutcomeCacheHit,
+				Latency:   lat,
+				P:         res.Kernel.P,
+			})
+			return &Reply{Outcome: trace.OutcomeCacheHit, Result: res, Latency: lat}, nil
+		}
+	}
+	// ③ Admission control: become the leader if the queue has room.
+	c := &call{
+		key: key, alg: req.Algorithm, sg: sg, p: p, pr: pr,
+		deadline: deadline, done: make(chan struct{}),
+	}
+	depth := len(e.jobs)
+	select {
+	case e.jobs <- c:
+		e.inflight[key] = c
+		e.mu.Unlock()
+	default:
+		e.mu.Unlock()
+		e.collector.Observe(trace.QuerySample{
+			Algorithm:  req.Algorithm,
+			Outcome:    trace.OutcomeRejected,
+			QueueDepth: depth,
+		})
+		return nil, fmt.Errorf("%w: queue full (%d queued, %d workers)",
+			ErrOverloaded, depth, e.cfg.Workers)
+	}
+	return e.wait(ctx, c, start, trace.OutcomeExecuted, false)
+}
+
+// wait blocks for a call's completion or the caller's deadline and
+// records the sample. Followers decrement the waiter gauge on exit.
+func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome string, follower bool) (*Reply, error) {
+	if follower {
+		defer func() {
+			e.mu.Lock()
+			c.waiters--
+			e.mu.Unlock()
+		}()
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		// The kernel (if running) completes and populates the cache for
+		// future queries; this caller alone gives up.
+		e.observeFailure(c.alg, trace.OutcomeExpired, start)
+		return nil, fmt.Errorf("%w: %s on %q", ErrDeadline, c.alg, c.sg.Name)
+	}
+	lat := time.Since(start)
+	if c.err != nil {
+		// Deadline-dropped jobs surface as expired to every waiter.
+		out := trace.OutcomeError
+		if errors.Is(c.err, ErrDeadline) {
+			out = trace.OutcomeExpired
+		}
+		e.observeFailure(c.alg, out, start)
+		return nil, c.err
+	}
+	sample := trace.QuerySample{
+		Algorithm:  c.alg,
+		Outcome:    outcome,
+		Latency:    lat,
+		QueueDepth: len(e.jobs),
+	}
+	if outcome == trace.OutcomeExecuted {
+		sample.P = c.res.Kernel.P
+		sample.Supersteps = c.res.Kernel.Supersteps
+		sample.CommVolume = c.res.Kernel.CommVolume
+	}
+	e.collector.Observe(sample)
+	return &Reply{Outcome: outcome, Result: c.res, Latency: lat}, nil
+}
+
+func (e *Engine) observeFailure(alg, outcome string, start time.Time) {
+	e.collector.Observe(trace.QuerySample{
+		Algorithm: alg,
+		Outcome:   outcome,
+		Latency:   time.Since(start),
+	})
+}
+
+// EngineStats is the live state served by /v1/stats: pool gauges, cache
+// counters, and the collector's per-algorithm aggregates.
+type EngineStats struct {
+	UptimeMs         float64                 `json:"uptime_ms"`
+	Graphs           int                     `json:"graphs"`
+	Workers          int                     `json:"workers"`
+	QueueDepth       int                     `json:"queue_depth"`
+	QueueCapacity    int                     `json:"queue_capacity"`
+	InflightCalls    int                     `json:"inflight_calls"`
+	CoalescedWaiters int                     `json:"coalesced_waiters"`
+	MaxProcessors    int                     `json:"max_processors"`
+	Cache            CacheStats              `json:"cache"`
+	Queries          trace.CollectorSnapshot `json:"queries"`
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	inflight := len(e.inflight)
+	waiters := 0
+	for _, c := range e.inflight {
+		waiters += c.waiters
+	}
+	e.mu.Unlock()
+	return EngineStats{
+		UptimeMs:         float64(time.Since(e.started)) / float64(time.Millisecond),
+		Graphs:           e.reg.Len(),
+		Workers:          e.cfg.Workers,
+		QueueDepth:       len(e.jobs),
+		QueueCapacity:    e.cfg.QueueBound,
+		InflightCalls:    inflight,
+		CoalescedWaiters: waiters,
+		MaxProcessors:    e.cfg.MaxProcessors,
+		Cache:            e.cache.stats(),
+		Queries:          e.collector.Snapshot(),
+	}
+}

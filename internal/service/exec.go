@@ -1,0 +1,270 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/approxcut"
+	"repro/internal/bsp"
+	"repro/internal/cc"
+	"repro/internal/dist"
+	"repro/internal/mincut"
+	"repro/internal/rng"
+)
+
+// Supported algorithms.
+const (
+	AlgCC        = "cc"        // connected components (§3.2)
+	AlgMinCut    = "mincut"    // exact minimum cut (§4)
+	AlgApproxCut = "approxcut" // O(log n)-approximate minimum cut (§3.3)
+)
+
+// QueryRequest describes one analytics query against a registered graph.
+// The zero value of every tuning field selects the repo-wide default.
+type QueryRequest struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	// Seed drives all randomness (default 1). Identical (graph version,
+	// algorithm, parameters, seed) queries are identical computations —
+	// which is what makes them cacheable and coalescable.
+	Seed uint64 `json:"seed,omitempty"`
+	// Processors pins the BSP machine size; 0 lets the scheduler size it
+	// from the graph (clamped to the engine's MaxProcessors either way).
+	Processors int `json:"processors,omitempty"`
+	// SuccessProb targets the exact min cut success probability
+	// (default 0.9).
+	SuccessProb float64 `json:"success_prob,omitempty"`
+	// MaxTrials caps the exact min cut trial count (0 = theory-derived).
+	MaxTrials int `json:"max_trials,omitempty"`
+	// Epsilon tunes the CC sample size s = n^(1+ε/2) (default 0.5).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Trials overrides the approximate cut's trials per sparsity level.
+	Trials int `json:"trials,omitempty"`
+	// Pipelined selects the O(1)-superstep approximate cut variant.
+	Pipelined bool `json:"pipelined,omitempty"`
+	// TimeoutMillis bounds queueing plus result wait (0 = engine default).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// IncludeLabels / IncludeSide opt into the bulky parts of the result
+	// in HTTP responses (the cache always stores them).
+	IncludeLabels bool `json:"include_labels,omitempty"`
+	IncludeSide   bool `json:"include_side,omitempty"`
+	// NoCache skips the cache lookup (the result is still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// params is the normalized, defaulted form of the tuning fields — the
+// canonical identity used for cache keys and coalescing.
+type params struct {
+	seed        uint64
+	epsilon     float64
+	successProb float64
+	maxTrials   int
+	trials      int
+	pipelined   bool
+}
+
+func normalize(req *QueryRequest) (params, error) {
+	switch req.Algorithm {
+	case AlgCC, AlgMinCut, AlgApproxCut:
+	default:
+		return params{}, fmt.Errorf("%w: unknown algorithm %q (want %s|%s|%s)",
+			ErrBadRequest, req.Algorithm, AlgCC, AlgMinCut, AlgApproxCut)
+	}
+	p := params{
+		seed:        req.Seed,
+		epsilon:     req.Epsilon,
+		successProb: req.SuccessProb,
+		maxTrials:   req.MaxTrials,
+		trials:      req.Trials,
+		pipelined:   req.Pipelined,
+	}
+	if p.seed == 0 {
+		p.seed = 1
+	}
+	if p.epsilon == 0 {
+		p.epsilon = 0.5
+	}
+	if p.epsilon < 0 || p.epsilon > 2 {
+		return params{}, fmt.Errorf("%w: epsilon %g out of (0, 2]", ErrBadRequest, req.Epsilon)
+	}
+	if p.successProb == 0 {
+		p.successProb = 0.9
+	}
+	if p.successProb <= 0 || p.successProb >= 1 {
+		return params{}, fmt.Errorf("%w: success_prob %g out of (0, 1)", ErrBadRequest, req.SuccessProb)
+	}
+	if p.maxTrials < 0 || p.trials < 0 || req.Processors < 0 {
+		return params{}, fmt.Errorf("%w: negative tuning parameter", ErrBadRequest)
+	}
+	return p, nil
+}
+
+// chooseP sizes the BSP machine for a query: an explicit request is
+// honored (clamped to maxP); otherwise p doubles while each processor
+// would still hold more than 2·edgesPerProc edges. Small graphs run at
+// p=1, where the BSP kernels degenerate to their sequential forms and
+// pay zero synchronization — the adaptive regime the serving layer is
+// for: a fleet of small queries must not each spin up 16 goroutines.
+func chooseP(m, explicit, maxP int) int {
+	if maxP < 1 {
+		maxP = 1
+	}
+	if explicit > 0 {
+		if explicit > maxP {
+			return maxP
+		}
+		return explicit
+	}
+	const edgesPerProc = 4096
+	p := 1
+	for p < maxP && m/p > 2*edgesPerProc {
+		p *= 2
+	}
+	if p > maxP {
+		p = maxP
+	}
+	return p
+}
+
+// KernelStats is the BSP cost profile of one kernel execution, lifted
+// from bsp.Stats into a JSON-ready form.
+type KernelStats struct {
+	P            int     `json:"p"`
+	Supersteps   int     `json:"supersteps"`
+	CommVolume   uint64  `json:"comm_volume"`
+	MaxHRelation uint64  `json:"max_h_relation"`
+	TimeMs       float64 `json:"time_ms"`
+	CommTimeMs   float64 `json:"comm_time_ms"`
+	MaxOps       uint64  `json:"max_ops"`
+}
+
+// QueryResult is the full outcome of one kernel execution; it is the
+// unit the cache stores, so it always carries the complete labelling /
+// cut side even when the response omits them.
+type QueryResult struct {
+	Graph      string
+	Version    uint64
+	Algorithm  string
+	Value      uint64  // cut value (mincut, approxcut)
+	Components int     // component count (cc)
+	Iterations int     // sampling rounds (cc) or sparsity levels (approxcut)
+	Trials     int     // contraction trials (mincut) or per-level trials (approxcut)
+	Labels     []int32 // cc labelling
+	Side       []bool  // mincut partition side
+	Kernel     KernelStats
+}
+
+func kernelStatsOf(st *bsp.Stats) KernelStats {
+	return KernelStats{
+		P:            st.P,
+		Supersteps:   st.Supersteps,
+		CommVolume:   st.CommVolume,
+		MaxHRelation: st.MaxHRelation(),
+		TimeMs:       float64(st.Total()) / float64(time.Millisecond),
+		CommTimeMs:   float64(st.MaxCommTime) / float64(time.Millisecond),
+		MaxOps:       st.MaxOps,
+	}
+}
+
+// executeKernel runs one algorithm over the snapshot on a fresh BSP
+// machine of p processors. The snapshot's frozen edge array is sliced
+// across processors with the block distribution — zero copies at
+// ingestion; the kernels treat local slices as read-only.
+func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult, error) {
+	snap := sg.Snap
+	n := snap.N()
+	edges := snap.Edges()
+	var (
+		ccRes *cc.Result
+		mcRes *mincut.CutResult
+		acRes *approxcut.Result
+	)
+	st, err := bsp.Run(p, func(c *bsp.Comm) {
+		lo, hi := dist.BlockRange(len(edges), p, c.Rank())
+		local := edges[lo:hi]
+		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
+		switch alg {
+		case AlgCC:
+			r := cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon})
+			if c.Rank() == 0 {
+				ccRes = r
+			}
+		case AlgMinCut:
+			r := mincut.Parallel(c, n, local, stream, mincut.Options{
+				SuccessProb: pr.successProb,
+				MaxTrials:   pr.maxTrials,
+			})
+			if c.Rank() == 0 {
+				mcRes = r
+			}
+		case AlgApproxCut:
+			r := approxcut.Parallel(c, n, local, stream, approxcut.Options{
+				Trials:    pr.trials,
+				Pipelined: pr.pipelined,
+			})
+			if c.Rank() == 0 {
+				acRes = r
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{
+		Graph:     sg.Name,
+		Version:   sg.Version,
+		Algorithm: alg,
+		Kernel:    kernelStatsOf(st),
+	}
+	switch alg {
+	case AlgCC:
+		res.Components = ccRes.Count
+		res.Iterations = ccRes.Iterations
+		res.Labels = ccRes.Labels
+	case AlgMinCut:
+		res.Value = mcRes.Value
+		res.Trials = mcRes.Trials
+		res.Side = mcRes.Side
+	case AlgApproxCut:
+		res.Value = acRes.Value
+		res.Iterations = acRes.Iterations
+		res.Trials = acRes.TrialsPerIteration
+	}
+	return res, nil
+}
+
+// cacheKey builds the canonical identity of a query: graph name, version
+// and content fingerprint, algorithm, machine size, and every normalized
+// tuning parameter. Two requests with equal keys are the same
+// computation — safe to coalesce and to serve from cache.
+func cacheKey(sg *StoredGraph, alg string, p int, pr params) string {
+	return fmt.Sprintf("%s@%d#%016x|%s|p%d|s%d|e%g|sp%g|mt%d|t%d|pl%t",
+		sg.Name, sg.Version, sg.Snap.Fingerprint(), alg, p,
+		pr.seed, pr.epsilon, pr.successProb, pr.maxTrials, pr.trials, pr.pipelined)
+}
+
+// sideVertices converts a cut side to the vertex list of its smaller
+// shore, the compact wire form.
+func sideVertices(side []bool) []int32 {
+	in := 0
+	for _, s := range side {
+		if s {
+			in++
+		}
+	}
+	flip := in > len(side)-in
+	out := make([]int32, 0, min(in, len(side)-in))
+	for v, s := range side {
+		if s != flip {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/graph"
+)
+
+// NewHandler builds the camcd HTTP API over an engine:
+//
+//	POST /v1/graphs?name=NAME&format=edgelist|snap  — register a graph (body: text)
+//	POST /v1/query                                  — run cc | mincut | approxcut
+//	GET  /v1/stats                                  — pool, cache, and query metrics
+//	GET  /healthz                                   — liveness
+//
+// Error mapping: malformed input and bad parameters → 400, unknown graph
+// → 404, shed load → 429 (with Retry-After), per-request deadline → 504,
+// engine shutdown → 503, anything else → 500.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		handleUpload(e, w, r)
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		handleQuery(e, w, r)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// maxUploadBytes bounds graph upload bodies (64 MiB — far above the
+// laptop-scale workloads, far below a memory-exhaustion vector).
+const maxUploadBytes = 64 << 20
+
+// GraphInfo is the upload response.
+type GraphInfo struct {
+	Name        string `json:"name"`
+	Version     uint64 `json:"version"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	TotalWeight uint64 `json:"total_weight"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func infoOf(sg *StoredGraph) GraphInfo {
+	return GraphInfo{
+		Name:        sg.Name,
+		Version:     sg.Version,
+		N:           sg.Snap.N(),
+		M:           sg.Snap.M(),
+		TotalWeight: sg.Snap.TotalWeight(),
+		Fingerprint: fmt.Sprintf("%016x", sg.Snap.Fingerprint()),
+	}
+}
+
+func handleUpload(e *Engine, w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	defer io.Copy(io.Discard, body)
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "edgelist":
+		g, err = graph.ReadEdgeList(body)
+	case "snap":
+		g, err = graph.ReadSNAP(body)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want edgelist|snap)", format))
+		return
+	}
+	if err != nil {
+		// The 400-vs-500 split rides on the loader's wrapped errors:
+		// caller-supplied garbage is 400, transport failures are 500.
+		status := http.StatusInternalServerError
+		if errors.Is(err, graph.ErrMalformed) {
+			status = http.StatusBadRequest
+		}
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	sg, err := e.Registry().Put(r.URL.Query().Get("name"), g)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(sg))
+}
+
+// QueryResponse is the wire form of a query result. Labels and Side are
+// present only when the request opted in.
+type QueryResponse struct {
+	Graph      string      `json:"graph"`
+	Version    uint64      `json:"version"`
+	Algorithm  string      `json:"algorithm"`
+	Outcome    string      `json:"outcome"` // executed | cache_hit | coalesced
+	LatencyMs  float64     `json:"latency_ms"`
+	Value      *uint64     `json:"value,omitempty"`      // mincut, approxcut
+	Components *int        `json:"components,omitempty"` // cc
+	Iterations int         `json:"iterations,omitempty"`
+	Trials     int         `json:"trials,omitempty"`
+	Labels     []int32     `json:"labels,omitempty"`
+	Side       []int32     `json:"side,omitempty"` // smaller shore of the cut
+	Kernel     KernelStats `json:"kernel"`
+}
+
+func handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query body: %w", err))
+		return
+	}
+	reply, err := e.Query(r.Context(), req)
+	if err != nil {
+		status := statusOf(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	res := reply.Result
+	resp := QueryResponse{
+		Graph:      res.Graph,
+		Version:    res.Version,
+		Algorithm:  res.Algorithm,
+		Outcome:    reply.Outcome,
+		LatencyMs:  float64(reply.Latency.Microseconds()) / 1e3,
+		Iterations: res.Iterations,
+		Trials:     res.Trials,
+		Kernel:     res.Kernel,
+	}
+	switch res.Algorithm {
+	case AlgCC:
+		resp.Components = &res.Components
+		if req.IncludeLabels {
+			resp.Labels = res.Labels
+		}
+	case AlgMinCut:
+		resp.Value = &res.Value
+		if req.IncludeSide {
+			resp.Side = sideVertices(res.Side)
+		}
+	case AlgApproxCut:
+		resp.Value = &res.Value
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusOf maps engine sentinel errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest), errors.Is(err, graph.ErrMalformed):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

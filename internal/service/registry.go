@@ -1,0 +1,108 @@
+// Package service is the in-process graph-analytics serving layer: a
+// graph registry holding immutable snapshots, a query engine dispatching
+// onto the paper's kernels (connected components §3.2, approximate
+// minimum cut §3.3, exact minimum cut §4), an LRU result cache keyed by
+// (graph version, algorithm, parameters), and a bounded worker pool with
+// admission control and singleflight-style coalescing of identical
+// in-flight queries. cmd/camcd exposes it over HTTP.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrNotFound: the named graph is not registered (404).
+	ErrNotFound = errors.New("service: graph not found")
+	// ErrOverloaded: the scheduler queue is full; the request was shed
+	// rather than growing the worker pool (429).
+	ErrOverloaded = errors.New("service: overloaded, query rejected")
+	// ErrDeadline: the per-request deadline passed before a result was
+	// available (504).
+	ErrDeadline = errors.New("service: deadline exceeded")
+	// ErrBadRequest: invalid algorithm or parameters (400).
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrClosed: the engine is shutting down (503).
+	ErrClosed = errors.New("service: engine closed")
+)
+
+// StoredGraph is one registered graph: an immutable snapshot plus
+// registry identity. Re-registering under the same name bumps Version,
+// which invalidates cache keys without any explicit cache flush.
+type StoredGraph struct {
+	Name    string
+	Version uint64
+	Snap    *graph.Snapshot
+}
+
+// Registry maps names to graph snapshots. It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*StoredGraph
+	nextID uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*StoredGraph)}
+}
+
+// Put registers (or replaces) a graph under name and returns its stored
+// form. An empty name auto-generates one ("g1", "g2", ...). The graph is
+// validated and snapshotted; the caller's graph may be mutated freely
+// afterwards.
+func (r *Registry) Put(name string, g *graph.Graph) (*StoredGraph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadRequest)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	snap := g.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" {
+		r.nextID++
+		name = fmt.Sprintf("g%d", r.nextID)
+	}
+	version := uint64(1)
+	if prev, ok := r.graphs[name]; ok {
+		version = prev.Version + 1
+	}
+	sg := &StoredGraph{Name: name, Version: version, Snap: snap}
+	r.graphs[name] = sg
+	return sg, nil
+}
+
+// Get returns the graph registered under name.
+func (r *Registry) Get(name string) (*StoredGraph, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sg, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return sg, nil
+}
+
+// Delete removes the graph registered under name; it reports whether the
+// name existed. Cached results for the deleted graph age out of the LRU.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.graphs[name]
+	delete(r.graphs, name)
+	return ok
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}

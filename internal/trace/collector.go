@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Query outcomes recorded by the Collector. A query is counted exactly
+// once, under the outcome that resolved it.
+const (
+	OutcomeExecuted  = "executed"  // a kernel ran for this query
+	OutcomeCacheHit  = "cache_hit" // served from the result cache
+	OutcomeCoalesced = "coalesced" // piggybacked on an identical in-flight query
+	OutcomeRejected  = "rejected"  // shed by admission control (queue full)
+	OutcomeExpired   = "expired"   // deadline passed before a result was available
+	OutcomeError     = "error"     // the kernel or the request failed
+)
+
+// QuerySample is one finished (or shed) query as seen by the serving
+// layer: what ran, how it resolved, and the BSP cost profile when a
+// kernel actually executed.
+type QuerySample struct {
+	Algorithm  string
+	Outcome    string // one of the Outcome constants
+	Latency    time.Duration
+	P          int    // BSP processors used (0 if no kernel ran)
+	Supersteps int    // 0 if no kernel ran
+	CommVolume uint64 // words; 0 if no kernel ran
+	QueueDepth int    // scheduler queue depth observed at admission
+}
+
+// AlgoStats aggregates the samples of one algorithm (or, for the
+// collector's totals, of all of them). The struct is JSON-ready, so the
+// service's stats endpoint can serve collector snapshots directly.
+type AlgoStats struct {
+	Queries          uint64  `json:"queries"`
+	KernelExecutions uint64  `json:"kernel_executions"`
+	CacheHits        uint64  `json:"cache_hits"`
+	Coalesced        uint64  `json:"coalesced"`
+	Rejected         uint64  `json:"rejected"`
+	Expired          uint64  `json:"expired"`
+	Errors           uint64  `json:"errors"`
+	Supersteps       uint64  `json:"supersteps"`
+	CommVolume       uint64  `json:"comm_volume"`
+	TotalLatencyMs   float64 `json:"total_latency_ms"`
+	MinLatencyMs     float64 `json:"min_latency_ms"`
+	MaxLatencyMs     float64 `json:"max_latency_ms"`
+	AvgLatencyMs     float64 `json:"avg_latency_ms"`
+	MaxP             int     `json:"max_p"`
+
+	latencySamples uint64
+}
+
+func (a *AlgoStats) observe(s QuerySample) {
+	a.Queries++
+	switch s.Outcome {
+	case OutcomeExecuted:
+		a.KernelExecutions++
+	case OutcomeCacheHit:
+		a.CacheHits++
+	case OutcomeCoalesced:
+		a.Coalesced++
+	case OutcomeRejected:
+		a.Rejected++
+	case OutcomeExpired:
+		a.Expired++
+	default:
+		a.Errors++
+	}
+	a.Supersteps += uint64(s.Supersteps)
+	a.CommVolume += s.CommVolume
+	if s.P > a.MaxP {
+		a.MaxP = s.P
+	}
+	// Rejections resolve before any work happens; their near-zero
+	// latencies would only distort the latency profile.
+	if s.Outcome == OutcomeRejected {
+		return
+	}
+	ms := float64(s.Latency) / float64(time.Millisecond)
+	a.TotalLatencyMs += ms
+	if a.latencySamples == 0 || ms < a.MinLatencyMs {
+		a.MinLatencyMs = ms
+	}
+	if ms > a.MaxLatencyMs {
+		a.MaxLatencyMs = ms
+	}
+	a.latencySamples++
+	a.AvgLatencyMs = a.TotalLatencyMs / float64(a.latencySamples)
+}
+
+// CollectorSnapshot is a point-in-time copy of a Collector's aggregates.
+type CollectorSnapshot struct {
+	Totals        AlgoStats            `json:"totals"`
+	Algorithms    map[string]AlgoStats `json:"algorithms"`
+	MaxQueueDepth int                  `json:"max_queue_depth"`
+}
+
+// Collector aggregates per-query metrics for a serving process. It is
+// safe for concurrent use; Observe is cheap enough for the query hot
+// path (a mutex and a dozen adds).
+type Collector struct {
+	mu            sync.Mutex
+	totals        AlgoStats
+	algos         map[string]*AlgoStats
+	maxQueueDepth int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{algos: make(map[string]*AlgoStats)}
+}
+
+// Observe records one query sample.
+func (c *Collector) Observe(s QuerySample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.totals.observe(s)
+	a := c.algos[s.Algorithm]
+	if a == nil {
+		a = &AlgoStats{}
+		c.algos[s.Algorithm] = a
+	}
+	a.observe(s)
+	if s.QueueDepth > c.maxQueueDepth {
+		c.maxQueueDepth = s.QueueDepth
+	}
+}
+
+// Snapshot returns a copy of the current aggregates.
+func (c *Collector) Snapshot() CollectorSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := CollectorSnapshot{
+		Totals:        c.totals,
+		Algorithms:    make(map[string]AlgoStats, len(c.algos)),
+		MaxQueueDepth: c.maxQueueDepth,
+	}
+	for name, a := range c.algos {
+		out.Algorithms[name] = *a
+	}
+	return out
+}
+
+// Reset clears all aggregates (test and ops convenience).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.totals = AlgoStats{}
+	c.algos = make(map[string]*AlgoStats)
+	c.maxQueueDepth = 0
+}

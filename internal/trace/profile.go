@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseProfile parses one profiling CSV line produced by
+// Record.WriteProfile back into a Record. Timings are recovered at the
+// microsecond granularity the %f formatting preserves. The input name
+// must not contain commas (none of the generators' names do).
+func ParseProfile(line string) (*Record, error) {
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	if len(fields) != 12 {
+		return nil, fmt.Errorf("trace: profile line has %d fields, want 12", len(fields))
+	}
+	var (
+		r   Record
+		err error
+	)
+	fail := func(col int, what string) (*Record, error) {
+		return nil, fmt.Errorf("trace: profile column %d: bad %s %q", col+1, what, fields[col])
+	}
+	r.Input = fields[0]
+	if r.Seed, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return fail(1, "seed")
+	}
+	if r.Trial, err = strconv.Atoi(fields[2]); err != nil {
+		return fail(2, "trial")
+	}
+	if r.N, err = strconv.Atoi(fields[3]); err != nil {
+		return fail(3, "n")
+	}
+	if r.M, err = strconv.Atoi(fields[4]); err != nil {
+		return fail(4, "m")
+	}
+	secs, err := strconv.ParseFloat(fields[5], 64)
+	if err != nil || secs < 0 {
+		return fail(5, "time")
+	}
+	r.Time = secondsToDuration(secs)
+	mpi, err := strconv.ParseFloat(fields[6], 64)
+	if err != nil || mpi < 0 {
+		return fail(6, "mpi time")
+	}
+	r.MPITime = secondsToDuration(mpi)
+	r.Algorithm = fields[7]
+	if r.P, err = strconv.Atoi(fields[8]); err != nil {
+		return fail(8, "p")
+	}
+	if r.Result, err = strconv.ParseUint(fields[9], 10, 64); err != nil {
+		return fail(9, "result")
+	}
+	if r.Supersteps, err = strconv.Atoi(fields[10]); err != nil {
+		return fail(10, "supersteps")
+	}
+	if r.CommVolume, err = strconv.ParseUint(fields[11], 10, 64); err != nil {
+		return fail(11, "comm volume")
+	}
+	return &r, nil
+}
+
+// secondsToDuration converts %f-formatted seconds back to a Duration,
+// rounding to the microsecond the format carries.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s*1e6+0.5) * time.Microsecond
+}
+
+// ReadProfiles parses every profiling line in r, skipping blank lines and
+// the artifact's "PAPI,..." counter lines, so a bench CSV file can be
+// machine-read whole.
+func ReadProfiles(r io.Reader) ([]*Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []*Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "PAPI,") || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rec, err := ParseProfile(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
