@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench camcd
+.PHONY: all build test vet race check lint bench bench-bsp camcd
 
 all: check
 
@@ -24,8 +24,22 @@ race:
 
 check: build vet test race
 
+# Static analysis beyond vet. Uses golangci-lint when installed (CI
+# always has it); locally it degrades to a hint rather than failing.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; see .golangci.yml (CI runs it)"; \
+	fi
+
 bench:
 	$(GO) run ./cmd/bench -exp all -quick
+
+# BSP hot-path microbenchmarks (benchstat-comparable output; also writes
+# internal/bsp/BENCH_bsp.json).
+bench-bsp:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/bsp/
 
 camcd:
 	$(GO) run ./cmd/camcd

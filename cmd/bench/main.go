@@ -21,6 +21,9 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // experiment is one regenerable table or figure.
@@ -36,6 +39,27 @@ type env struct {
 	seed  uint64
 	maxP  int
 	runs  int // measurement repetitions per data point
+
+	snap  *trace.Snapshot // non-nil when -snapshot is set
+	expID string          // experiment currently running (snapshot Input)
+}
+
+// record adds one measured data point to the snapshot, if enabled.
+func (e *env) record(st core.RunStats) {
+	if e.snap == nil {
+		return
+	}
+	e.snap.Records = append(e.snap.Records, &trace.Record{
+		Input:      e.expID,
+		Seed:       e.seed,
+		Trial:      len(e.snap.Records),
+		Time:       st.Time,
+		MPITime:    st.CommTime,
+		Algorithm:  e.expID,
+		P:          st.P,
+		Supersteps: st.Supersteps,
+		CommVolume: st.CommVolume,
+	})
 }
 
 // scale divides a size in quick mode.
@@ -64,6 +88,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "PRNG seed")
 		maxP    = flag.Int("maxp", 0, "largest processor count (default: CPUs, max 16)")
 		runs    = flag.Int("runs", 3, "repetitions per data point (median reported)")
+		snap    = flag.String("snapshot", "", "write measured data points as a JSON snapshot to this file")
 	)
 	flag.Parse()
 
@@ -120,6 +145,9 @@ func main() {
 	if e.runs < 1 {
 		e.runs = 1
 	}
+	if *snap != "" {
+		e.snap = &trace.Snapshot{Name: "bench"}
+	}
 
 	var ids []string
 	if *expFlag == "all" {
@@ -134,7 +162,14 @@ func main() {
 			log.Fatalf("unknown experiment %q", id)
 		}
 		fmt.Printf("### %s — %s\n", ex.id, ex.title)
+		e.expID = ex.id
 		ex.run(e)
 		fmt.Println()
+	}
+	if e.snap != nil {
+		if err := trace.WriteSnapshotFile(*snap, e.snap); err != nil {
+			log.Fatalf("write snapshot: %v", err)
+		}
+		log.Printf("wrote %d data points to %s", len(e.snap.Records), *snap)
 	}
 }

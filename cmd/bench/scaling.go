@@ -29,6 +29,7 @@ func medianStats(e *env, fn func(rep int) core.RunStats) core.RunStats {
 			best = i
 		}
 	}
+	e.record(all[best])
 	return all[best]
 }
 

@@ -14,12 +14,39 @@
 //
 // All message payloads are []uint64 words; vertex ids, weights, and labels
 // all fit the word model of BSP.
+//
+// # Hot-path design
+//
+// The runtime is built so that a steady-state superstep performs no
+// allocation and no cross-goroutine locking:
+//
+//   - Staging is sender-owned: staging[src][dst] is written only by
+//     processor src, so Send is a plain append with no synchronization.
+//     Each processor's row is a contiguous slice of cells, so senders
+//     never false-share mailbox headers.
+//   - Delivery is a pointer swap of the double-buffered mailboxes. After
+//     the swap each processor clears its own staging row (p cells), so the
+//     O(p²) cleanup is distributed instead of serialized on the last
+//     arriver.
+//   - The barrier is a two-phase sense-reversing barrier: arrival is an
+//     atomic add on a cache-line-padded counter, release is a store to a
+//     padded sense word that waiters observe with bounded spinning
+//     (falling back to a parked wait only when oversubscribed). No mutex
+//     is touched on the fast path.
+//   - Per-processor send-volume counters are cache-line padded and owned
+//     by the sender; the happens-before edges of the arrival counter make
+//     them safely readable by the finalizing processor.
+//   - Payload buffers handed to SendOwned recirculate: displaced mailbox
+//     arrays feed a per-processor free list backed by a shared sync.Pool,
+//     and Buffer hands them back to payload builders.
 package bsp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,36 +67,86 @@ type CostModel struct {
 
 func (cm CostModel) enabled() bool { return cm.WordTime > 0 || cm.SyncLatency > 0 }
 
-// machine is the shared state of one communicator: a barrier plus
-// double-buffered mailboxes.
-type machine struct {
-	p int
+const cacheLineSize = 64
 
-	cost    CostModel
-	simComm time.Duration // accumulated virtual communication time
+// padCounter is a cache-line padded plain counter owned by one processor.
+// Only the owner writes it; the barrier's happens-before edges order the
+// finalizer's reads after the owners' writes.
+type padCounter struct {
+	v uint64
+	_ [cacheLineSize - 8]byte
+}
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	phase   uint64
-	aborted error
+// padAtomic is a cache-line padded atomic word (barrier state).
+type padAtomic struct {
+	v atomic.Uint64
+	_ [cacheLineSize - 8]byte
+}
 
-	// staging[dst][src] collects words sent during the current superstep;
-	// inbox[dst][src] holds words delivered at the last barrier.
+// Machine is one communicator's shared state: the two-phase barrier plus
+// double-buffered, sender-owned mailboxes. A Machine is sized once for p
+// processors and may be reused across many Run calls (the serving layer
+// pools machines per request size); it must not run two bodies
+// concurrently.
+type Machine struct {
+	p    int
+	cost CostModel
+
+	// Two-phase sense-reversing barrier. arrive counts arrivals of the
+	// current superstep; release carries the phase number whose delivery
+	// is complete. Both are padded so arrivals and release polling touch
+	// distinct cache lines.
+	arrive  padAtomic
+	release padAtomic
+
+	// Spin budgets, fixed at construction from GOMAXPROCS: waiters spin
+	// actively for spinActive iterations, yield the processor until
+	// spinYield, then park. With p ≤ GOMAXPROCS waiters virtually never
+	// park; oversubscribed machines degrade to scheduler-cooperative
+	// yielding and finally a parked wait.
+	spinActive int
+	spinYield  int
+
+	// Parked-waiter slow path. The mutex guards only parked; it is never
+	// touched while spinning succeeds.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   int
+
+	// Abort protocol: abortFlag is polled by spinning waiters and checked
+	// on Sync entry; the cause is stored once under parkMu.
+	abortFlag atomic.Bool
+	abortErr  error
+
+	// staging[src][dst] collects words processor src queued for dst during
+	// the current superstep; inbox holds the previous superstep's delivery.
+	// The barrier swaps the two slice headers — delivery is O(1).
 	staging [][][]uint64
 	inbox   [][][]uint64
 
-	// accounting
+	// sentWords[i] counts words processor i sent this superstep
+	// (owner-written, finalizer-read).
+	sentWords []padCounter
+
+	// bufPool backs the per-Comm payload free lists (see Comm.Buffer).
+	bufPool sync.Pool
+
+	// Accounting, owned by the finalizing processor of each barrier and
+	// read after the run completes.
+	phase      uint64
 	supersteps int
 	volume     uint64   // sum over supersteps of the max h-relation
 	hRelations []uint64 // per-superstep max h, for model validation
+	simComm    time.Duration
 
-	// sent/recv words in the current superstep, per processor
-	sent []uint64
-	recv []uint64
+	// foldMu orders concurrent Close folds from split sub-communicators.
+	foldMu sync.Mutex
 
 	// registry for Split sub-communicators, keyed by phase and color
-	subs map[subKey]*subGroup
+	subsMu sync.Mutex
+	subs   map[subKey]*subGroup
+
+	comms []*Comm // reused across Run calls
 }
 
 type subKey struct {
@@ -78,22 +155,49 @@ type subKey struct {
 }
 
 type subGroup struct {
-	m       *machine
+	m       *Machine
 	members []int // parent ranks in rank order
 }
 
-func newMachine(p int) *machine {
-	m := &machine{
-		p:       p,
-		staging: makeMailbox(p),
-		inbox:   makeMailbox(p),
-		sent:    make([]uint64, p),
-		recv:    make([]uint64, p),
-		subs:    make(map[subKey]*subGroup),
+// NewMachine builds a reusable p-processor BSP machine. p must be
+// positive.
+func NewMachine(p int) (*Machine, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("bsp: machine with p=%d", p)
 	}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	m := &Machine{
+		p:          p,
+		staging:    makeMailbox(p),
+		inbox:      makeMailbox(p),
+		sentWords:  make([]padCounter, p),
+		hRelations: make([]uint64, 0, 64),
+		subs:       make(map[subKey]*subGroup),
+		comms:      make([]*Comm, p),
+	}
+	m.parkCond = sync.NewCond(&m.parkMu)
+	// Spin budgets: with enough hardware parallelism the release arrives
+	// while waiters actively spin; oversubscribed, yielding is what lets
+	// the remaining arrivals run at all, so skip the active phase and park
+	// after a bounded number of scheduler round-trips.
+	if runtime.GOMAXPROCS(0) >= p {
+		m.spinActive = 64
+		m.spinYield = m.spinActive + 16*p + 64
+	} else {
+		m.spinActive = 0
+		m.spinYield = 16*p + 64
+	}
+	for r := 0; r < p; r++ {
+		m.comms[r] = &Comm{m: m, rank: r}
+	}
+	return m, nil
 }
+
+// P returns the machine's processor count.
+func (m *Machine) P() int { return m.p }
+
+// SetCost configures the emulated interconnect for subsequent Run calls.
+// It must not be called while a body is running.
+func (m *Machine) SetCost(cost CostModel) { m.cost = cost }
 
 func makeMailbox(p int) [][][]uint64 {
 	mb := make([][][]uint64, p)
@@ -103,11 +207,46 @@ func makeMailbox(p int) [][][]uint64 {
 	return mb
 }
 
+// reset restores the machine to its pre-run state, keeping every mailbox
+// cell's and scratch buffer's capacity for reuse.
+func (m *Machine) reset() {
+	m.arrive.v.Store(0)
+	m.release.v.Store(0)
+	m.abortFlag.Store(false)
+	m.abortErr = nil
+	m.parked = 0
+	m.phase = 0
+	m.supersteps = 0
+	m.volume = 0
+	m.hRelations = m.hRelations[:0]
+	m.simComm = 0
+	for i := range m.sentWords {
+		m.sentWords[i].v = 0
+	}
+	for src := range m.staging {
+		for dst := range m.staging[src] {
+			m.staging[src][dst] = m.staging[src][dst][:0]
+			m.inbox[src][dst] = m.inbox[src][dst][:0]
+		}
+	}
+	for k := range m.subs {
+		delete(m.subs, k)
+	}
+	for _, c := range m.comms {
+		c.sense = 0
+		c.appTime = 0
+		c.commTime = 0
+		c.ops = 0
+		c.lastMark = time.Time{}
+	}
+}
+
 // Comm is a processor's handle on a communicator. It is owned by exactly
 // one goroutine and must not be shared.
 type Comm struct {
-	m    *machine
-	rank int
+	m     *Machine
+	rank  int
+	sense uint64 // local barrier sense (number of Syncs performed)
 
 	appTime  time.Duration
 	commTime time.Duration
@@ -115,6 +254,13 @@ type Comm struct {
 	ops      uint64
 
 	parent *Comm // non-nil for communicators created by Split
+
+	// free is this processor's payload free list: mailbox arrays displaced
+	// by SendOwned, handed back out by Buffer. Overflow spills to the
+	// machine's sync.Pool.
+	free [][]uint64
+
+	sc collScratch // collective scratch buffers (collectives.go)
 }
 
 // Rank returns this processor's rank in [0, Size()).
@@ -127,16 +273,57 @@ func (c *Comm) Size() int { return c.m.p }
 // computation time used for model validation.
 func (c *Comm) Ops(n uint64) { c.ops += n }
 
+// maxFree bounds the per-processor free list; beyond it, displaced
+// buffers spill into the machine-wide sync.Pool.
+const maxFree = 32
+
+// Buffer returns a word slice of length n (uninitialized beyond reuse)
+// for building payloads, drawn from the processor's free list or the
+// machine's buffer pool. Hand the filled buffer to SendOwned to return
+// its ownership to the runtime; buffers kept by the caller are simply
+// garbage-collected.
+func (c *Comm) Buffer(n int) []uint64 {
+	if k := len(c.free); k > 0 {
+		buf := c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	if v := c.m.bufPool.Get(); v != nil {
+		buf := *(v.(*[]uint64))
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// recycle takes ownership of a displaced mailbox array.
+func (c *Comm) recycle(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	if len(c.free) < maxFree {
+		c.free = append(c.free, buf)
+		return
+	}
+	c.m.bufPool.Put(&buf)
+}
+
 // Send queues words for delivery to processor `to` at the next Sync.
 // The words are appended to any previously queued payload for the same
 // destination within this superstep. The slice is copied.
 func (c *Comm) Send(to int, words []uint64) {
-	if to < 0 || to >= c.m.p {
-		panic(fmt.Sprintf("bsp: Send to rank %d of %d", to, c.m.p))
+	m := c.m
+	if to < 0 || to >= m.p {
+		panic(fmt.Sprintf("bsp: Send to rank %d of %d", to, m.p))
 	}
-	box := c.m.staging[to][c.rank]
-	c.m.staging[to][c.rank] = append(box, words...)
-	c.m.sent[c.rank] += uint64(len(words))
+	row := m.staging[c.rank]
+	row[to] = append(row[to], words...)
+	m.sentWords[c.rank].v += uint64(len(words))
 }
 
 // SendOwned queues words like Send but, when nothing is queued yet for
@@ -145,27 +332,46 @@ func (c *Comm) Send(to int, words []uint64) {
 // Use for freshly built payloads on hot paths (large gathers); the
 // accounted communication volume is identical to Send's.
 func (c *Comm) SendOwned(to int, words []uint64) {
-	if to < 0 || to >= c.m.p {
-		panic(fmt.Sprintf("bsp: SendOwned to rank %d of %d", to, c.m.p))
+	m := c.m
+	if to < 0 || to >= m.p {
+		panic(fmt.Sprintf("bsp: SendOwned to rank %d of %d", to, m.p))
 	}
-	box := c.m.staging[to][c.rank]
+	row := m.staging[c.rank]
+	box := row[to]
 	if len(box) == 0 {
-		c.m.staging[to][c.rank] = words
+		c.recycle(box)
+		row[to] = words
 	} else {
-		c.m.staging[to][c.rank] = append(box, words...)
+		row[to] = append(box, words...)
 	}
-	c.m.sent[c.rank] += uint64(len(words))
+	m.sentWords[c.rank].v += uint64(len(words))
 }
 
 // Recv returns the words delivered from processor `from` at the last Sync.
 // The slice aliases runtime storage and is valid until the next Sync.
 func (c *Comm) Recv(from int) []uint64 {
-	return c.m.inbox[c.rank][from]
+	return c.m.inbox[from][c.rank]
 }
 
-// RecvAll returns the per-source delivered payloads (index = source rank).
+// RecvAll returns the per-source delivered payloads (index = source
+// rank). The returned slice and its payloads alias runtime storage and
+// are valid until the next Sync or RecvAll call.
 func (c *Comm) RecvAll() [][]uint64 {
-	return c.m.inbox[c.rank]
+	return c.inboxViews()
+}
+
+// inboxViews assembles the per-source view of this processor's inbox
+// column into per-Comm scratch (the mailbox is sender-major).
+func (c *Comm) inboxViews() [][]uint64 {
+	p := c.m.p
+	if cap(c.sc.views) < p {
+		c.sc.views = make([][]uint64, p)
+	}
+	c.sc.views = c.sc.views[:p]
+	for src := 0; src < p; src++ {
+		c.sc.views[src] = c.m.inbox[src][c.rank]
+	}
+	return c.sc.views
 }
 
 // errAborted is panicked in workers once any worker has failed, so that
@@ -183,76 +389,129 @@ func (c *Comm) Sync() {
 	if !c.lastMark.IsZero() {
 		c.appTime += start.Sub(c.lastMark)
 	}
+	if m.abortFlag.Load() {
+		panic(abortError{m.abortCause()})
+	}
 
-	m.mu.Lock()
-	if m.aborted != nil {
-		m.mu.Unlock()
-		panic(abortError{m.aborted})
-	}
-	// Account receive volume for every destination this proc sent to.
-	myPhase := m.phase
-	m.arrived++
-	if m.arrived == m.p {
-		// Last arriver: finalize the superstep.
-		var h uint64
-		for dst := 0; dst < m.p; dst++ {
-			var r uint64
-			for src := 0; src < m.p; src++ {
-				r += uint64(len(m.staging[dst][src]))
-			}
-			m.recv[dst] = r
-		}
-		for i := 0; i < m.p; i++ {
-			if m.sent[i] > h {
-				h = m.sent[i]
-			}
-			if m.recv[i] > h {
-				h = m.recv[i]
-			}
-			m.sent[i] = 0
-			m.recv[i] = 0
-		}
-		m.supersteps++
-		m.volume += h
-		m.hRelations = append(m.hRelations, h)
-		if m.cost.enabled() {
-			m.simComm += time.Duration(h)*m.cost.WordTime + m.cost.SyncLatency
-		}
-		// Swap mailboxes and clear the new staging area.
-		m.inbox, m.staging = m.staging, m.inbox
-		for dst := range m.staging {
-			for src := range m.staging[dst] {
-				m.staging[dst][src] = m.staging[dst][src][:0]
-			}
-		}
-		m.arrived = 0
-		m.phase++
-		m.cond.Broadcast()
+	c.sense++
+	want := c.sense
+	// Phase 1: arrive. The last arriver finalizes the superstep and
+	// releases; everyone else waits for the sense word to reach the phase.
+	if m.arrive.v.Add(1) == uint64(m.p) {
+		m.arrive.v.Store(0)
+		m.finalize()
+		m.release.v.Store(want) // phase 2: release
+		m.wakeParked()
 	} else {
-		for m.phase == myPhase && m.aborted == nil {
-			m.cond.Wait()
-		}
-		if m.aborted != nil {
-			m.mu.Unlock()
-			panic(abortError{m.aborted})
-		}
+		m.await(want)
 	}
-	m.mu.Unlock()
+
+	// Post-barrier, every processor clears its own staging row: after the
+	// swap it holds the payloads delivered two supersteps ago, which no
+	// one may read anymore. This distributes the O(p²) cleanup p ways and
+	// keeps every cell's capacity with its owning sender.
+	row := m.staging[c.rank]
+	for dst := range row {
+		row[dst] = row[dst][:0]
+	}
+	m.sentWords[c.rank].v = 0
 
 	end := time.Now()
 	c.commTime += end.Sub(start)
 	c.lastMark = end
 }
 
+// finalize runs on the last arriver, with every other processor blocked:
+// it accounts the superstep's h-relation and swaps the mailboxes.
+func (m *Machine) finalize() {
+	p := m.p
+	var h uint64
+	for dst := 0; dst < p; dst++ {
+		var r uint64
+		for src := 0; src < p; src++ {
+			r += uint64(len(m.staging[src][dst]))
+		}
+		if r > h {
+			h = r
+		}
+	}
+	for i := 0; i < p; i++ {
+		if s := m.sentWords[i].v; s > h {
+			h = s
+		}
+	}
+	m.supersteps++
+	m.volume += h
+	m.hRelations = append(m.hRelations, h)
+	if m.cost.enabled() {
+		m.simComm += time.Duration(h)*m.cost.WordTime + m.cost.SyncLatency
+	}
+	m.inbox, m.staging = m.staging, m.inbox
+	m.phase++
+}
+
+// await blocks until the release sense reaches want: bounded active
+// spinning, then cooperative yielding, then a parked wait. Aborts are
+// polled throughout so no waiter outlives a failed peer.
+func (m *Machine) await(want uint64) {
+	for spins := 0; ; spins++ {
+		if m.release.v.Load() >= want {
+			return
+		}
+		if m.abortFlag.Load() {
+			panic(abortError{m.abortCause()})
+		}
+		if spins < m.spinActive {
+			continue
+		}
+		if spins < m.spinYield {
+			runtime.Gosched()
+			continue
+		}
+		m.parkMu.Lock()
+		if m.release.v.Load() >= want || m.abortFlag.Load() {
+			m.parkMu.Unlock()
+			continue
+		}
+		m.parked++
+		m.parkCond.Wait()
+		m.parkMu.Unlock()
+	}
+}
+
+// wakeParked releases any waiters that gave up spinning. The release
+// sense is already published, so a waiter that parks between the check
+// and the broadcast re-checks under parkMu and never sleeps through it.
+func (m *Machine) wakeParked() {
+	m.parkMu.Lock()
+	if m.parked > 0 {
+		m.parked = 0
+		m.parkCond.Broadcast()
+	}
+	m.parkMu.Unlock()
+}
+
 // abort marks the communicator failed and wakes all waiters. Any
 // subsequent or pending Sync panics with the cause.
-func (m *machine) abort(err error) {
-	m.mu.Lock()
-	if m.aborted == nil {
-		m.aborted = err
+func (m *Machine) abort(err error) {
+	m.parkMu.Lock()
+	if m.abortErr == nil {
+		m.abortErr = err
 	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.parkMu.Unlock()
+	m.abortFlag.Store(true)
+	m.parkMu.Lock()
+	if m.parked > 0 {
+		m.parked = 0
+		m.parkCond.Broadcast()
+	}
+	m.parkMu.Unlock()
+}
+
+func (m *Machine) abortCause() error {
+	m.parkMu.Lock()
+	defer m.parkMu.Unlock()
+	return m.abortErr
 }
 
 // Split partitions the communicator: processors passing the same color
@@ -298,17 +557,23 @@ func (c *Comm) Split(color, key int) *Comm {
 	// Get or create the shared machine for this group; it inherits the
 	// parent's interconnect cost model.
 	m := c.m
-	m.mu.Lock()
+	m.subsMu.Lock()
 	key2 := subKey{phase: m.phase, color: color}
 	grp, ok := m.subs[key2]
 	if !ok {
-		sm := newMachine(len(mine))
+		sm, err := NewMachine(len(mine))
+		if err != nil {
+			m.subsMu.Unlock()
+			panic(err)
+		}
 		sm.cost = m.cost
 		grp = &subGroup{m: sm, members: parentRanks}
 		m.subs[key2] = grp
 	}
-	m.mu.Unlock()
-	child := &Comm{m: grp.m, rank: newRank, parent: c, lastMark: time.Now()}
+	m.subsMu.Unlock()
+	child := grp.m.comms[newRank]
+	child.parent = c
+	child.lastMark = time.Now()
 	return child
 }
 
@@ -316,7 +581,10 @@ func (c *Comm) Split(color, key int) *Comm {
 // counts back into its parent, and (once per group, via the group's rank
 // 0) folds the child machine's superstep and volume accounting into the
 // parent machine. It must be called once per Split, after the last use of
-// the child.
+// the child. Concurrent Closes at different nesting depths are safe; for
+// the fold totals to be deterministic, a parent-communicator barrier (any
+// collective) should separate nested children's Closes from the parent's
+// own Close — the pattern the kernels follow naturally.
 func (c *Comm) Close() {
 	if c.parent == nil {
 		return
@@ -328,12 +596,19 @@ func (c *Comm) Close() {
 	if c.rank == 0 {
 		pm := c.parent.m
 		cm := c.m
-		pm.mu.Lock()
+		// With nested splits this child machine may itself still be
+		// receiving folds from its own children (their rank 0s run on
+		// other goroutines), so its counters are read under its own
+		// foldMu. Locking child before parent is a consistent order —
+		// folds always go child → parent along the split tree.
+		cm.foldMu.Lock()
+		pm.foldMu.Lock()
 		pm.supersteps += cm.supersteps
 		pm.volume += cm.volume
 		pm.hRelations = append(pm.hRelations, cm.hRelations...)
 		pm.simComm += cm.simComm
-		pm.mu.Unlock()
+		pm.foldMu.Unlock()
+		cm.foldMu.Unlock()
 	}
 }
 
@@ -418,25 +693,39 @@ func (s *Stats) CommFraction() float64 {
 // statistics. If any processor panics, all are unwound and the first
 // panic is returned as an error. p must be positive.
 func Run(p int, body func(c *Comm)) (*Stats, error) {
-	return RunWithCost(p, CostModel{}, body)
+	m, err := NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(body)
 }
 
 // RunWithCost is Run with an emulated interconnect: each superstep
 // accrues h·WordTime + SyncLatency of virtual communication time,
 // reported as Stats.SimCommTime.
 func RunWithCost(p int, cost CostModel, body func(c *Comm)) (*Stats, error) {
-	if p <= 0 {
-		return nil, fmt.Errorf("bsp: Run with p=%d", p)
+	m, err := NewMachine(p)
+	if err != nil {
+		return nil, err
 	}
-	m := newMachine(p)
 	m.cost = cost
-	comms := make([]*Comm, p)
+	return m.Run(body)
+}
+
+// Run executes body on the machine's p virtual processors and returns the
+// run's cost statistics. The machine fully resets first, so it can be
+// reused across runs (mailbox cells, collective scratch, and payload
+// pools keep their capacity — steady-state runs allocate almost nothing).
+// A Machine runs one body at a time; concurrent Run calls are a caller
+// bug.
+func (m *Machine) Run(body func(c *Comm)) (*Stats, error) {
+	m.reset()
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
-	for r := 0; r < p; r++ {
-		c := &Comm{m: m, rank: r, lastMark: time.Now()}
-		comms[r] = c
+	for r := 0; r < m.p; r++ {
+		c := m.comms[r]
+		c.lastMark = time.Now()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -468,14 +757,15 @@ func RunWithCost(p int, cost CostModel, body func(c *Comm)) (*Stats, error) {
 		return nil, firstErr
 	}
 	st := &Stats{
-		P:           p,
-		Supersteps:  m.supersteps,
-		CommVolume:  m.volume,
-		HRelations:  m.hRelations,
-		Workers:     make([]WorkerStats, p),
+		P:          m.p,
+		Supersteps: m.supersteps,
+		CommVolume: m.volume,
+		// Copy: the machine's backing array is recycled on the next Run.
+		HRelations:  append([]uint64(nil), m.hRelations...),
+		Workers:     make([]WorkerStats, m.p),
 		SimCommTime: m.simComm,
 	}
-	for r, c := range comms {
+	for r, c := range m.comms {
 		st.Workers[r] = WorkerStats{Rank: r, AppTime: c.appTime, CommTime: c.commTime, Ops: c.ops}
 		if c.appTime > st.MaxAppTime {
 			st.MaxAppTime = c.appTime

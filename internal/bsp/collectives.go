@@ -7,6 +7,68 @@ package bsp
 //
 // All collectives are synchronizing: every processor of the communicator
 // must call them together, in the same order.
+//
+// # Result ownership
+//
+// Collective results are backed by per-Comm scratch buffers that are
+// reused by the next call of the *same* collective on the same Comm
+// (AllReduce shares Broadcast's scratch). In steady state a collective
+// therefore allocates nothing. A result stays valid across Sync and
+// across calls of *other* collectives; callers that need a result beyond
+// the next same-collective call must copy it. Callers may freely modify
+// the returned contents.
+
+// collScratch holds one processor's collective scratch: grow-only buffers
+// reused call over call so steady-state collectives are allocation-free.
+type collScratch struct {
+	hdr      [1]uint64  // one-word headers (lengths, offsets)
+	bcast    []uint64   // Broadcast / AllReduce result
+	red      []uint64   // Reduce result
+	scat     []uint64   // Scatter result
+	views    [][]uint64 // RecvAll / Owned-collective inbox views
+	gather   vecScratch
+	allGath  vecScratch
+	allToAll vecScratch
+}
+
+// vecScratch backs one [][]uint64-shaped collective result: parts are
+// views into a single flat copy buffer.
+type vecScratch struct {
+	flat  []uint64
+	parts [][]uint64
+}
+
+// growWords returns buf resized to length n, reallocating only when the
+// capacity is insufficient.
+func growWords(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// collectInbox copies this processor's inbox column into s and returns
+// the per-source views.
+func (c *Comm) collectInbox(s *vecScratch) [][]uint64 {
+	p := c.m.p
+	total := 0
+	for src := 0; src < p; src++ {
+		total += len(c.m.inbox[src][c.rank])
+	}
+	s.flat = growWords(s.flat, total)
+	if cap(s.parts) < p {
+		s.parts = make([][]uint64, p)
+	}
+	s.parts = s.parts[:p]
+	off := 0
+	for src := 0; src < p; src++ {
+		in := c.m.inbox[src][c.rank]
+		n := copy(s.flat[off:off+len(in)], in)
+		s.parts[src] = s.flat[off : off+n : off+n]
+		off += n
+	}
+	return s.parts
+}
 
 // Broadcast distributes the root's words to all processors; every caller
 // returns the full payload. For payloads larger than the communicator it
@@ -16,17 +78,18 @@ package bsp
 func (c *Comm) Broadcast(root int, words []uint64) []uint64 {
 	p := c.m.p
 	if p == 1 {
-		out := make([]uint64, len(words))
-		copy(out, words)
-		return out
+		c.sc.bcast = growWords(c.sc.bcast, len(words))
+		copy(c.sc.bcast, words)
+		return c.sc.bcast
 	}
 	// Superstep 1: the root announces the payload length, so every
 	// processor deterministically picks the same strategy. For the small
 	// (direct) strategy the payload itself piggybacks on this superstep.
 	if c.rank == root {
 		k := len(words)
+		c.sc.hdr[0] = uint64(k)
 		for dst := 0; dst < p; dst++ {
-			c.Send(dst, []uint64{uint64(k)})
+			c.Send(dst, c.sc.hdr[:1])
 			if k < 2*p {
 				c.Send(dst, words)
 			}
@@ -37,9 +100,9 @@ func (c *Comm) Broadcast(root int, words []uint64) []uint64 {
 	k := int(in[0])
 	small := k < 2*p
 	if small {
-		out := make([]uint64, k)
-		copy(out, in[1:])
-		return out
+		c.sc.bcast = growWords(c.sc.bcast, k)
+		copy(c.sc.bcast, in[1:])
+		return c.sc.bcast
 	}
 	// Two-phase broadcast for large payloads: scatter then all-gather.
 	// Superstep 2: the root scatters ~k/p chunks.
@@ -47,7 +110,8 @@ func (c *Comm) Broadcast(root int, words []uint64) []uint64 {
 		for dst := 0; dst < p; dst++ {
 			lo := dst * k / p
 			hi := (dst + 1) * k / p
-			c.Send(dst, []uint64{uint64(lo)})
+			c.sc.hdr[0] = uint64(lo)
+			c.Send(dst, c.sc.hdr[:1])
 			c.Send(dst, words[lo:hi])
 		}
 	}
@@ -57,33 +121,29 @@ func (c *Comm) Broadcast(root int, words []uint64) []uint64 {
 	body := chunk[1:]
 	// Superstep 3: all-gather the chunks.
 	for dst := 0; dst < p; dst++ {
-		c.Send(dst, []uint64{uint64(myOff)})
+		c.sc.hdr[0] = uint64(myOff)
+		c.Send(dst, c.sc.hdr[:1])
 		c.Send(dst, body)
 	}
 	c.Sync()
-	out := make([]uint64, k)
+	c.sc.bcast = growWords(c.sc.bcast, k)
+	out := c.sc.bcast
 	for src := 0; src < p; src++ {
 		in := c.Recv(src)
-		off := int(in[0])
-		copy(out[off:], in[1:])
+		copy(out[int(in[0]):], in[1:])
 	}
 	return out
 }
 
 // Gather collects every processor's words at the root. At the root the
-// result has one entry per source rank (copies); at other ranks it is nil.
+// result has one entry per source rank; at other ranks it is nil.
 func (c *Comm) Gather(root int, words []uint64) [][]uint64 {
 	c.Send(root, words)
 	c.Sync()
 	if c.rank != root {
 		return nil
 	}
-	out := make([][]uint64, c.m.p)
-	for src := 0; src < c.m.p; src++ {
-		in := c.Recv(src)
-		out[src] = append([]uint64(nil), in...)
-	}
-	return out
+	return c.collectInbox(&c.sc.gather)
 }
 
 // GatherOwned is Gather for hot paths: the payload's ownership transfers
@@ -95,7 +155,7 @@ func (c *Comm) GatherOwned(root int, words []uint64) [][]uint64 {
 	if c.rank != root {
 		return nil
 	}
-	return c.m.inbox[c.rank]
+	return c.inboxViews()
 }
 
 // AllToAllOwned is AllToAll for hot paths: each part's ownership
@@ -106,7 +166,7 @@ func (c *Comm) AllToAllOwned(parts [][]uint64) [][]uint64 {
 		c.SendOwned(dst, parts[dst])
 	}
 	c.Sync()
-	return c.m.inbox[c.rank]
+	return c.inboxViews()
 }
 
 // AllGather collects every processor's words at every processor.
@@ -115,11 +175,7 @@ func (c *Comm) AllGather(words []uint64) [][]uint64 {
 		c.Send(dst, words)
 	}
 	c.Sync()
-	out := make([][]uint64, c.m.p)
-	for src := 0; src < c.m.p; src++ {
-		out[src] = append([]uint64(nil), c.Recv(src)...)
-	}
-	return out
+	return c.collectInbox(&c.sc.allGath)
 }
 
 // Scatter distributes parts[i] to processor i; every caller returns its
@@ -131,7 +187,10 @@ func (c *Comm) Scatter(root int, parts [][]uint64) []uint64 {
 		}
 	}
 	c.Sync()
-	return append([]uint64(nil), c.Recv(root)...)
+	in := c.Recv(root)
+	c.sc.scat = growWords(c.sc.scat, len(in))
+	copy(c.sc.scat, in)
+	return c.sc.scat
 }
 
 // AllToAll sends parts[i] to processor i and returns the parts received,
@@ -141,11 +200,7 @@ func (c *Comm) AllToAll(parts [][]uint64) [][]uint64 {
 		c.Send(dst, parts[dst])
 	}
 	c.Sync()
-	out := make([][]uint64, c.m.p)
-	for src := 0; src < c.m.p; src++ {
-		out[src] = append([]uint64(nil), c.Recv(src)...)
-	}
-	return out
+	return c.collectInbox(&c.sc.allToAll)
 }
 
 // ReduceOp is an associative elementwise operator on words.
@@ -180,7 +235,9 @@ func (c *Comm) Reduce(root int, vec []uint64, op ReduceOp) []uint64 {
 	for src := 0; src < c.m.p; src++ {
 		in := c.Recv(src)
 		if out == nil {
-			out = append([]uint64(nil), in...)
+			c.sc.red = growWords(c.sc.red, len(in))
+			out = c.sc.red
+			copy(out, in)
 			continue
 		}
 		for i := range out {
@@ -192,6 +249,7 @@ func (c *Comm) Reduce(root int, vec []uint64, op ReduceOp) []uint64 {
 
 // AllReduce combines equal-length vectors elementwise with op and returns
 // the result at every processor (reduce + broadcast, O(1) supersteps).
+// The result shares Broadcast's scratch.
 func (c *Comm) AllReduce(vec []uint64, op ReduceOp) []uint64 {
 	red := c.Reduce(0, vec, op)
 	return c.Broadcast(0, red)

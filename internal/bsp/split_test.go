@@ -1,0 +1,161 @@
+package bsp
+
+import (
+	"testing"
+)
+
+// TestSplitNested splits a communicator twice: p=8 into two quartets,
+// each quartet into two pairs. Ranks, sizes, and collectives must hold at
+// every level, and closing in reverse order must fold stats cleanly.
+func TestSplitNested(t *testing.T) {
+	const p = 8
+	_, err := Run(p, func(c *Comm) {
+		outer := c.Split(c.Rank()%2, c.Rank())
+		if outer.Size() != p/2 {
+			t.Errorf("rank %d: outer size = %d", c.Rank(), outer.Size())
+		}
+		inner := outer.Split(outer.Rank()%2, outer.Rank())
+		if inner.Size() != p/4 {
+			t.Errorf("rank %d: inner size = %d", c.Rank(), inner.Size())
+		}
+		// Within the innermost pair, exchange parent ranks and check the
+		// membership the nesting implies: same color at both levels.
+		parts := inner.AllGather([]uint64{uint64(c.Rank())})
+		for _, part := range parts {
+			peer := int(part[0])
+			if peer%2 != c.Rank()%2 {
+				t.Errorf("rank %d: inner peer %d from other outer group", c.Rank(), peer)
+			}
+		}
+		sum := inner.AllReduce([]uint64{1}, OpSum)[0]
+		if sum != uint64(inner.Size()) {
+			t.Errorf("rank %d: inner sum = %d", c.Rank(), sum)
+		}
+		inner.Close()
+		outer.Close()
+		// The parent must still work after both folds.
+		total := c.AllReduce([]uint64{1}, OpSum)[0]
+		if total != p {
+			t.Errorf("rank %d: parent sum = %d after splits", c.Rank(), total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitUnevenColors exercises groups of different sizes (1, 2, 4)
+// from one split at p=7.
+func TestSplitUnevenColors(t *testing.T) {
+	const p = 7
+	colorOf := func(rank int) int {
+		switch {
+		case rank == 0:
+			return 0
+		case rank <= 2:
+			return 1
+		default:
+			return 2
+		}
+	}
+	wantSize := []int{1, 2, 4}
+	_, err := Run(p, func(c *Comm) {
+		color := colorOf(c.Rank())
+		sub := c.Split(color, -c.Rank()) // negative keys: reverse rank order
+		if sub.Size() != wantSize[color] {
+			t.Errorf("rank %d: group %d size = %d, want %d",
+				c.Rank(), color, sub.Size(), wantSize[color])
+		}
+		parts := sub.AllGather([]uint64{uint64(c.Rank())})
+		for i, part := range parts {
+			peer := int(part[0])
+			if colorOf(peer) != color {
+				t.Errorf("rank %d: peer %d has color %d, want %d",
+					c.Rank(), peer, colorOf(peer), color)
+			}
+			// Keys were -rank, so sub ranks run in descending parent rank.
+			if i > 0 && peer >= int(parts[i-1][0]) {
+				t.Errorf("rank %d: key ordering violated: %v", c.Rank(), parts)
+			}
+		}
+		sub.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendSyncStress hammers the mailbox path at p=16: every superstep
+// each processor sends a distinct payload to every destination, syncs,
+// and verifies every received word. Run under -race (make check) this
+// doubles as the data-race stress for the sense-reversing barrier and
+// the sender-owned staging rows.
+func TestSendSyncStress(t *testing.T) {
+	const p = 16
+	const rounds = 40
+	_, err := Run(p, func(c *Comm) {
+		r := uint64(c.Rank())
+		for i := uint64(0); i < rounds; i++ {
+			for dst := 0; dst < p; dst++ {
+				// Vary payload length per (src, dst, round) to exercise
+				// buffer reuse with growth and shrinkage.
+				k := int((r+uint64(dst)+i)%5) + 1
+				payload := make([]uint64, k)
+				for j := range payload {
+					payload[j] = r<<32 | i<<8 | uint64(j)
+				}
+				c.Send(dst, payload)
+			}
+			c.Sync()
+			for src := 0; src < p; src++ {
+				in := c.Recv(src)
+				k := int((uint64(src)+r+i)%5) + 1
+				if len(in) != k {
+					t.Errorf("rank %d round %d: from %d got %d words, want %d",
+						c.Rank(), i, src, len(in), k)
+					continue
+				}
+				for j, w := range in {
+					if want := uint64(src)<<32 | i<<8 | uint64(j); w != want {
+						t.Errorf("rank %d round %d: word %d from %d = %#x, want %#x",
+							c.Rank(), i, j, src, w, want)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitConcurrentBarriers runs four sub-communicators concurrently,
+// each performing a different number of supersteps with ring traffic.
+// Groups must not interfere: each group's barrier is its own machine.
+func TestSplitConcurrentBarriers(t *testing.T) {
+	const p = 16
+	_, err := Run(p, func(c *Comm) {
+		g := c.Rank() % 4
+		sub := c.Split(g, c.Rank())
+		steps := 8 + 4*g // groups desynchronize immediately
+		dst := (sub.Rank() + 1) % sub.Size()
+		src := (sub.Rank() + sub.Size() - 1) % sub.Size()
+		for i := 0; i < steps; i++ {
+			c.Ops(1)
+			sub.Send(dst, []uint64{uint64(g), uint64(i), uint64(sub.Rank())})
+			sub.Sync()
+			in := sub.Recv(src)
+			if int(in[0]) != g || int(in[1]) != i || int(in[2]) != src {
+				t.Errorf("rank %d group %d step %d: got %v", c.Rank(), g, i, in)
+			}
+		}
+		sub.Close()
+		// Re-join: parent-wide all-reduce checks no one was left behind.
+		if got := c.AllReduce([]uint64{1}, OpSum)[0]; got != p {
+			t.Errorf("rank %d: rejoin sum = %d", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

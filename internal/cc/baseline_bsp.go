@@ -51,7 +51,9 @@ func LabelPropagation(c *bsp.Comm, n int, local []graph.Edge) *Result {
 				break
 			}
 		}
-		labels = merged
+		// Copy out of the collective's scratch: the next AllReduce (the
+		// convergence check below) reuses it.
+		copy(labels, merged)
 		if c.AllReduce([]uint64{changed}, bsp.OpMax)[0] == 0 {
 			break
 		}

@@ -81,7 +81,8 @@ func ScatterGraph(c *bsp.Comm, root int, g *graph.Graph) (int, []graph.Edge) {
 	if c.Rank() == root {
 		for r := 0; r < c.Size(); r++ {
 			lo, hi := BlockRange(len(g.Edges), c.Size(), r)
-			c.SendOwned(r, EncodeEdges(g.Edges[lo:hi]))
+			buf := c.Buffer((hi - lo) * edgeWords)[:0]
+			c.SendOwned(r, AppendEdges(buf, g.Edges[lo:hi]))
 		}
 	}
 	c.Sync()
@@ -91,7 +92,8 @@ func ScatterGraph(c *bsp.Comm, root int, g *graph.Graph) (int, []graph.Edge) {
 // GatherEdges collects all local edge slices at the root; non-roots get
 // nil.
 func GatherEdges(c *bsp.Comm, root int, local []graph.Edge) []graph.Edge {
-	parts := c.GatherOwned(root, EncodeEdges(local))
+	buf := c.Buffer(len(local) * edgeWords)[:0]
+	parts := c.GatherOwned(root, AppendEdges(buf, local))
 	if c.Rank() != root {
 		return nil
 	}
@@ -146,6 +148,9 @@ func Rebalance(c *bsp.Comm, local []graph.Edge) []graph.Edge {
 		total += counts[r][0]
 	}
 	parts := make([][]uint64, p)
+	for dst := range parts {
+		parts[dst] = c.Buffer(0)[:0]
+	}
 	for i, e := range local {
 		pos := myOff + uint64(i)
 		dst := OwnerOf(int(total), p, int(pos))

@@ -42,7 +42,9 @@ func ScatterMatrix(c *bsp.Comm, root int, m *graph.Matrix) *MatrixBlock {
 			parts[r] = m.W[lo*n : hi*n]
 		}
 	}
-	words := c.Scatter(root, parts)
+	// Copy out of the collective's scratch: the block outlives any number
+	// of later collectives.
+	words := append([]uint64(nil), c.Scatter(root, parts)...)
 	lo, hi := BlockRange(n, c.Size(), c.Rank())
 	blk := &MatrixBlock{N: n, Lo: lo, Hi: hi, W: words}
 	if len(blk.W) != (hi-lo)*n {

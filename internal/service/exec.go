@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/approxcut"
@@ -166,7 +167,31 @@ func kernelStatsOf(st *bsp.Stats) KernelStats {
 	}
 }
 
-// executeKernel runs one algorithm over the snapshot on a fresh BSP
+// machinePools caches BSP machines by processor count so that a fleet of
+// same-sized requests reuses mailboxes, collective scratch, and payload
+// pools instead of reallocating them per query. sync.Pool gives free
+// concurrency and lets idle machines be collected under memory pressure.
+var machinePools sync.Map // int -> *sync.Pool
+
+func acquireMachine(p int) (*bsp.Machine, error) {
+	v, ok := machinePools.Load(p)
+	if !ok {
+		v, _ = machinePools.LoadOrStore(p, &sync.Pool{})
+	}
+	pool := v.(*sync.Pool)
+	if m, ok := pool.Get().(*bsp.Machine); ok {
+		return m, nil
+	}
+	return bsp.NewMachine(p)
+}
+
+func releaseMachine(m *bsp.Machine) {
+	if v, ok := machinePools.Load(m.P()); ok {
+		v.(*sync.Pool).Put(m)
+	}
+}
+
+// executeKernel runs one algorithm over the snapshot on a pooled BSP
 // machine of p processors. The snapshot's frozen edge array is sliced
 // across processors with the block distribution — zero copies at
 // ingestion; the kernels treat local slices as read-only.
@@ -179,7 +204,11 @@ func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult,
 		mcRes *mincut.CutResult
 		acRes *approxcut.Result
 	)
-	st, err := bsp.Run(p, func(c *bsp.Comm) {
+	mach, err := acquireMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := mach.Run(func(c *bsp.Comm) {
 		lo, hi := dist.BlockRange(len(edges), p, c.Rank())
 		local := edges[lo:hi]
 		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
@@ -208,8 +237,11 @@ func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult,
 		}
 	})
 	if err != nil {
+		// A failed run may leave mailboxes mid-superstep; drop the machine
+		// rather than returning it to the pool.
 		return nil, err
 	}
+	releaseMachine(mach)
 	res := &QueryResult{
 		Graph:     sg.Name,
 		Version:   sg.Version,

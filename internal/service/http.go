@@ -195,7 +195,9 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// An encode failure here means the client went away; there is no
+	// useful recovery once the header is written.
+	_ = enc.Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -118,9 +118,11 @@ func Unweighted(c *bsp.Comm, root int, local []graph.Edge, s, n int, delta float
 	return gatherEdges(c, root, chosen)
 }
 
-// gatherEdges gathers edge slices at the root (3 words per edge).
+// gatherEdges gathers edge slices at the root (3 words per edge). The
+// payload is built in a runtime-pooled buffer and handed off owned, so
+// the gather is copy- and allocation-free in steady state.
 func gatherEdges(c *bsp.Comm, root int, es []graph.Edge) []graph.Edge {
-	parts := c.GatherOwned(root, dist.EncodeEdges(es))
+	parts := c.GatherOwned(root, dist.AppendEdges(c.Buffer(3*len(es))[:0], es))
 	if c.Rank() != root {
 		return nil
 	}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := &Snapshot{
+		Name: "bsp-bench",
+		Records: []*Record{
+			{
+				Input: "er_1500_32", Seed: 42, Trial: 3, N: 1500, M: 24000,
+				Time: 428972 * time.Microsecond, MPITime: 11905 * time.Microsecond,
+				Algorithm: "mincut", P: 8, Result: 17, Supersteps: 121, CommVolume: 98765,
+			},
+			{
+				Input: "cycle_64", Seed: 1, Trial: 0, N: 64, M: 64,
+				Time: 0, MPITime: 0,
+				Algorithm: "cc", P: 1, Result: 1, Supersteps: 0, CommVolume: 0,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name {
+		t.Errorf("name = %q, want %q", got.Name, want.Name)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		if *got.Records[i] != *want.Records[i] {
+			t.Errorf("record %d changed:\n got %+v\nwant %+v", i, got.Records[i], want.Records[i])
+		}
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	s := &Snapshot{Name: "x", Records: []*Record{{Input: "g", Algorithm: "cc", P: 2}}}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"name"`, `"records"`, `"input"`, `"algorithm"`, `"comm_volume"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing key %s:\n%s", key, buf.String())
+		}
+	}
+}
+
+func TestReadSnapshotError(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Error("expected error for malformed JSON")
+	}
+}
