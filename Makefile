@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check lint bench bench-bsp camcd
+.PHONY: all build test vet race check lint bench bench-bsp bench-kernels camcd
 
 all: check
 
@@ -40,6 +40,12 @@ bench:
 # internal/bsp/BENCH_bsp.json).
 bench-bsp:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/bsp/
+
+# Kernel-layer microbenchmarks: radix sort vs comparison sort, the fused
+# sort+combine, arena vs clone-per-node Karger–Stein, and dense-vs-map
+# remaps (also writes internal/kernels/BENCH_kernels.json).
+bench-kernels:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/kernels/
 
 camcd:
 	$(GO) run ./cmd/camcd

@@ -17,9 +17,10 @@ func LabelPropagation(c *bsp.Comm, n int, local []graph.Edge) *Result {
 		labels[i] = uint64(i)
 	}
 	rounds := 0
+	prop := make([]uint64, n)
+	snap := make([]uint64, n)
 	for {
 		rounds++
-		prop := make([]uint64, n)
 		copy(prop, labels)
 		// Hook: propose the smaller endpoint label across each edge.
 		for _, e := range local {
@@ -36,7 +37,6 @@ func LabelPropagation(c *bsp.Comm, n int, local []graph.Edge) *Result {
 		// Synchronous pointer jumping on a snapshot (the PRAM-style step
 		// PBGL's algorithm performs; replicated, hence deterministic and
 		// identical on every processor).
-		snap := make([]uint64, n)
 		for j := 0; j < 2; j++ {
 			copy(snap, merged)
 			for v := range merged {
@@ -61,17 +61,14 @@ func LabelPropagation(c *bsp.Comm, n int, local []graph.Edge) *Result {
 			panic("cc: label propagation failed to converge")
 		}
 	}
-	// Compact to dense labels.
+	// Compact to dense labels (final labels are vertex ids, so they fit
+	// the [0, n) scatter table).
 	res := &Result{Labels: make([]int32, n), Iterations: rounds}
-	remap := make(map[uint64]int32)
+	remap := graph.GetRemap(n)
 	for v := 0; v < n; v++ {
-		l, ok := remap[labels[v]]
-		if !ok {
-			l = int32(len(remap))
-			remap[labels[v]] = l
-		}
-		res.Labels[v] = l
+		res.Labels[v] = remap.Of(int32(labels[v]))
 	}
-	res.Count = len(remap)
+	res.Count = remap.Len()
+	graph.PutRemap(remap)
 	return res
 }

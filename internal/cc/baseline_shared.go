@@ -68,16 +68,11 @@ func SharedMemory(g *graph.Graph, workers int) *Result {
 	wg.Wait()
 
 	res := &Result{Labels: make([]int32, n)}
-	remap := make(map[int32]int32)
+	remap := graph.GetRemap(n)
 	for v := int32(0); int(v) < n; v++ {
-		r := find(v)
-		l, ok := remap[r]
-		if !ok {
-			l = int32(len(remap))
-			remap[r] = l
-		}
-		res.Labels[v] = l
+		res.Labels[v] = remap.Of(find(v))
 	}
-	res.Count = len(remap)
+	res.Count = remap.Len()
+	graph.PutRemap(remap)
 	return res
 }

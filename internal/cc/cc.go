@@ -62,13 +62,21 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 	opts.defaults()
 	const root = 0
 
-	// The root tracks the label of each original vertex.
-	var comp []int32
+	// The root tracks the label of each original vertex. Its per-round
+	// solver state (union-find, labelling, broadcast payload) is hoisted
+	// out of the loop and recycled via Reset/LabelsInto.
+	var comp, labels, lscratch []int32
+	var uf *graph.UnionFind
+	var g []uint64
 	if c.Rank() == root {
 		comp = make([]int32, n)
 		for i := range comp {
 			comp[i] = int32(i)
 		}
+		labels = make([]int32, n)
+		lscratch = make([]int32, n)
+		uf = graph.NewUnionFind(n)
+		g = make([]uint64, n)
 	}
 	s := sampleSize(n, opts.Epsilon)
 	// Work on a private copy so the caller's slice survives.
@@ -96,15 +104,13 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 
 		// Root: solve the sampled graph over the current label space and
 		// produce the mapping g from old to new labels.
-		var g []uint64
 		if c.Rank() == root {
-			uf := graph.NewUnionFind(n)
+			uf.Reset(n)
 			for _, e := range sample {
 				uf.Union(e.U, e.V)
 			}
-			labels := uf.Labels()
+			uf.LabelsInto(labels, lscratch)
 			c.Ops(uint64(len(sample)) + uint64(n))
-			g = make([]uint64, n)
 			for i, l := range labels {
 				g[i] = uint64(uint32(l))
 			}
@@ -133,17 +139,13 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 	// [0, Count) labelling.
 	var words []uint64
 	if c.Rank() == root {
-		remap := make(map[int32]int32)
+		remap := graph.GetRemap(n)
 		for v := range comp {
-			l, ok := remap[comp[v]]
-			if !ok {
-				l = int32(len(remap))
-				remap[comp[v]] = l
-			}
-			comp[v] = l
+			comp[v] = remap.Of(comp[v])
 		}
 		words = make([]uint64, n+1)
-		words[0] = uint64(len(remap))
+		words[0] = uint64(remap.Len())
+		graph.PutRemap(remap)
 		for v, l := range comp {
 			words[v+1] = uint64(uint32(l))
 		}

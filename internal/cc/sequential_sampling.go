@@ -28,9 +28,11 @@ func SequentialSampling(g *graph.Graph, st *rng.Stream, epsilon float64) *Result
 	s := int(math.Ceil(math.Pow(float64(n), 1+epsilon/2)))
 	iters := 0
 	labels := make([]int32, n)
+	seen := make([]int32, n)
+	uf := graph.NewUnionFind(n)
 	for len(edges) > 0 {
 		iters++
-		uf := graph.NewUnionFind(n)
+		uf.Reset(n)
 		if s >= len(edges) {
 			for _, e := range edges {
 				uf.Union(e.U, e.V)
@@ -41,20 +43,8 @@ func SequentialSampling(g *graph.Graph, st *rng.Stream, epsilon float64) *Result
 				uf.Union(e.U, e.V)
 			}
 		}
-		// Dense relabel.
-		next := int32(0)
-		seen := make([]int32, n)
-		for i := range seen {
-			seen[i] = -1
-		}
-		for v := int32(0); int(v) < n; v++ {
-			r := uf.Find(v)
-			if seen[r] < 0 {
-				seen[r] = next
-				next++
-			}
-			labels[v] = seen[r]
-		}
+		// Dense relabel (seen doubles as the root→label scatter table).
+		uf.LabelsInto(labels, seen)
 		for v := range comp {
 			comp[v] = labels[comp[v]]
 		}
@@ -68,16 +58,12 @@ func SequentialSampling(g *graph.Graph, st *rng.Stream, epsilon float64) *Result
 		edges = out
 	}
 	// Compact final labels.
-	remap := make(map[int32]int32)
+	remap := graph.GetRemap(n)
 	res := &Result{Labels: make([]int32, n), Iterations: iters}
 	for v := 0; v < n; v++ {
-		l, ok := remap[comp[v]]
-		if !ok {
-			l = int32(len(remap))
-			remap[comp[v]] = l
-		}
-		res.Labels[v] = l
+		res.Labels[v] = remap.Of(comp[v])
 	}
-	res.Count = len(remap)
+	res.Count = remap.Len()
+	graph.PutRemap(remap)
 	return res
 }

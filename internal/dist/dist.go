@@ -47,6 +47,23 @@ func DecodeEdges(words []uint64) []graph.Edge {
 	return es
 }
 
+// DecodeEdgesAppend appends the edges encoded in words to dst and
+// returns it — DecodeEdges without the per-call allocation, for callers
+// assembling one edge array from many payloads.
+func DecodeEdgesAppend(dst []graph.Edge, words []uint64) []graph.Edge {
+	if len(words)%edgeWords != 0 {
+		panic("dist: ragged edge payload")
+	}
+	for i := 0; i+edgeWords <= len(words); i += edgeWords {
+		dst = append(dst, graph.Edge{
+			U: int32(uint32(words[i])),
+			V: int32(uint32(words[i+1])),
+			W: words[i+2],
+		})
+	}
+	return dst
+}
+
 // BlockRange splits n items evenly over p processors and returns the
 // half-open range owned by rank.
 func BlockRange(n, p, rank int) (lo, hi int) {

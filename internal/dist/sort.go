@@ -1,10 +1,9 @@
 package dist
 
 import (
-	"sort"
-
 	"repro/internal/bsp"
 	"repro/internal/graph"
+	xsort "repro/internal/sort"
 )
 
 // edgeLess orders edges by (smaller endpoint, larger endpoint) — the
@@ -18,8 +17,21 @@ func edgeLess(a, b graph.Edge) bool {
 	return a.V < b.V
 }
 
+// sortLocal sorts es by (U, V) through the pooled LSD radix kernel on
+// packed 64-bit keys. The sort is stable (equal-key parallel edges keep
+// their input order), unlike the comparison sort it replaced.
 func sortLocal(es []graph.Edge) {
-	sort.Slice(es, func(i, j int) bool { return edgeLess(es[i], es[j]) })
+	kvs := xsort.Borrow(len(es))
+	for i, e := range es {
+		kvs[i] = xsort.KV{K: xsort.Key(e.U, e.V), V: e.W}
+	}
+	scratch := xsort.Borrow(len(es))
+	xsort.Pairs(kvs, scratch)
+	for i, kv := range kvs {
+		es[i] = graph.Edge{U: xsort.KeyU(kv.K), V: xsort.KeyV(kv.K), W: kv.V}
+	}
+	xsort.Release(scratch)
+	xsort.Release(kvs)
 }
 
 // SampleSortEdges globally sorts the distributed edge array by
@@ -55,7 +67,7 @@ func SampleSortEdges(c *bsp.Comm, local []graph.Edge) []graph.Edge {
 	if c.Rank() == 0 {
 		var all []graph.Edge
 		for _, w := range gathered {
-			all = append(all, DecodeEdges(w)...)
+			all = DecodeEdgesAppend(all, w)
 		}
 		sortLocal(all)
 		splitters := make([]graph.Edge, 0, p-1)
@@ -69,16 +81,35 @@ func SampleSortEdges(c *bsp.Comm, local []graph.Edge) []graph.Edge {
 	}
 	splitters := DecodeEdges(c.Broadcast(0, splitterWords))
 
-	// Partition the local run by splitters and redistribute.
+	// Partition the sorted local run by splitters: because both the run
+	// and the splitters are sorted, one merge walk computes every bucket
+	// boundary — O(m/p + p) comparisons instead of a binary search per
+	// edge. Each part is encoded into an exact-size runtime buffer and
+	// handed off owned, so redistribution copies each edge exactly once.
+	bounds := make([]int, p+1) // part dst covers local[bounds[dst]:bounds[dst+1]]
+	dst := 0
+	for i, e := range local {
+		for dst < len(splitters) && !edgeLess(e, splitters[dst]) {
+			dst++
+			bounds[dst] = i
+		}
+	}
+	for d := dst + 1; d <= p; d++ {
+		bounds[d] = len(local)
+	}
 	parts := make([][]uint64, p)
-	for _, e := range local {
-		dst := sort.Search(len(splitters), func(i int) bool { return edgeLess(e, splitters[i]) })
-		parts[dst] = AppendEdges(parts[dst], []graph.Edge{e})
+	for d := 0; d < p; d++ {
+		chunk := local[bounds[d]:bounds[d+1]]
+		parts[d] = AppendEdges(c.Buffer(len(chunk)*edgeWords)[:0], chunk)
 	}
 	got := c.AllToAllOwned(parts)
-	var out []graph.Edge
+	total := 0
 	for _, w := range got {
-		out = append(out, DecodeEdges(w)...)
+		total += len(w) / edgeWords
+	}
+	out := make([]graph.Edge, 0, total)
+	for _, w := range got {
+		out = DecodeEdgesAppend(out, w)
 	}
 	sortLocal(out)
 	return out

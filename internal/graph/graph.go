@@ -10,7 +10,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+
+	xsort "repro/internal/sort"
 )
 
 // Edge is one weighted undirected edge. The endpoint order carries no
@@ -113,21 +114,28 @@ func (g *Graph) Simplify() *Graph {
 
 // CombineParallel sorts the edges by normalized endpoints and merges
 // parallel edges by summing their weights. Loops are removed. The input
-// slice is not modified.
+// slice is not modified. The sort+merge runs over packed (U<<32|V, W)
+// pairs through the pooled LSD radix kernel, so it is a handful of
+// counting scans with no comparator dispatch and no steady-state
+// allocation beyond the returned slice.
 func CombineParallel(edges []Edge) []Edge {
-	es := make([]Edge, 0, len(edges))
+	kvs := xsort.Borrow(len(edges))[:0]
 	for _, e := range edges {
-		if !e.IsLoop() {
-			es = append(es, e.Normalize())
+		if e.IsLoop() {
+			continue
 		}
+		e = e.Normalize()
+		kvs = append(kvs, xsort.KV{K: xsort.Key(e.U, e.V), V: e.W})
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
-	return CombineSorted(es)
+	scratch := xsort.Borrow(len(kvs))
+	merged := xsort.Combine(kvs, scratch)
+	out := make([]Edge, len(merged))
+	for i, kv := range merged {
+		out[i] = Edge{U: xsort.KeyU(kv.K), V: xsort.KeyV(kv.K), W: kv.V}
+	}
+	xsort.Release(scratch)
+	xsort.Release(kvs)
+	return out
 }
 
 // CombineSorted merges runs of parallel edges in a slice already sorted by
@@ -151,18 +159,30 @@ func CombineSorted(es []Edge) []Edge {
 // Relabel returns a new graph with every edge (u,v) replaced by
 // (mapping[u], mapping[v]); loops produced by the mapping are dropped and
 // parallel edges combined. newN is the vertex count of the image.
-// This is Bulk Edge Contraction in its sequential form (§4.1).
+// This is Bulk Edge Contraction in its sequential form (§4.1). The
+// rename, sort, and combine are fused over packed key/weight pairs: one
+// pass packs the renamed survivors straight into radix scratch, so no
+// intermediate edge array is materialized.
 func (g *Graph) Relabel(mapping []int32, newN int) *Graph {
-	out := &Graph{N: newN}
-	out.Edges = make([]Edge, 0, len(g.Edges))
+	kvs := xsort.Borrow(len(g.Edges))[:0]
 	for _, e := range g.Edges {
 		u, v := mapping[e.U], mapping[e.V]
 		if u == v {
 			continue
 		}
-		out.Edges = append(out.Edges, Edge{U: u, V: v, W: e.W})
+		if u > v {
+			u, v = v, u
+		}
+		kvs = append(kvs, xsort.KV{K: xsort.Key(u, v), V: e.W})
 	}
-	out.Edges = CombineParallel(out.Edges)
+	scratch := xsort.Borrow(len(kvs))
+	merged := xsort.Combine(kvs, scratch)
+	out := &Graph{N: newN, Edges: make([]Edge, len(merged))}
+	for i, kv := range merged {
+		out.Edges[i] = Edge{U: xsort.KeyU(kv.K), V: xsort.KeyV(kv.K), W: kv.V}
+	}
+	xsort.Release(scratch)
+	xsort.Release(kvs)
 	return out
 }
 

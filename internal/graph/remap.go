@@ -1,0 +1,58 @@
+package graph
+
+import "sync"
+
+// Remap compacts arbitrary labels drawn from [0, bound) into dense ids
+// [0, Len()), assigned in first-appearance order — exactly the behavior
+// of the map[int32]int32 idiom it replaces in the result-publication
+// passes of the CC and min-cut algorithms, but as a single []int32
+// scatter table: one array read and (on first sight) one write per
+// lookup, no hashing, no per-entry allocation.
+type Remap struct {
+	table []int32
+	next  int32
+}
+
+// remapPool recycles Remap tables across queries; the result passes of
+// concurrent service queries each check one out.
+var remapPool = sync.Pool{New: func() any { return &Remap{} }}
+
+// GetRemap returns a pooled Remap ready for labels in [0, bound).
+func GetRemap(bound int) *Remap {
+	r := remapPool.Get().(*Remap)
+	r.Reset(bound)
+	return r
+}
+
+// PutRemap returns a Remap to the pool. The caller must not use it
+// afterwards.
+func PutRemap(r *Remap) { remapPool.Put(r) }
+
+// Reset prepares the table for labels in [0, bound), reusing the backing
+// array when capacity allows.
+func (r *Remap) Reset(bound int) {
+	if cap(r.table) >= bound {
+		r.table = r.table[:bound]
+	} else {
+		r.table = make([]int32, bound)
+	}
+	for i := range r.table {
+		r.table[i] = -1
+	}
+	r.next = 0
+}
+
+// Of returns the dense id of label l, assigning the next free id on
+// first sight.
+func (r *Remap) Of(l int32) int32 {
+	if id := r.table[l]; id >= 0 {
+		return id
+	}
+	id := r.next
+	r.table[l] = id
+	r.next++
+	return id
+}
+
+// Len returns the number of distinct labels seen since Reset.
+func (r *Remap) Len() int { return int(r.next) }

@@ -11,15 +11,27 @@ type UnionFind struct {
 
 // NewUnionFind returns n singleton sets.
 func NewUnionFind(n int) *UnionFind {
-	uf := &UnionFind{
-		parent: make([]int32, n),
-		rank:   make([]int8, n),
-		count:  n,
+	uf := &UnionFind{}
+	uf.Reset(n)
+	return uf
+}
+
+// Reset restores the structure to n singleton sets, reusing the backing
+// arrays when their capacity allows — the arena path of the contraction
+// kernels, which burn through one union-find per recursion node.
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) >= n {
+		uf.parent = uf.parent[:n]
+		uf.rank = uf.rank[:n]
+	} else {
+		uf.parent = make([]int32, n)
+		uf.rank = make([]int8, n)
 	}
 	for i := range uf.parent {
 		uf.parent[i] = int32(i)
+		uf.rank[i] = 0
 	}
-	return uf
+	uf.count = n
 }
 
 // Find returns the representative of x's set.
@@ -60,18 +72,36 @@ func (uf *UnionFind) Connected(x, y int32) bool { return uf.Find(x) == uf.Find(y
 // Labels returns a dense labelling: a slice mapping every element to a
 // component id in [0, Count()), assigned in order of first appearance.
 func (uf *UnionFind) Labels() []int32 {
-	labels := make([]int32, len(uf.parent))
+	n := len(uf.parent)
+	labels := make([]int32, n)
+	scratch := make([]int32, n)
+	uf.LabelsInto(labels, scratch)
+	return labels
+}
+
+// LabelsInto is Labels with caller-provided storage: labels receives the
+// dense labelling and scratch (both length ≥ len(parent)) is the
+// root→label scatter table. The label assignment order (first
+// appearance) is identical to Labels'. It returns the label count.
+// Replaces the old map[int32]int32 remap: a dense table turns every
+// hash+probe into one array write.
+func (uf *UnionFind) LabelsInto(labels, scratch []int32) int {
+	n := len(uf.parent)
+	labels = labels[:n]
+	scratch = scratch[:n]
+	for i := range scratch {
+		scratch[i] = -1
+	}
 	next := int32(0)
-	remap := make(map[int32]int32, uf.count)
-	for i := range uf.parent {
+	for i := 0; i < n; i++ {
 		r := uf.Find(int32(i))
-		id, ok := remap[r]
-		if !ok {
+		id := scratch[r]
+		if id < 0 {
 			id = next
-			remap[r] = id
+			scratch[r] = id
 			next++
 		}
 		labels[i] = id
 	}
-	return labels
+	return int(next)
 }

@@ -1,0 +1,177 @@
+package kernels
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/cc"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+	"repro/internal/rng"
+)
+
+// acctCase is one fixed (algorithm, input, machine size) configuration
+// whose BSP accounting is pinned. The golden strings below were captured
+// on the commit immediately before the kernel overhaul; the kernels may
+// get arbitrarily faster, but supersteps, per-superstep h-relations, and
+// communication volume must not move by a single word.
+type acctCase struct {
+	name string
+	p    int
+	run  func(c *bsp.Comm) uint64 // returns a result fingerprint from rank 0
+}
+
+// fingerprint renders the accounting of one run plus the rank-0 result
+// word into a comparable string: supersteps, total volume, and an FNV-1a
+// hash over the sorted per-superstep h-relations. The h-relations are
+// hashed as a multiset, not a sequence: when Split sub-communicators fold
+// into the parent, the fold order across groups depends on goroutine
+// scheduling even though the h-relations themselves are deterministic.
+func fingerprint(st *bsp.Stats, result uint64) string {
+	hs := append([]uint64(nil), st.HRelations...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	h := fnv.New64a()
+	var b [8]byte
+	for _, r := range hs {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(r >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("ss=%d vol=%d hrel=%016x res=%d",
+		st.Supersteps, st.CommVolume, h.Sum64(), result)
+}
+
+func hashLabels(labels []int32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, l := range labels {
+		for i := 0; i < 4; i++ {
+			b[i] = byte(uint32(l) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func hashEdges(es []graph.Edge) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, e := range es {
+		k := uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
+		for i := 0; i < 8; i++ {
+			b[i] = byte(k >> (8 * i))
+		}
+		h.Write(b[:])
+		for i := 0; i < 8; i++ {
+			b[i] = byte(e.W >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func acctCases() []acctCase {
+	ccG := gen.ErdosRenyiM(400, 2000, 7, gen.Config{MaxWeight: 5})
+	mcG := gen.ErdosRenyiM(96, 480, 11, gen.Config{MaxWeight: 4})
+	sortG := gen.RMAT(10, 4096, 13, gen.Config{MaxWeight: 9})
+
+	var cases []acctCase
+	for _, p := range []int{1, 4, 8} {
+		p := p
+		cases = append(cases,
+			acctCase{name: fmt.Sprintf("cc/er400/p=%d", p), p: p, run: func(c *bsp.Comm) uint64 {
+				lo, hi := dist.BlockRange(len(ccG.Edges), c.Size(), c.Rank())
+				st := rng.New(21, uint32(c.Rank()), 0)
+				r := cc.Parallel(c, ccG.N, ccG.Edges[lo:hi], st, cc.Options{})
+				return hashLabels(r.Labels) ^ uint64(r.Count)
+			}},
+			acctCase{name: fmt.Sprintf("mincut/er96/p=%d", p), p: p, run: func(c *bsp.Comm) uint64 {
+				lo, hi := dist.BlockRange(len(mcG.Edges), c.Size(), c.Rank())
+				st := rng.New(23, uint32(c.Rank()), 0)
+				r := mincut.Parallel(c, mcG.N, mcG.Edges[lo:hi], st, mincut.Options{
+					SuccessProb: 0.9, MaxTrials: 4,
+				})
+				return r.Value
+			}},
+			acctCase{name: fmt.Sprintf("samplesort/rmat10/p=%d", p), p: p, run: func(c *bsp.Comm) uint64 {
+				lo, hi := dist.BlockRange(len(sortG.Edges), c.Size(), c.Rank())
+				local := make([]graph.Edge, hi-lo)
+				for i, e := range sortG.Edges[lo:hi] {
+					local[i] = e.Normalize()
+				}
+				sorted := dist.SampleSortEdges(c, local)
+				// Combine before hashing: the old local sort was unstable, so
+				// only the merged run (not the order of equal-key parallel
+				// edges) is pinned.
+				run := graph.CombineSorted(append([]graph.Edge(nil), sorted...))
+				return hashEdges(run) ^ uint64(len(run))
+			}},
+			acctCase{name: fmt.Sprintf("lp/er400/p=%d", p), p: p, run: func(c *bsp.Comm) uint64 {
+				lo, hi := dist.BlockRange(len(ccG.Edges), c.Size(), c.Rank())
+				r := cc.LabelPropagation(c, ccG.N, ccG.Edges[lo:hi])
+				return hashLabels(r.Labels) ^ uint64(r.Count)
+			}},
+		)
+	}
+	return cases
+}
+
+// acctGolden pins the pre-overhaul accounting; regenerate (only when a
+// change is *meant* to alter communication) with:
+//
+//	ACCT_PRINT=1 go test -run TestAccountingRegression ./internal/kernels/ -v
+var acctGolden = map[string]string{
+	"cc/er400/p=1":          "ss=4 vol=6003 hrel=d4ac4c4536e3e4a9 res=12197969927824375844",
+	"mincut/er96/p=1":       "ss=8 vol=2897 hrel=c359b66f444692c8 res=9",
+	"samplesort/rmat10/p=1": "ss=0 vol=0 hrel=cbf29ce484222325 res=15746440966337804777",
+	"lp/er400/p=1":          "ss=8 vol=1604 hrel=c8f1186edcac7d25 res=12197969927824375844",
+	"cc/er400/p=4":          "ss=13 vol=7665 hrel=6940350ad4666991 res=12197969927824375844",
+	"mincut/er96/p=4":       "ss=22 vol=3949 hrel=073d0d22ba183093 res=9",
+	"samplesort/rmat10/p=4": "ss=5 vol=4578 hrel=7cab0b383bd917f2 res=11915066909254320792",
+	"lp/er400/p=4":          "ss=24 vol=9696 hrel=dd7f5d868b298a05 res=12197969927824375844",
+	"cc/er400/p=8":          "ss=13 vol=7729 hrel=fab16914f17ead79 res=12197969927824375844",
+	"mincut/er96/p=8":       "ss=127 vol=29741 hrel=cddc003d7b8f9e7c res=9",
+	"samplesort/rmat10/p=8": "ss=5 vol=2064 hrel=0b88c594df445be2 res=7070751790068031407",
+	"lp/er400/p=8":          "ss=24 vol=16192 hrel=c26fb758e15ab6e5 res=12197969927824375844",
+}
+
+// TestAccountingRegression runs every pinned configuration and compares
+// supersteps / h-relation sequence / volume / result against the golden
+// values captured before the kernel-layer overhaul.
+func TestAccountingRegression(t *testing.T) {
+	printMode := os.Getenv("ACCT_PRINT") != ""
+	for _, tc := range acctCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var result uint64
+			st, err := bsp.Run(tc.p, func(c *bsp.Comm) {
+				r := tc.run(c)
+				if c.Rank() == 0 {
+					result = r
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fingerprint(st, result)
+			if printMode {
+				fmt.Printf("\t%q: %q,\n", tc.name, got)
+				return
+			}
+			want, ok := acctGolden[tc.name]
+			if !ok {
+				t.Fatalf("no golden accounting for %s (got %s)", tc.name, got)
+			}
+			if got != want {
+				t.Errorf("accounting drifted:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}

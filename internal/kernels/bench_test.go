@@ -1,0 +1,492 @@
+package kernels
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+	"repro/internal/rng"
+	xsort "repro/internal/sort"
+)
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+// benchSortEdges builds a skewed (RMAT) edge array: heavy parallel-edge
+// runs and a narrow key range, the regime the distributed sample sort
+// sees after a few contraction rounds.
+func benchSortEdges(m int) []graph.Edge {
+	g := gen.RMAT(14, m, 99, gen.Config{MaxWeight: 100})
+	return g.Edges
+}
+
+func sortEdgesStd(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}
+
+func sortEdgesRadix(es []graph.Edge) {
+	kvs := xsort.Borrow(len(es))
+	for i, e := range es {
+		kvs[i] = xsort.KV{K: xsort.Key(e.U, e.V), V: e.W}
+	}
+	scratch := xsort.Borrow(len(es))
+	xsort.Pairs(kvs, scratch)
+	for i, kv := range kvs {
+		es[i] = graph.Edge{U: xsort.KeyU(kv.K), V: xsort.KeyV(kv.K), W: kv.V}
+	}
+	xsort.Release(scratch)
+	xsort.Release(kvs)
+}
+
+// combineStd is the pre-radix CombineParallel: comparison sort of a
+// normalized copy followed by an in-place merge.
+func combineStd(edges []graph.Edge) []graph.Edge {
+	es := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.IsLoop() {
+			continue
+		}
+		es = append(es, e.Normalize())
+	}
+	sortEdgesStd(es)
+	return graph.CombineSorted(es)
+}
+
+// ---------------------------------------------------------------------------
+// Pre-arena Karger–Stein replica (allocation baseline)
+// ---------------------------------------------------------------------------
+
+// cloneContractTo replays the pre-arena contraction kernel: every
+// recursion node clones the O(n²) matrix and allocates its bookkeeping
+// (alive set, degrees, union-find, mapping, compacted output) fresh. It
+// exists only as the allocation baseline for the ks_trial benchmark.
+func cloneContractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32) {
+	n := m.N
+	w := m.Clone()
+	alive := make([]int32, n)
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	deg := make([]uint64, n)
+	var total uint64
+	for i := 0; i < n; i++ {
+		deg[i] = w.WeightedDegree(int32(i))
+		total += deg[i]
+	}
+	uf := graph.NewUnionFind(n)
+	live := n
+	for live > t && total > 0 {
+		x := st.Uint64n(total)
+		var u int32 = -1
+		for _, a := range alive[:live] {
+			if x < deg[a] {
+				u = a
+				break
+			}
+			x -= deg[a]
+		}
+		if u < 0 {
+			break
+		}
+		y := st.Uint64n(deg[u])
+		var v int32 = -1
+		rowU := w.W[int(u)*n : (int(u)+1)*n]
+		for _, b := range alive[:live] {
+			if b == u {
+				continue
+			}
+			if y < rowU[b] {
+				v = b
+				break
+			}
+			y -= rowU[b]
+		}
+		if v < 0 {
+			break
+		}
+		wuv := rowU[v]
+		rowV := w.W[int(v)*n : (int(v)+1)*n]
+		for _, k := range alive[:live] {
+			if k == u || k == v {
+				continue
+			}
+			nw := rowU[k] + rowV[k]
+			rowU[k] = nw
+			w.W[int(k)*n+int(u)] = nw
+			w.W[int(k)*n+int(v)] = 0
+		}
+		deg[u] = deg[u] + deg[v] - 2*wuv
+		total -= 2 * wuv
+		rowU[v] = 0
+		w.W[int(v)*n+int(u)] = 0
+		uf.Union(u, v)
+		for idx, a := range alive[:live] {
+			if a == v {
+				alive[idx] = alive[live-1]
+				live--
+				break
+			}
+		}
+	}
+	mapping := make([]int32, n)
+	classToLabel := make([]int32, n)
+	for idx := 0; idx < live; idx++ {
+		classToLabel[uf.Find(alive[idx])] = int32(idx)
+	}
+	for i := 0; i < n; i++ {
+		mapping[i] = classToLabel[uf.Find(int32(i))]
+	}
+	out := graph.NewMatrix(live)
+	for ai := 0; ai < live; ai++ {
+		srcRow := w.W[int(alive[ai])*n : (int(alive[ai])+1)*n]
+		dstRow := out.W[ai*live : (ai+1)*live]
+		for aj := 0; aj < live; aj++ {
+			dstRow[aj] = srcRow[alive[aj]]
+		}
+		dstRow[ai] = 0
+	}
+	return out, mapping
+}
+
+// cloneKSRecurse is the pre-arena recursion shape. The base case is a
+// cheap stand-in (min singleton cut) because brute-force enumeration
+// allocates identically in both variants; the comparison targets the
+// recursion's per-node allocation pattern, which the matrix clones
+// dominate.
+func cloneKSRecurse(m *graph.Matrix, st *rng.Stream) (uint64, []bool) {
+	n := m.N
+	if n <= 9 {
+		best, bi := uint64(math.MaxUint64), 0
+		for i := 0; i < n; i++ {
+			if d := m.WeightedDegree(int32(i)); d < best {
+				best, bi = d, i
+			}
+		}
+		side := make([]bool, n)
+		if n > 0 {
+			side[bi] = true
+		}
+		return best, side
+	}
+	t := int(math.Ceil(float64(n)/math.Sqrt2)) + 1
+	if t >= n {
+		t = n - 1
+	}
+	bestVal := uint64(math.MaxUint64)
+	var bestSide []bool
+	for branch := 0; branch < 2; branch++ {
+		cm, mapping := cloneContractTo(m, t, st)
+		val, side := cloneKSRecurse(cm, st)
+		if val < bestVal {
+			bestVal = val
+			lifted := make([]bool, n)
+			for v := 0; v < n; v++ {
+				lifted[v] = side[mapping[v]]
+			}
+			bestSide = lifted
+		}
+	}
+	return bestVal, bestSide
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------------
+
+var sortSizes = []int{10_000, 100_000, 300_000}
+
+func BenchmarkEdgeSortRadix(b *testing.B) {
+	for _, m := range sortSizes {
+		base := benchSortEdges(m)
+		work := make([]graph.Edge, len(base))
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(work, base)
+				sortEdgesRadix(work)
+			}
+		})
+	}
+}
+
+func BenchmarkEdgeSortStd(b *testing.B) {
+	for _, m := range sortSizes {
+		base := benchSortEdges(m)
+		work := make([]graph.Edge, len(base))
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(work, base)
+				sortEdgesStd(work)
+			}
+		})
+	}
+}
+
+func BenchmarkCombineFused(b *testing.B) {
+	base := benchSortEdges(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		graph.CombineParallel(base)
+	}
+}
+
+func BenchmarkCombineStd(b *testing.B) {
+	base := benchSortEdges(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		combineStd(base)
+	}
+}
+
+// ksBenchGraph is connected (cycle + random edges) so the cut is
+// meaningful and the recursion depth is representative.
+func ksBenchGraph() *graph.Graph {
+	g := gen.ErdosRenyiM(150, 1800, 7, gen.Config{MaxWeight: 6})
+	for v := 0; v < g.N; v++ {
+		g.AddEdge(int32(v), int32((v+1)%g.N), 1)
+	}
+	return g
+}
+
+func BenchmarkKSTrialArena(b *testing.B) {
+	g := ksBenchGraph()
+	st := rng.New(3, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mincut.KargerStein(g, st, 0.5)
+	}
+}
+
+func BenchmarkKSTrialClone(b *testing.B) {
+	g := ksBenchGraph()
+	m := graph.MatrixFromGraph(g)
+	trials := mincut.KargerSteinTrials(g.N, 0.5)
+	st := rng.New(3, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < trials; k++ {
+			cloneKSRecurse(m, st)
+		}
+	}
+}
+
+func BenchmarkRemapDense(b *testing.B) {
+	const n = 1 << 16
+	labels := make([]int32, n)
+	st := rng.New(5, 0, 0)
+	for i := range labels {
+		labels[i] = int32(st.Uint64n(n / 64))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := graph.GetRemap(n)
+		for _, l := range labels {
+			r.Of(l)
+		}
+		graph.PutRemap(r)
+	}
+}
+
+func BenchmarkRemapMap(b *testing.B) {
+	const n = 1 << 16
+	labels := make([]int32, n)
+	st := rng.New(5, 0, 0)
+	for i := range labels {
+		labels[i] = int32(st.Uint64n(n / 64))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		remap := make(map[int32]int32)
+		for _, l := range labels {
+			if _, ok := remap[l]; !ok {
+				remap[l] = int32(len(remap))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+type sortRow struct {
+	M         int     `json:"m"`
+	RadixNsOp int64   `json:"radix_ns_op"`
+	StdNsOp   int64   `json:"std_ns_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type pairRow struct {
+	NewNsOp      int64   `json:"new_ns_op"`
+	BaseNsOp     int64   `json:"baseline_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	NewAllocsOp  int64   `json:"new_allocs_op"`
+	BaseAllocsOp int64   `json:"baseline_allocs_op"`
+}
+
+type ksRow struct {
+	Trials           int     `json:"trials_per_op"`
+	ArenaAllocsTrial float64 `json:"arena_allocs_per_trial"`
+	CloneAllocsTrial float64 `json:"clone_allocs_per_trial"`
+	AllocReduction   float64 `json:"alloc_reduction"`
+	ArenaNsOp        int64   `json:"arena_ns_op"`
+	CloneNsOp        int64   `json:"clone_ns_op"`
+}
+
+type kernelSnapshot struct {
+	Name     string    `json:"name"`
+	EdgeSort []sortRow `json:"edge_sort"`
+	Combine  pairRow   `json:"combine"`
+	KSTrial  ksRow     `json:"ks_trial"`
+	Remap    pairRow   `json:"remap"`
+}
+
+func bench(f func(b *testing.B)) testing.BenchmarkResult { return testing.Benchmark(f) }
+
+// writeKernelSnapshot re-times the kernel pairs head-to-head and writes
+// the machine-readable comparison CI archives next to BENCH_bsp.json.
+func writeKernelSnapshot(path string) error {
+	snap := kernelSnapshot{Name: "kernel-bench"}
+
+	for _, m := range sortSizes {
+		base := benchSortEdges(m)
+		work := make([]graph.Edge, len(base))
+		radix := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, base)
+				sortEdgesRadix(work)
+			}
+		})
+		std := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, base)
+				sortEdgesStd(work)
+			}
+		})
+		row := sortRow{M: m, RadixNsOp: radix.NsPerOp(), StdNsOp: std.NsPerOp()}
+		if row.RadixNsOp > 0 {
+			row.Speedup = float64(row.StdNsOp) / float64(row.RadixNsOp)
+		}
+		snap.EdgeSort = append(snap.EdgeSort, row)
+	}
+
+	combineIn := benchSortEdges(100_000)
+	fused := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graph.CombineParallel(combineIn)
+		}
+	})
+	std := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			combineStd(combineIn)
+		}
+	})
+	snap.Combine = pairRow{
+		NewNsOp: fused.NsPerOp(), BaseNsOp: std.NsPerOp(),
+		NewAllocsOp: fused.AllocsPerOp(), BaseAllocsOp: std.AllocsPerOp(),
+	}
+	if snap.Combine.NewNsOp > 0 {
+		snap.Combine.Speedup = float64(snap.Combine.BaseNsOp) / float64(snap.Combine.NewNsOp)
+	}
+
+	g := ksBenchGraph()
+	trials := mincut.KargerSteinTrials(g.N, 0.5)
+	stA := rng.New(3, 0, 0)
+	arena := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mincut.KargerStein(g, stA, 0.5)
+		}
+	})
+	mat := graph.MatrixFromGraph(g)
+	stC := rng.New(3, 0, 0)
+	clone := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < trials; k++ {
+				cloneKSRecurse(mat, stC)
+			}
+		}
+	})
+	snap.KSTrial = ksRow{
+		Trials:           trials,
+		ArenaAllocsTrial: float64(arena.AllocsPerOp()) / float64(trials),
+		CloneAllocsTrial: float64(clone.AllocsPerOp()) / float64(trials),
+		ArenaNsOp:        arena.NsPerOp(),
+		CloneNsOp:        clone.NsPerOp(),
+	}
+	if snap.KSTrial.ArenaAllocsTrial > 0 {
+		snap.KSTrial.AllocReduction = snap.KSTrial.CloneAllocsTrial / snap.KSTrial.ArenaAllocsTrial
+	}
+
+	const n = 1 << 16
+	labels := make([]int32, n)
+	stR := rng.New(5, 0, 0)
+	for i := range labels {
+		labels[i] = int32(stR.Uint64n(n / 64))
+	}
+	dense := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := graph.GetRemap(n)
+			for _, l := range labels {
+				r.Of(l)
+			}
+			graph.PutRemap(r)
+		}
+	})
+	viaMap := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			remap := make(map[int32]int32)
+			for _, l := range labels {
+				if _, ok := remap[l]; !ok {
+					remap[l] = int32(len(remap))
+				}
+			}
+		}
+	})
+	snap.Remap = pairRow{
+		NewNsOp: dense.NsPerOp(), BaseNsOp: viaMap.NsPerOp(),
+		NewAllocsOp: dense.AllocsPerOp(), BaseAllocsOp: viaMap.AllocsPerOp(),
+	}
+	if snap.Remap.NewNsOp > 0 {
+		snap.Remap.Speedup = float64(snap.Remap.BaseNsOp) / float64(snap.Remap.NewNsOp)
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// TestMain writes BENCH_kernels.json whenever benchmarks were requested,
+// mirroring the BSP suite's BENCH_bsp.json, so CI's bench-smoke job can
+// archive the kernel comparison alongside it.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
+		if err := writeKernelSnapshot("BENCH_kernels.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "kernel bench snapshot:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

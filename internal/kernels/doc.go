@@ -1,0 +1,11 @@
+// Package kernels holds the cross-cutting kernel benchmark suite and the
+// BSP accounting regression tests. The sequential/local kernels under the
+// BSP layer (radix edge sorts in internal/sort, the arena-backed
+// Karger–Stein contraction in internal/mincut, dense remap tables in
+// internal/graph) are pure drop-in replacements: they change constant
+// factors, never communication. The tests here pin that claim — the
+// superstep count, per-superstep h-relations, and communication volume of
+// every algorithm must be byte-identical to the pre-overhaul values — and
+// the benchmarks write BENCH_kernels.json so the kernel-level perf
+// trajectory is machine-readable from this PR on.
+package kernels

@@ -65,7 +65,9 @@ func bruteForceAll(m *graph.Matrix) (uint64, [][]bool) {
 
 // ksRecurseAll is ksRecurse with tie preservation: both branches'
 // tied-minimum sets are merged (deduplicated by canonical key).
-func ksRecurseAll(m *graph.Matrix, st *rng.Stream) (uint64, [][]bool) {
+// Contraction scratch comes from the arena; the lifted sides escape into
+// the tied set and so stay freshly allocated.
+func ksRecurseAll(a *ksArena, m *graph.Matrix, st *rng.Stream) (uint64, [][]bool) {
 	n := m.N
 	if n <= baseCaseSize {
 		return bruteForceAll(m)
@@ -79,9 +81,11 @@ func ksRecurseAll(m *graph.Matrix, st *rng.Stream) (uint64, [][]bool) {
 	var sides [][]bool
 	limit := maxTiedSides(n)
 	for branch := 0; branch < 2; branch++ {
-		cm, mapping := contractTo(m, t, st)
-		val, sub := ksRecurseAll(cm, st)
+		cm, mapping := a.contractTo(m, t, st)
+		val, sub := ksRecurseAll(a, cm, st)
+		a.putWords(cm.W)
 		if val > best {
+			a.putInts(mapping)
 			continue
 		}
 		if val < best {
@@ -103,6 +107,7 @@ func ksRecurseAll(m *graph.Matrix, st *rng.Stream) (uint64, [][]bool) {
 				sides = append(sides, lifted)
 			}
 		}
+		a.putInts(mapping)
 	}
 	return best, sides
 }
@@ -123,7 +128,11 @@ func sequentialTrialAll(g *graph.Graph, st *rng.Stream) (uint64, [][]bool) {
 		v, s := minDegreeCut(g)
 		return v, [][]bool{s}
 	}
-	val, sides := ksRecurseAll(graph.MatrixFromGraph(work), st)
+	a := getKSArena()
+	mat := a.matrixFromEdges(work.N, work.Edges)
+	val, sides := ksRecurseAll(a, mat, st)
+	a.putWords(mat.W)
+	putKSArena(a)
 	out := make([][]bool, len(sides))
 	for i, s := range sides {
 		lifted := make([]bool, g.N)

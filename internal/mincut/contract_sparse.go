@@ -4,6 +4,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	xsort "repro/internal/sort"
 )
 
 // sparseBulkContract performs Sparse Bulk Edge Contraction (§4.1) on a
@@ -52,45 +53,46 @@ func sparseBulkContract(c *bsp.Comm, local []graph.Edge, mapping []int32) []grap
 // returned.
 func resolveBoundaries(c *bsp.Comm, run []graph.Edge) []graph.Edge {
 	type key struct{ u, v int32 }
-	type info struct {
-		has         bool
-		first, last key
-		firstW      uint64
-	}
 
-	summary := make([]uint64, 8)
+	// Per-rank summary: presence flag, first edge (u,v,w), last edge
+	// (u,v,w), run length. It is staged in a pooled buffer (Send copies
+	// payloads, so the buffer goes back to the pool as soon as the
+	// all-gather returns) and the gathered summaries are consumed straight
+	// from the collective's received views — no per-call []info slab.
+	summary := xsort.BorrowWords(8)
+	for i := range summary {
+		summary[i] = 0
+	}
 	if len(run) > 0 {
 		f, l := run[0], run[len(run)-1]
-		summary = []uint64{1,
-			uint64(uint32(f.U)), uint64(uint32(f.V)), f.W,
-			uint64(uint32(l.U)), uint64(uint32(l.V)), l.W,
-			uint64(len(run)),
-		}
+		summary[0] = 1
+		summary[1], summary[2], summary[3] = uint64(uint32(f.U)), uint64(uint32(f.V)), f.W
+		summary[4], summary[5], summary[6] = uint64(uint32(l.U)), uint64(uint32(l.V)), l.W
+		summary[7] = uint64(len(run))
 	}
 	all := c.AllGather(summary)
-	infos := make([]info, c.Size())
-	for r, s := range all {
-		if s[0] == 0 {
-			continue
-		}
-		infos[r] = info{
-			has:    true,
-			first:  key{int32(uint32(s[1])), int32(uint32(s[2]))},
-			firstW: s[3],
-			last:   key{int32(uint32(s[4])), int32(uint32(s[5]))},
-		}
-	}
+	xsort.ReleaseWords(summary)
 	if len(run) == 0 {
 		return run
 	}
 	me := c.Rank()
+
+	has := func(r int) bool { return all[r][0] != 0 }
+	firstOf := func(r int) key {
+		s := all[r]
+		return key{int32(uint32(s[1])), int32(uint32(s[2]))}
+	}
+	lastOf := func(r int) key {
+		s := all[r]
+		return key{int32(uint32(s[4])), int32(uint32(s[5]))}
+	}
 
 	// The owner of group key k is the smallest rank whose run contains k;
 	// in a sorted, locally-combined distribution that rank has k as its
 	// first or last edge.
 	ownerOf := func(k key) int {
 		for r := 0; r < c.Size(); r++ {
-			if infos[r].has && (infos[r].first == k || infos[r].last == k) {
+			if has(r) && (firstOf(r) == k || lastOf(r) == k) {
 				return r
 			}
 		}
@@ -101,19 +103,19 @@ func resolveBoundaries(c *bsp.Comm, run []graph.Edge) []graph.Edge {
 	// of all later processors whose first edge is in that group. (A later
 	// processor's first key is >= my last key, so no other of my edges
 	// can be shared.)
-	lastKey := infos[me].last
+	lastKey := lastOf(me)
 	if ownerOf(lastKey) == me {
 		var extra uint64
 		for r := me + 1; r < c.Size(); r++ {
-			if infos[r].has && infos[r].first == lastKey {
-				extra += infos[r].firstW
+			if has(r) && firstOf(r) == lastKey {
+				extra += all[r][3]
 			}
 		}
 		run[len(run)-1].W += extra
 	}
 	// Drop: if an earlier rank owns my first edge's group, remove my copy
 	// (its weight was absorbed there).
-	if ownerOf(infos[me].first) < me {
+	if ownerOf(firstOf(me)) < me {
 		run = run[1:]
 	}
 	return run

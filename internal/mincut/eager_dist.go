@@ -25,6 +25,14 @@ func eagerDistributed(c *bsp.Comm, n int, local []graph.Edge, t int, st *rng.Str
 	}
 	edges := append([]graph.Edge(nil), local...)
 	nCur := n
+	// Round scratch, hoisted: nCur only shrinks, so first-round capacity
+	// serves every round. labels is allocated once at n and resliced; the
+	// root keeps its solver state (union-find, labelling, broadcast
+	// payload) across rounds via Reset/LabelsInto.
+	labels := make([]int32, n)
+	var payload []uint64
+	var uf *graph.UnionFind
+	var rootLabels, rootScratch []int32
 	for nCur > t {
 		m := dist.CountEdges(c, edges)
 		if m == 0 {
@@ -35,29 +43,36 @@ func eagerDistributed(c *bsp.Comm, n int, local []graph.Edge, t int, st *rng.Str
 
 		// Prefix selection at the root (§2.4): contract sampled edges in
 		// permuted order while at least t components remain.
-		var payload []uint64
 		if c.Rank() == 0 {
-			uf := graph.NewUnionFind(nCur)
+			if uf == nil {
+				uf = graph.NewUnionFind(nCur)
+				rootLabels = make([]int32, nCur)
+				rootScratch = make([]int32, nCur)
+				payload = make([]uint64, nCur+1)
+			} else {
+				uf.Reset(nCur)
+			}
 			prefixContract(uf, sample, t)
-			labels := uf.Labels()
+			lab := rootLabels[:nCur]
+			uf.LabelsInto(lab, rootScratch[:nCur])
 			c.Ops(uint64(len(sample)) + uint64(nCur))
-			payload = make([]uint64, nCur+1)
+			payload = payload[:nCur+1]
 			payload[0] = uint64(uf.Count())
-			for i, l := range labels {
+			for i, l := range lab {
 				payload[i+1] = uint64(uint32(l))
 			}
 		}
-		payload = c.Broadcast(0, payload)
-		count := int(payload[0])
-		labels := make([]int32, nCur)
-		for i := range labels {
-			labels[i] = int32(uint32(payload[i+1]))
+		got := c.Broadcast(0, payload)
+		count := int(got[0])
+		lab := labels[:nCur]
+		for i := range lab {
+			lab[i] = int32(uint32(got[i+1]))
 		}
 
 		// Bulk edge contraction across the distributed array.
-		edges = sparseBulkContract(c, edges, labels)
+		edges = sparseBulkContract(c, edges, lab)
 		for v := 0; v < n; v++ {
-			mapping[v] = labels[mapping[v]]
+			mapping[v] = lab[mapping[v]]
 		}
 		c.Ops(uint64(n))
 		nCur = count

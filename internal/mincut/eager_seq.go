@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	xsort "repro/internal/sort"
 )
 
 // sigma is the sparsification exponent: iterated sampling draws
@@ -57,23 +58,40 @@ func eagerSequential(g *graph.Graph, t int, st *rng.Stream) (*graph.Graph, []int
 	if t < 2 {
 		t = 2
 	}
+	// Round scratch is hoisted out of the loop: the graph only shrinks, so
+	// first-round capacity serves every later round, and the union-find is
+	// recycled with Reset.
+	var uf *graph.UnionFind
+	var labels, lscratch []int32
+	var sample []graph.Edge
 	for cur.N > t && len(cur.Edges) > 0 {
 		s := sampleBudget(cur.N, len(cur.Edges))
-		weights := make([]uint64, len(cur.Edges))
+		weights := xsort.BorrowWords(len(cur.Edges))
 		for i, e := range cur.Edges {
 			weights[i] = e.W
 		}
 		ps := rng.NewPrefixSampler(weights)
-		sample := make([]graph.Edge, s)
+		xsort.ReleaseWords(weights)
+		if cap(sample) < s {
+			sample = make([]graph.Edge, s)
+		}
+		sample = sample[:s]
 		for i := range sample {
 			sample[i] = cur.Edges[ps.Sample(st)]
 		}
-		uf := graph.NewUnionFind(cur.N)
+		if uf == nil {
+			uf = graph.NewUnionFind(cur.N)
+			labels = make([]int32, cur.N)
+			lscratch = make([]int32, cur.N)
+		} else {
+			uf.Reset(cur.N)
+		}
 		prefixContract(uf, sample, t)
-		labels := uf.Labels()
-		next := cur.Relabel(labels, uf.Count())
+		lab := labels[:cur.N]
+		uf.LabelsInto(lab, lscratch[:cur.N])
+		next := cur.Relabel(lab, uf.Count())
 		for v := 0; v < n; v++ {
-			mapping[v] = labels[mapping[v]]
+			mapping[v] = lab[mapping[v]]
 		}
 		cur = next
 	}

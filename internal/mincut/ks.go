@@ -17,29 +17,36 @@ const baseCaseSize = 9
 // contractTo randomly contracts the matrix to t vertices: edges are
 // selected with probability proportional to their weight and contracted
 // until t vertices remain (§2.4). It returns the compacted t×t matrix and
-// the mapping from m's vertices to the contracted ones. m is not
-// modified. O(n·(n-t)) time, O(n²) space.
-func contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32) {
+// the mapping from m's vertices to the contracted ones, both owned by the
+// arena — the caller releases them with putWords(cm.W) / putInts(mapping)
+// once the recursion below them has been folded. m is not modified.
+// O(n·(n-t)) time; O(n²) scratch comes from (and returns to) the arena.
+func (a *ksArena) contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32) {
 	n := m.N
 	if t >= n {
-		mapping := make([]int32, n)
+		mapping := a.getInts(n)
 		for i := range mapping {
 			mapping[i] = int32(i)
 		}
-		return m.Clone(), mapping
+		cw := a.getWords(n * n)
+		copy(cw, m.W)
+		return &graph.Matrix{N: n, W: cw}, mapping
 	}
-	w := m.Clone()
-	alive := make([]int32, n)
+	ww := a.getWords(n * n)
+	copy(ww, m.W)
+	w := &graph.Matrix{N: n, W: ww}
+	alive := a.getInts(n)
 	for i := range alive {
 		alive[i] = int32(i)
 	}
-	deg := make([]uint64, n)
+	deg := a.getWords(n)
 	var total uint64 // 2 * sum of edge weights
 	for i := 0; i < n; i++ {
 		deg[i] = w.WeightedDegree(int32(i))
 		total += deg[i]
 	}
-	uf := graph.NewUnionFind(n)
+	uf := a.uf
+	uf.Reset(n)
 
 	live := n
 	for live > t && total > 0 {
@@ -104,8 +111,11 @@ func contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32)
 	}
 
 	// Compact: map union-find classes of live vertices to [0, live).
-	mapping := make([]int32, n)
-	classToLabel := make([]int32, n)
+	// classToLabel is written for every live root before it is read (every
+	// vertex's root is a live representative), so the arena slice needs no
+	// zeroing.
+	mapping := a.getInts(n)
+	classToLabel := a.getInts(n)
 	for idx := 0; idx < live; idx++ {
 		classToLabel[uf.Find(alive[idx])] = int32(idx)
 	}
@@ -113,7 +123,9 @@ func contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32)
 		mapping[i] = classToLabel[uf.Find(int32(i))]
 	}
 
-	out := graph.NewMatrix(live)
+	// Every cell of the compacted matrix is assigned, so its arena backing
+	// needs no zeroing either.
+	out := &graph.Matrix{N: live, W: a.getWords(live * live)}
 	for ai := 0; ai < live; ai++ {
 		srcRow := w.W[int(alive[ai])*n : (int(alive[ai])+1)*n]
 		dstRow := out.W[ai*live : (ai+1)*live]
@@ -122,16 +134,38 @@ func contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32)
 		}
 		dstRow[ai] = 0
 	}
+	a.putInts(classToLabel)
+	a.putInts(alive)
+	a.putWords(deg)
+	a.putWords(ww)
 	return out, mapping
+}
+
+// contractTo is the standalone form: same contraction, but the returned
+// matrix and mapping are fresh copies the caller owns outright.
+func contractTo(m *graph.Matrix, t int, st *rng.Stream) (*graph.Matrix, []int32) {
+	a := getKSArena()
+	cm, mapping := a.contractTo(m, t, st)
+	outM := &graph.Matrix{N: cm.N, W: append([]uint64(nil), cm.W...)}
+	outMap := append([]int32(nil), mapping...)
+	a.putWords(cm.W)
+	a.putInts(mapping)
+	putKSArena(a)
+	return outM, outMap
 }
 
 // ksRecurse is one run of recursive contraction (§2.4): contract to
 // ⌈n/√2⌉+1 twice independently, recurse on both, keep the better cut.
-// Returns the best cut value found and its side over m's vertices.
-func ksRecurse(m *graph.Matrix, st *rng.Stream) (uint64, []bool) {
+// Returns the best cut value found and its side over m's vertices; the
+// side is arena-owned — the caller releases it with putBools once done.
+func (a *ksArena) ksRecurse(m *graph.Matrix, st *rng.Stream) (uint64, []bool) {
 	n := m.N
 	if n <= baseCaseSize {
-		return bruteForce(m)
+		scratch := a.getBools(n)
+		best := a.getBools(n)
+		val := bruteForceInto(m, scratch, best)
+		a.putBools(scratch)
+		return val, best
 	}
 	t := int(math.Ceil(float64(n)/math.Sqrt2)) + 1
 	if t >= n {
@@ -140,18 +174,35 @@ func ksRecurse(m *graph.Matrix, st *rng.Stream) (uint64, []bool) {
 	bestVal := uint64(math.MaxUint64)
 	var bestSide []bool
 	for branch := 0; branch < 2; branch++ {
-		cm, mapping := contractTo(m, t, st)
-		val, side := ksRecurse(cm, st)
+		cm, mapping := a.contractTo(m, t, st)
+		val, side := a.ksRecurse(cm, st)
+		a.putWords(cm.W)
 		if val < bestVal {
 			bestVal = val
-			lifted := make([]bool, n)
+			lifted := a.getBools(n)
 			for v := 0; v < n; v++ {
 				lifted[v] = side[mapping[v]]
 			}
+			if bestSide != nil {
+				a.putBools(bestSide)
+			}
 			bestSide = lifted
 		}
+		a.putBools(side)
+		a.putInts(mapping)
 	}
 	return bestVal, bestSide
+}
+
+// ksRecurse is the standalone form: it borrows a pooled arena for the
+// run and returns a side the caller owns outright.
+func ksRecurse(m *graph.Matrix, st *rng.Stream) (uint64, []bool) {
+	a := getKSArena()
+	val, side := a.ksRecurse(m, st)
+	out := append([]bool(nil), side...)
+	a.putBools(side)
+	putKSArena(a)
+	return val, out
 }
 
 // KargerSteinTrials returns the number of independent recursive
@@ -179,6 +230,8 @@ func KargerSteinTrials(n int, successProb float64) int {
 // successProb by repeated recursive contraction — the paper's sequential
 // "KS" baseline (the cache-oblivious variant shares this exact algorithm;
 // our compact matrix layout stands in for its cache-friendly layout).
+// One arena serves all trials, so the steady-state allocation rate across
+// the whole run is near zero.
 func KargerStein(g *graph.Graph, st *rng.Stream, successProb float64) *CutResult {
 	if g.N < 2 {
 		return &CutResult{Value: 0, Side: make([]bool, g.N)}
@@ -186,13 +239,16 @@ func KargerStein(g *graph.Graph, st *rng.Stream, successProb float64) *CutResult
 	best := &CutResult{Value: math.MaxUint64}
 	m := graph.MatrixFromGraph(g)
 	trials := KargerSteinTrials(g.N, successProb)
+	a := getKSArena()
 	for i := 0; i < trials; i++ {
-		val, side := ksRecurse(m, st)
+		val, side := a.ksRecurse(m, st)
 		if val < best.Value {
 			best.Value = val
-			best.Side = side
+			best.Side = append(best.Side[:0], side...)
 		}
+		a.putBools(side)
 	}
+	putKSArena(a)
 	if dv, ds := minDegreeCut(g); dv < best.Value {
 		best.Value = dv
 		best.Side = ds

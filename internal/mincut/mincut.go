@@ -70,14 +70,16 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 		// Recursive Step does O(t̄² log t̄) work on the contracted graph.
 		tbar := float64(eagerTarget(m))
 		trialOps := uint64(3*m) + uint64(2*tbar*tbar*math.Log2(tbar+2))
+		a := getKSArena()
 		for i := lo; i < hi; i++ {
-			val, side := sequentialTrial(g, st)
+			val, side := sequentialTrial(a, g, st)
 			c.Ops(trialOps)
 			if val < bestVal {
 				bestVal = val
 				bestSide = side
 			}
 		}
+		putKSArena(a)
 	} else {
 		// One distributed trial per group of ~p/trials processors.
 		all := dist.AllGatherEdges(c, local)

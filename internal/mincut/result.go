@@ -61,10 +61,20 @@ func (r *CutResult) Check(g *graph.Graph) bool {
 // contraction; n must be at least 2 and should stay tiny (≤
 // baseCaseSize, so the mask fits easily in 32 bits).
 func bruteForce(m *graph.Matrix) (uint64, []bool) {
+	side := make([]bool, m.N)
+	bestSide := make([]bool, m.N)
+	return bruteForceInto(m, side, bestSide), bestSide
+}
+
+// bruteForceInto is bruteForce with caller-provided storage (both length
+// m.N): side is enumeration scratch, bestSide receives the winning cut.
+// The arena path of recursive contraction hands in pooled slices here.
+func bruteForceInto(m *graph.Matrix, side, bestSide []bool) uint64 {
 	n := m.N
-	side := make([]bool, n) // state for mask 0: everything on one side
+	for i := range side { // state for mask 0: everything on one side
+		side[i] = false
+	}
 	bestVal := uint64(math.MaxUint64)
-	bestSide := make([]bool, n)
 	var cur int64
 	for g := uint32(1); g < uint32(1)<<(n-1); g++ {
 		// Gray codes of consecutive indices differ in exactly the lowest
@@ -87,7 +97,7 @@ func bruteForce(m *graph.Matrix) (uint64, []bool) {
 			copy(bestSide, side)
 		}
 	}
-	return bestVal, bestSide
+	return bestVal
 }
 
 // minDegreeCut returns the best singleton cut of the graph — a cheap

@@ -19,14 +19,14 @@ func eagerTarget(m int) int {
 
 // sequentialTrial runs one full trial — Eager Step followed by one run of
 // Recursive Contraction — and returns the cut found, lifted to g's
-// vertices. The graph must have at least 2 vertices and 1 edge.
-func sequentialTrial(g *graph.Graph, st *rng.Stream) (uint64, []bool) {
+// vertices. The graph must have at least 2 vertices and 1 edge. The
+// caller owns the returned side; all recursion scratch comes from a, so
+// a trial loop sharing one arena allocates only the lifted side per
+// trial.
+func sequentialTrial(a *ksArena, g *graph.Graph, st *rng.Stream) (uint64, []bool) {
 	t := eagerTarget(len(g.Edges))
 	work := g
-	mapping := make([]int32, g.N)
-	for i := range mapping {
-		mapping[i] = int32(i)
-	}
+	var mapping []int32
 	if t < g.N {
 		work, mapping = eagerSequential(g, t, st)
 	}
@@ -35,11 +35,18 @@ func sequentialTrial(g *graph.Graph, st *rng.Stream) (uint64, []bool) {
 		// min-degree cut of the original.
 		return minDegreeCut(g)
 	}
-	val, side := ksRecurse(graph.MatrixFromGraph(work), st)
+	mat := a.matrixFromEdges(work.N, work.Edges)
+	val, side := a.ksRecurse(mat, st)
+	a.putWords(mat.W)
 	lifted := make([]bool, g.N)
-	for v := 0; v < g.N; v++ {
-		lifted[v] = side[mapping[v]]
+	if mapping == nil {
+		copy(lifted, side)
+	} else {
+		for v := 0; v < g.N; v++ {
+			lifted[v] = side[mapping[v]]
+		}
 	}
+	a.putBools(side)
 	return val, lifted
 }
 
@@ -128,24 +135,27 @@ func Sequential(g *graph.Graph, st *rng.Stream, successProb float64) *CutResult 
 	}
 	trials := Trials(g.N, len(g.Edges), successProb)
 	best := &CutResult{Value: math.MaxUint64, Trials: trials}
+	a := getKSArena()
 	if denseRegime(g.N, len(g.Edges)) && eagerTarget(len(g.Edges)) >= g.N {
 		mat := graph.MatrixFromGraph(g)
 		for i := 0; i < trials; i++ {
-			val, side := ksRecurse(mat, st)
+			val, side := a.ksRecurse(mat, st)
 			if val < best.Value {
 				best.Value = val
-				best.Side = side
+				best.Side = append(best.Side[:0], side...)
 			}
+			a.putBools(side)
 		}
 	} else {
 		for i := 0; i < trials; i++ {
-			val, side := sequentialTrial(g, st)
+			val, side := sequentialTrial(a, g, st)
 			if val < best.Value {
 				best.Value = val
 				best.Side = side
 			}
 		}
 	}
+	putKSArena(a)
 	if dv, ds := minDegreeCut(g); dv < best.Value {
 		best.Value = dv
 		best.Side = ds

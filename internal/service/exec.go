@@ -195,6 +195,13 @@ func releaseMachine(m *bsp.Machine) {
 // machine of p processors. The snapshot's frozen edge array is sliced
 // across processors with the block distribution — zero copies at
 // ingestion; the kernels treat local slices as read-only.
+//
+// Beyond the machine pool above, the kernels themselves draw scratch
+// from process-wide sync.Pools (the Karger–Stein arena in
+// internal/mincut, sort buffers and remap tables in internal/sort and
+// internal/graph), so concurrent queries recycle each other's
+// allocations instead of growing the heap per query. See
+// stress_test.go for the race-checked exercise of that sharing.
 func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult, error) {
 	snap := sg.Snap
 	n := snap.N()

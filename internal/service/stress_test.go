@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/mincut"
+	"repro/internal/rng"
+)
+
+// TestConcurrentQueriesShareKernelPools hammers the engine from many
+// goroutines at once. Every query path below checks scratch out of the
+// process-wide kernel pools — the Karger–Stein arena, the radix sort
+// buffers, the dense remap tables — so under -race this test verifies
+// that concurrent checkouts never share a buffer, and the per-seed
+// determinism check verifies that pool recycling never leaks one query's
+// state into another's result.
+func TestConcurrentQueriesShareKernelPools(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 4, MaxProcessors: 4, CacheCapacity: 8})
+	if _, err := e.Registry().Put("g", testGraph(90, 500)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	algs := []string{AlgCC, AlgMinCut, AlgApproxCut}
+	const perAlg = 8
+	values := make([][]uint64, len(algs))
+	for i := range values {
+		values[i] = make([]uint64, perAlg)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(algs)*perAlg*2)
+	for ai, alg := range algs {
+		for k := 0; k < perAlg; k++ {
+			wg.Add(1)
+			go func(ai, k int, alg string) {
+				defer wg.Done()
+				// NoCache + distinct seeds force real concurrent executions
+				// instead of cache hits or coalesced waits.
+				rep, err := e.Query(ctx, QueryRequest{
+					Graph: "g", Algorithm: alg, Seed: uint64(1 + k%4), NoCache: true,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				values[ai][k] = rep.Result.Value
+			}(ai, k, alg)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Same (graph, algorithm, seed) must give the same value no matter
+	// which dirty pooled buffers the run happened to draw.
+	for ai, alg := range algs {
+		for k := 0; k < perAlg; k++ {
+			if values[ai][k] != values[ai][k%4] {
+				t.Fatalf("%s seed %d: value %d vs %d across concurrent runs",
+					alg, 1+k%4, values[ai][k], values[ai][k%4])
+			}
+		}
+	}
+}
+
+// TestConcurrentKargerSteinArenas drives the arena pool directly: many
+// goroutines each run full Karger–Stein recursions concurrently, with a
+// deterministic per-goroutine stream. Identical streams must produce
+// identical cut values regardless of arena interleaving.
+func TestConcurrentKargerSteinArenas(t *testing.T) {
+	g := testGraph(70, 420)
+	const workers = 8
+	vals := make([]uint64, workers)
+	sides := make([][]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := rng.New(42, uint32(w%2), 0) // two distinct replayed streams
+			r := mincut.KargerStein(g, st, 0.9)
+			vals[w] = r.Value
+			sides[w] = r.Side
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if vals[w] != vals[w%2] {
+			t.Fatalf("worker %d: value %d, want %d (same stream)", w, vals[w], vals[w%2])
+		}
+		for v := range sides[w] {
+			if sides[w][v] != sides[w%2][v] {
+				t.Fatalf("worker %d: side differs at %d from same-stream worker %d", w, v, w%2)
+			}
+		}
+		if !(&mincut.CutResult{Value: vals[w], Side: sides[w]}).Check(g) {
+			t.Fatalf("worker %d: inconsistent cut result", w)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	xsort "repro/internal/sort"
 )
 
 // Weighted draws s edges from the distributed edge array, each slot
@@ -40,18 +41,23 @@ func Weighted(c *bsp.Comm, root int, local []graph.Edge, s int, st *rng.Stream) 
 	c.Ops(uint64(len(local)))
 	sums := c.Gather(root, []uint64{wi})
 
-	// ② Root distributes the s slots over processors proportionally to W_i.
+	// ② Root distributes the s slots over processors proportionally to
+	// W_i. The per-rank counts are one-word windows into a single pooled
+	// buffer (the samplers do not retain their weight slices, so the
+	// borrowed buffers go straight back to the pool).
 	var counts [][]uint64
 	if c.Rank() == root {
-		weights := make([]uint64, p)
+		weights := xsort.BorrowWords(p)
 		var total uint64
 		for r := 0; r < p; r++ {
 			weights[r] = sums[r][0]
 			total += sums[r][0]
 		}
+		flat := xsort.BorrowWords(p)
 		counts = make([][]uint64, p)
 		for r := range counts {
-			counts[r] = []uint64{0}
+			flat[r] = 0
+			counts[r] = flat[r : r+1 : r+1]
 		}
 		if total > 0 {
 			alias := rng.NewAliasSampler(weights)
@@ -60,17 +66,20 @@ func Weighted(c *bsp.Comm, root int, local []graph.Edge, s int, st *rng.Stream) 
 			}
 			c.Ops(uint64(s))
 		}
+		xsort.ReleaseWords(weights)
+		defer xsort.ReleaseWords(flat)
 	}
 	quota := int(c.Scatter(root, counts)[0])
 
 	// ③ Draw the local quota by weight-proportional selection.
 	chosen := make([]graph.Edge, 0, quota)
 	if quota > 0 {
-		weights := make([]uint64, len(local))
+		weights := xsort.BorrowWords(len(local))
 		for i, e := range local {
 			weights[i] = e.W
 		}
 		ps := rng.NewPrefixSampler(weights)
+		xsort.ReleaseWords(weights)
 		for k := 0; k < quota; k++ {
 			chosen = append(chosen, local[ps.Sample(st)])
 		}
@@ -126,9 +135,13 @@ func gatherEdges(c *bsp.Comm, root int, es []graph.Edge) []graph.Edge {
 	if c.Rank() != root {
 		return nil
 	}
-	var out []graph.Edge
+	total := 0
 	for _, part := range parts {
-		out = append(out, dist.DecodeEdges(part)...)
+		total += len(part) / 3
+	}
+	out := make([]graph.Edge, 0, total)
+	for _, part := range parts {
+		out = dist.DecodeEdgesAppend(out, part)
 	}
 	return out
 }
