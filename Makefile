@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check lint bench bench-bsp bench-kernels camcd
+.PHONY: all build test vet race check chaos lint bench bench-bsp bench-kernels camcd
 
 all: check
 
@@ -23,6 +23,15 @@ race:
 	$(GO) test -race ./internal/service/... ./internal/bsp/...
 
 check: build vet test race
+
+# Chaos suite: fault injection, cancellation races, abort cascades, and
+# degraded-result delivery, run twice under the race detector to shake
+# out ordering-dependent bugs. Set CHAOS_SNAPSHOT=/path.json to export
+# the outcome ledger (CI archives it as an artifact).
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Abort|Cancel|Fault|RunCtx|Reuse' \
+		./internal/service/ ./internal/bsp/
+	$(GO) test -race -count=2 ./internal/faults/
 
 # Static analysis beyond vet. Uses golangci-lint when installed (CI
 # always has it); locally it degrades to a hint rather than failing.

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -40,8 +41,18 @@ func main() {
 		maxP       = flag.Int("maxp", 0, "largest per-query BSP machine (0 = CPUs, max 16)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-query deadline")
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "largest honored per-query deadline")
+		faultSpec  = flag.String("faults", os.Getenv(faults.EnvVar),
+			"fault-injection spec for chaos testing, e.g. 'panic@1:3;stall@0:2:50ms' (default $"+faults.EnvVar+"; empty disables)")
 	)
 	flag.Parse()
+
+	freg, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if freg.Enabled() {
+		log.Printf("FAULT INJECTION ENABLED: %s — this process will deliberately fail", *faultSpec)
+	}
 
 	engine := service.NewEngine(service.Config{
 		Workers:        *workers,
@@ -50,6 +61,7 @@ func main() {
 		MaxProcessors:  *maxP,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Faults:         freg,
 	})
 
 	srv := &http.Server{
@@ -70,10 +82,11 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		// Kernels are not cancellable: Engine.Close waits for the worker
-		// pool to finish whatever is running. Bound the drain so a
-		// long-running kernel (exact min cut on a large graph) cannot
-		// hold shutdown hostage.
+		// Engine.Close drains without cancelling: in-flight kernels finish
+		// (and their waiters get real answers) rather than being cut off
+		// mid-run. Bound the drain so a long-running kernel (exact min cut
+		// on a large graph) cannot hold shutdown hostage; per-request
+		// deadlines cancel stragglers from inside anyway.
 		drained := make(chan struct{})
 		go func() {
 			engine.Close()

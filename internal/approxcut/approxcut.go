@@ -16,6 +16,7 @@ package approxcut
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/bsp"
 	"repro/internal/cc"
@@ -48,8 +49,46 @@ type Options struct {
 	// query (§3.3 "Theory" variant). The default is the early-stopping
 	// practical variant.
 	Pipelined bool
+	// Checkpoint, when non-nil, records each sparsity level the
+	// early-stopping variant clears, so a cancelled run can degrade to a
+	// partial estimate. The pipelined variant is a single batched query
+	// with no intermediate state and records nothing.
+	Checkpoint *Checkpoint
 	// CC tunes the underlying connected-components runs.
 	CC cc.Options
+}
+
+// Checkpoint records early-stopping progress across sparsity levels:
+// clearing iteration i without a disconnection certifies (w.h.p.) that
+// the minimum cut is at least ~2^i, so a deadline-cancelled scan still
+// carries a one-sided estimate. Safe for concurrent use by all ranks.
+type Checkpoint struct {
+	mu         sync.Mutex
+	iterations int // sparsity levels cleared without disconnection
+	trials     int
+	planned    int // total levels the scan would examine
+}
+
+// NewCheckpoint returns an empty checkpoint.
+func NewCheckpoint() *Checkpoint { return &Checkpoint{} }
+
+// note records that iteration iter completed without a disconnection
+// (idempotent across ranks — the maximum wins).
+func (cp *Checkpoint) note(iter, trials, planned int) {
+	cp.mu.Lock()
+	if iter > cp.iterations {
+		cp.iterations = iter
+	}
+	cp.trials, cp.planned = trials, planned
+	cp.mu.Unlock()
+}
+
+// Partial returns the levels cleared so far, the per-level trial count,
+// the planned level count, and whether any level completed.
+func (cp *Checkpoint) Partial() (iterations, trials, planned int, ok bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.iterations, cp.trials, cp.planned, cp.iterations > 0
 }
 
 // Parallel estimates the minimum cut of the distributed edge array.
@@ -87,7 +126,7 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 	if opts.Pipelined {
 		return pipelined(c, n, local, st, trials, maxIter, opts.CC)
 	}
-	return earlyStopping(c, n, local, st, trials, maxIter, opts.CC)
+	return earlyStopping(c, n, local, st, trials, maxIter, opts.Checkpoint, opts.CC)
 }
 
 // keepProb is the edge retention probability of iteration i for weight w:
@@ -129,7 +168,7 @@ func disconnectedTrials(labels []int32, n, base, trials int) []bool {
 	return out
 }
 
-func earlyStopping(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, trials, maxIter int, ccOpts cc.Options) *Result {
+func earlyStopping(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, trials, maxIter int, cp *Checkpoint, ccOpts cc.Options) *Result {
 	for i := 1; i <= maxIter; i++ {
 		sub := sampleTrials(local, n, i, trials, st.Derive(uint32(i)))
 		c.Ops(uint64(len(local)) * uint64(trials))
@@ -144,6 +183,9 @@ func earlyStopping(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, trial
 					Disconnected:       true,
 				}
 			}
+		}
+		if cp != nil {
+			cp.note(i, trials, maxIter)
 		}
 	}
 	return &Result{

@@ -42,6 +42,8 @@
 package bsp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -114,9 +116,20 @@ type Machine struct {
 	parked   int
 
 	// Abort protocol: abortFlag is polled by spinning waiters and checked
-	// on Sync entry; the cause is stored once under parkMu.
+	// on Sync entry; the cause is stored once under parkMu. Cancellation
+	// (Machine.Cancel, RunCtx deadlines) rides the same flag, so the whole
+	// cancellation machinery costs the one relaxed atomic load per
+	// superstep that the abort protocol already paid — accounting stays
+	// byte-identical with cancellation compiled in.
 	abortFlag atomic.Bool
 	abortErr  error
+
+	// faultHook, when non-nil, runs at every Sync entry with the calling
+	// processor's (rank, superstep). It is the seam the fault-injection
+	// registry (internal/faults) plugs into: a hook may panic (processor
+	// failure), sleep (slow processor), or Cancel the machine. nil —
+	// the production state — costs a single predictable branch.
+	faultHook FaultHook
 
 	// staging[src][dst] collects words processor src queued for dst during
 	// the current superstep; inbox holds the previous superstep's delivery.
@@ -213,9 +226,14 @@ func (m *Machine) reset() {
 	m.arrive.v.Store(0)
 	m.release.v.Store(0)
 	m.abortFlag.Store(false)
+	// Cancel may legally race a reset (cancelling an idle machine is
+	// documented as harmless), so the fields it touches are cleared under
+	// the same locks abort/wakeParked take.
+	m.parkMu.Lock()
 	m.abortErr = nil
 	m.parked = 0
 	m.phase = 0
+	m.parkMu.Unlock()
 	m.supersteps = 0
 	m.volume = 0
 	m.hRelations = m.hRelations[:0]
@@ -229,9 +247,11 @@ func (m *Machine) reset() {
 			m.inbox[src][dst] = m.inbox[src][dst][:0]
 		}
 	}
+	m.subsMu.Lock()
 	for k := range m.subs {
 		delete(m.subs, k)
 	}
+	m.subsMu.Unlock()
 	for _, c := range m.comms {
 		c.sense = 0
 		c.appTime = 0
@@ -380,6 +400,54 @@ type abortError struct{ cause error }
 
 func (e abortError) Error() string { return "bsp: aborted: " + e.cause.Error() }
 
+// ErrCancelled tags every run error caused by cooperative cancellation
+// (Machine.Cancel or a RunCtx context firing), as opposed to a worker
+// failure. Test with errors.Is(err, ErrCancelled).
+var ErrCancelled = errors.New("bsp: run cancelled")
+
+// cancelError carries the cancellation cause while matching ErrCancelled.
+type cancelError struct{ cause error }
+
+func (e cancelError) Error() string {
+	if e.cause == nil {
+		return ErrCancelled.Error()
+	}
+	return ErrCancelled.Error() + ": " + e.cause.Error()
+}
+
+func (e cancelError) Is(target error) bool { return target == ErrCancelled }
+func (e cancelError) Unwrap() error        { return e.cause }
+
+// FaultHook is an injection point called on every processor at Sync
+// entry, before the superstep finalizes, with the caller's rank and
+// 0-based superstep index (per communicator — Split children count from
+// zero again). Hooks may panic, stall, or Cancel the machine; they must
+// not send or receive, so accounting is unchanged by a hook that does
+// not fire.
+type FaultHook func(rank int, superstep uint64)
+
+// SetFaultHook installs (or, with nil, removes) the machine's fault
+// hook. It must be called while no body is running; Split sub-machines
+// inherit the hook at creation.
+func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
+
+// Cancel requests cooperative cancellation of the running body: every
+// processor unwinds at its next cancellation point (Sync entry, barrier
+// wait, or an explicit Aborting poll), including processors currently
+// inside Split sub-machines. Run returns an error matching ErrCancelled
+// and wrapping cause. Cancelling an idle machine is harmless — the next
+// Run resets the flag.
+func (m *Machine) Cancel(cause error) {
+	m.abort(cancelError{cause: cause})
+}
+
+// Aborting reports whether the machine is unwinding (cancellation or a
+// failed peer). It is a single relaxed atomic load, cheap enough for
+// kernels to poll inside compute-only phases — long trial loops with no
+// intervening Sync — so cancellation latency stays bounded by one
+// superstep even when a superstep contains heavy local work.
+func (c *Comm) Aborting() bool { return c.m.abortFlag.Load() }
+
 // Sync is the superstep barrier: it blocks until all processors arrive,
 // then atomically delivers all queued messages. Time spent here is
 // accounted as communication time.
@@ -388,6 +456,9 @@ func (c *Comm) Sync() {
 	start := time.Now()
 	if !c.lastMark.IsZero() {
 		c.appTime += start.Sub(c.lastMark)
+	}
+	if h := m.faultHook; h != nil {
+		h(c.rank, c.sense)
 	}
 	if m.abortFlag.Load() {
 		panic(abortError{m.abortCause()})
@@ -492,7 +563,12 @@ func (m *Machine) wakeParked() {
 }
 
 // abort marks the communicator failed and wakes all waiters. Any
-// subsequent or pending Sync panics with the cause.
+// subsequent or pending Sync panics with the cause. The abort cascades
+// into every live Split sub-machine: a processor blocked in a child
+// barrier polls the *child's* flag, so without the cascade a failure (or
+// cancellation) on the parent would strand siblings inside their groups.
+// The cascade walks the split tree top-down; lock order is always
+// parent.subsMu before child.parkMu, so concurrent aborts cannot cycle.
 func (m *Machine) abort(err error) {
 	m.parkMu.Lock()
 	if m.abortErr == nil {
@@ -500,12 +576,16 @@ func (m *Machine) abort(err error) {
 	}
 	m.parkMu.Unlock()
 	m.abortFlag.Store(true)
-	m.parkMu.Lock()
-	if m.parked > 0 {
-		m.parked = 0
-		m.parkCond.Broadcast()
+	m.wakeParked()
+	m.subsMu.Lock()
+	subs := make([]*Machine, 0, len(m.subs))
+	for _, grp := range m.subs {
+		subs = append(subs, grp.m)
 	}
-	m.parkMu.Unlock()
+	m.subsMu.Unlock()
+	for _, sm := range subs {
+		sm.abort(err)
+	}
 }
 
 func (m *Machine) abortCause() error {
@@ -563,10 +643,18 @@ func (c *Comm) Split(color, key int) *Comm {
 	if !ok {
 		sm, err := NewMachine(len(mine))
 		if err != nil {
+			// Route the failure through the abort protocol instead of
+			// panicking raw: sibling processors — including ones already
+			// blocked inside other groups' sub-machine barriers — unwind
+			// at their next cancellation point rather than deadlocking on
+			// a group that never materialized.
 			m.subsMu.Unlock()
-			panic(err)
+			err = fmt.Errorf("bsp: split(color=%d): %w", color, err)
+			m.abort(err)
+			panic(abortError{err})
 		}
 		sm.cost = m.cost
+		sm.faultHook = m.faultHook
 		grp = &subGroup{m: sm, members: parentRanks}
 		m.subs[key2] = grp
 	}
@@ -712,6 +800,19 @@ func RunWithCost(p int, cost CostModel, body func(c *Comm)) (*Stats, error) {
 	return m.Run(body)
 }
 
+// RunCtx is Run bound to a context: when ctx is cancelled or its
+// deadline fires, the machine is Cancelled and every processor unwinds
+// at its next cancellation point. The returned error matches
+// ErrCancelled and wraps ctx.Err(). A context without cancellation
+// degenerates to plain Run.
+func RunCtx(ctx context.Context, p int, body func(c *Comm)) (*Stats, error) {
+	m, err := NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunCtx(ctx, body)
+}
+
 // Run executes body on the machine's p virtual processors and returns the
 // run's cost statistics. The machine fully resets first, so it can be
 // reused across runs (mailbox cells, collective scratch, and payload
@@ -720,6 +821,43 @@ func RunWithCost(p int, cost CostModel, body func(c *Comm)) (*Stats, error) {
 // bug.
 func (m *Machine) Run(body func(c *Comm)) (*Stats, error) {
 	m.reset()
+	return m.run(body)
+}
+
+// RunCtx is Run bound to a context: a watcher goroutine Cancels the
+// machine when ctx fires, and is reaped before RunCtx returns so a
+// pooled machine is never cancelled across run boundaries. A body that
+// finishes before the cancellation lands still returns its complete
+// (correct, cacheable) result with a nil error.
+func (m *Machine) RunCtx(ctx context.Context, body func(c *Comm)) (*Stats, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return m.Run(body)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, cancelError{cause: err}
+	}
+	// Reset before the watcher starts: a cancellation arriving between
+	// reset and the first superstep must not be wiped out.
+	m.reset()
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		select {
+		case <-ctx.Done():
+			m.Cancel(ctx.Err())
+		case <-stop:
+		}
+	}()
+	st, err := m.run(body)
+	close(stop)
+	watcher.Wait()
+	return st, err
+}
+
+// run executes body on the already-reset machine.
+func (m *Machine) run(body func(c *Comm)) (*Stats, error) {
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error

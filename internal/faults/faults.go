@@ -1,0 +1,363 @@
+// Package faults is a deterministic fault-injection registry for the
+// BSP stack. A Registry holds a set of rules — panic, stall, or cancel
+// at chosen (rank, superstep) points — and compiles into a bsp.FaultHook
+// that machines poll at every Sync entry. It exists so chaos tests (and
+// staging deployments) can prove the abort/cancellation protocol under
+// processor failure, slow processors, and racing cancellations without
+// any nondeterministic scheduling tricks.
+//
+// Determinism: point rules (pinned rank and superstep) fire at exactly
+// the named Sync of the named processor. Probabilistic rules hash
+// (seed, rule, rank, superstep) through SplitMix64, so a given seed
+// yields the same firing pattern on every run — "seeded chaos".
+//
+// Overhead: a disabled registry (or a nil one) contributes a nil hook,
+// which costs the BSP runtime one predictable branch per Sync; BSP
+// accounting is byte-identical with injection disabled because hooks
+// never send, receive, or sync.
+//
+// Spec grammar (CAMC_FAULTS, camcd -faults, or Parse):
+//
+//	spec  := [ "seed=" uint ";" ] rule { ";" rule }
+//	rule  := kind "@" rank ":" superstep { ":" opt }
+//	kind  := "panic" | "stall" | "cancel"
+//	rank  := "*" | uint            (virtual processor, per machine)
+//	superstep := "*" | uint        (0-based Sync index, per machine)
+//	opt   := duration              (stall length, e.g. "50ms"; stall only)
+//	       | "p" float             (firing probability at matching points)
+//	       | "x" uint | "x*"       (max fires; default 1, "x*" unlimited)
+//
+// Examples:
+//
+//	stall@0:2:50ms            processor 0 stalls 50ms at superstep 2, once
+//	panic@1:3                 processor 1 panics at superstep 3, once
+//	cancel@*:4                whichever processor reaches superstep 4 first cancels
+//	seed=7;panic@*:*:p0.001:x*  every (rank, superstep) panics w.p. 0.1%, seeded
+package faults
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable FromEnv reads the spec from.
+const EnvVar = "CAMC_FAULTS"
+
+// Kind enumerates the injectable faults.
+type Kind uint8
+
+const (
+	// Panic makes the matched processor panic inside Sync — a processor
+	// failure that must ride the abort protocol.
+	Panic Kind = iota
+	// Stall puts the matched processor to sleep inside Sync — a slow
+	// (straggling) processor holding the barrier.
+	Stall
+	// Cancel invokes Cancel on the hook's bound machine — an external
+	// cancellation racing the superstep.
+	Cancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Cancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// AnyRank / AnySuperstep are the wildcard values of Rule.Rank and
+// Rule.Superstep.
+const (
+	AnyRank      = -1
+	AnySuperstep = -1
+)
+
+// Rule is one injection point.
+type Rule struct {
+	Kind      Kind
+	Rank      int           // AnyRank or a processor rank
+	Superstep int64         // AnySuperstep or a 0-based superstep index
+	Delay     time.Duration // Stall: how long to sleep
+	Prob      float64       // 0 = always fire when matched; else per-point probability
+	Times     int64         // max fires; 0 = default (1, or unlimited when Prob > 0)
+}
+
+type rule struct {
+	Rule
+	remaining atomic.Int64 // fires left; negative = unlimited
+	fired     atomic.Int64
+}
+
+func (r *rule) matches(rank int, superstep uint64) bool {
+	if r.Rank != AnyRank && r.Rank != rank {
+		return false
+	}
+	return r.Superstep == AnySuperstep || uint64(r.Superstep) == superstep
+}
+
+// take consumes one firing slot, returning false when exhausted.
+func (r *rule) take() bool {
+	for {
+		n := r.remaining.Load()
+		if n < 0 {
+			r.fired.Add(1)
+			return true
+		}
+		if n == 0 {
+			return false
+		}
+		if r.remaining.CompareAndSwap(n, n-1) {
+			r.fired.Add(1)
+			return true
+		}
+	}
+}
+
+// Registry is a set of injection rules bound to a seed. The zero-value
+// (or nil) registry is valid and permanently disabled.
+type Registry struct {
+	seed    uint64
+	enabled atomic.Bool
+	rules   []*rule
+}
+
+// New returns an empty, enabled registry with the given probabilistic
+// seed.
+func New(seed uint64) *Registry {
+	r := &Registry{seed: seed}
+	r.enabled.Store(true)
+	return r
+}
+
+// Add registers a rule and returns the registry for chaining. Times
+// defaults to one fire for point rules and unlimited for probabilistic
+// ones.
+func (r *Registry) Add(ru Rule) *Registry {
+	times := ru.Times
+	if times == 0 {
+		if ru.Prob > 0 {
+			times = -1
+		} else {
+			times = 1
+		}
+	}
+	rr := &rule{Rule: ru}
+	rr.remaining.Store(times)
+	r.rules = append(r.rules, rr)
+	return r
+}
+
+// Enabled reports whether the registry injects anything. Safe on nil.
+func (r *Registry) Enabled() bool {
+	return r != nil && r.enabled.Load() && len(r.rules) > 0
+}
+
+// Enable flips injection on or off without touching rule state.
+func (r *Registry) Enable(on bool) { r.enabled.Store(on) }
+
+// Canceller is the slice of *bsp.Machine the cancel fault needs; the
+// interface keeps this package free of a bsp dependency (bsp tests
+// import faults).
+type Canceller interface{ Cancel(error) }
+
+// Hook compiles the registry into a fault hook bound to target (the
+// machine Cancel rules act on). A nil or disabled registry yields a nil
+// hook, which the BSP runtime skips entirely.
+func (r *Registry) Hook(target Canceller) func(rank int, superstep uint64) {
+	if !r.Enabled() {
+		return nil
+	}
+	return func(rank int, superstep uint64) {
+		if !r.enabled.Load() {
+			return
+		}
+		for i, ru := range r.rules {
+			if !ru.matches(rank, superstep) {
+				continue
+			}
+			if ru.Prob > 0 && !r.roll(uint64(i), ru.Prob, rank, superstep) {
+				continue
+			}
+			if !ru.take() {
+				continue
+			}
+			switch ru.Kind {
+			case Stall:
+				time.Sleep(ru.Delay)
+			case Cancel:
+				if target != nil {
+					target.Cancel(fmt.Errorf("faults: injected cancel at rank %d superstep %d", rank, superstep))
+				}
+			case Panic:
+				panic(fmt.Sprintf("faults: injected panic at rank %d superstep %d", rank, superstep))
+			}
+		}
+	}
+}
+
+// roll decides a probabilistic firing deterministically: SplitMix64 over
+// (seed, rule index, rank, superstep) mapped to [0, 1).
+func (r *Registry) roll(idx uint64, prob float64, rank int, superstep uint64) bool {
+	x := r.seed
+	x ^= 0x9e3779b97f4a7c15 * (idx + 1)
+	x ^= uint64(rank+1) * 0xbf58476d1ce4e5b9
+	x ^= superstep * 0x94d049bb133111eb
+	x = splitmix64(x)
+	return float64(x>>11)/float64(1<<53) < prob
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fired returns the total number of injections performed, by kind
+// string — the chaos-test observability surface.
+func (r *Registry) Fired() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	for _, ru := range r.rules {
+		out[ru.Kind.String()] += ru.fired.Load()
+	}
+	return out
+}
+
+// TotalFired returns the total number of injections across all rules.
+func (r *Registry) TotalFired() int64 {
+	if r == nil {
+		return 0
+	}
+	var t int64
+	for _, ru := range r.rules {
+		t += ru.fired.Load()
+	}
+	return t
+}
+
+// FromEnv parses the CAMC_FAULTS environment variable. Unset or empty
+// returns (nil, nil): injection stays off.
+func FromEnv() (*Registry, error) { return Parse(os.Getenv(EnvVar)) }
+
+// Parse builds an enabled registry from a spec string (see the package
+// comment for the grammar). An empty or all-whitespace spec returns
+// (nil, nil): injection stays off.
+func Parse(spec string) (*Registry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var seed uint64 = 1
+	parts := strings.Split(spec, ";")
+	rules := make([]Rule, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if i == 0 && strings.HasPrefix(part, "seed=") {
+			s, err := strconv.ParseUint(strings.TrimPrefix(part, "seed="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed in %q: %v", part, err)
+			}
+			seed = s
+			continue
+		}
+		ru, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, ru)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: spec %q has no rules", spec)
+	}
+	r := New(seed)
+	for _, ru := range rules {
+		r.Add(ru)
+	}
+	return r, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	kindStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Rule{}, fmt.Errorf("faults: rule %q: want kind@rank:superstep[:opts]", s)
+	}
+	var ru Rule
+	switch kindStr {
+	case "panic":
+		ru.Kind = Panic
+	case "stall":
+		ru.Kind = Stall
+	case "cancel":
+		ru.Kind = Cancel
+	default:
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|stall|cancel)", s, kindStr)
+	}
+	fields := strings.Split(rest, ":")
+	if len(fields) < 2 {
+		return Rule{}, fmt.Errorf("faults: rule %q: want rank:superstep after kind@", s)
+	}
+	var err error
+	if ru.Rank, err = parseWildInt(fields[0], AnyRank); err != nil {
+		return Rule{}, fmt.Errorf("faults: rule %q: bad rank %q", s, fields[0])
+	}
+	ss, err := parseWildInt(fields[1], AnySuperstep)
+	if err != nil {
+		return Rule{}, fmt.Errorf("faults: rule %q: bad superstep %q", s, fields[1])
+	}
+	ru.Superstep = int64(ss)
+	for _, opt := range fields[2:] {
+		switch {
+		case opt == "x*":
+			ru.Times = -1
+		case strings.HasPrefix(opt, "x"):
+			n, err := strconv.ParseInt(opt[1:], 10, 64)
+			if err != nil || n < 1 {
+				return Rule{}, fmt.Errorf("faults: rule %q: bad fire count %q", s, opt)
+			}
+			ru.Times = n
+		case strings.HasPrefix(opt, "p"):
+			p, err := strconv.ParseFloat(opt[1:], 64)
+			if err != nil || p <= 0 || p > 1 || math.IsNaN(p) {
+				return Rule{}, fmt.Errorf("faults: rule %q: bad probability %q", s, opt)
+			}
+			ru.Prob = p
+		default:
+			d, err := time.ParseDuration(opt)
+			if err != nil || d < 0 {
+				return Rule{}, fmt.Errorf("faults: rule %q: bad option %q (want duration, pPROB, or xN)", s, opt)
+			}
+			ru.Delay = d
+		}
+	}
+	if ru.Kind == Stall && ru.Delay == 0 {
+		return Rule{}, fmt.Errorf("faults: rule %q: stall needs a duration option", s)
+	}
+	return ru, nil
+}
+
+func parseWildInt(s string, wild int) (int, error) {
+	if s == "*" {
+		return wild, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return n, nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -19,6 +20,37 @@ var ErrMalformed = errors.New("malformed graph input")
 // malformedf builds a descriptive format error wrapping ErrMalformed.
 func malformedf(format string, args ...interface{}) error {
 	return fmt.Errorf("graph: "+format+": %w", append(args, ErrMalformed)...)
+}
+
+// parseWeight parses an edge weight strictly: a positive integer fitting
+// uint64. Weights feed unchecked uint64 accumulators downstream (degree
+// sums, sampling probabilities), so NaN/Inf spellings, float syntax,
+// negatives, zero, and overflow must all stop here — each with a message
+// naming what was wrong rather than a generic parse failure.
+func parseWeight(s string) (uint64, error) {
+	w, err := strconv.ParseUint(s, 10, 64)
+	if err == nil {
+		if w == 0 {
+			return 0, errors.New("zero weight")
+		}
+		return w, nil
+	}
+	if errors.Is(err, strconv.ErrRange) {
+		return 0, fmt.Errorf("weight %q overflows uint64", s)
+	}
+	if f, ferr := strconv.ParseFloat(s, 64); ferr == nil {
+		switch {
+		case math.IsNaN(f):
+			return 0, errors.New("weight is NaN")
+		case math.IsInf(f, 0):
+			return 0, fmt.Errorf("non-finite weight %q", s)
+		case f < 0:
+			return 0, fmt.Errorf("negative weight %q", s)
+		default:
+			return 0, fmt.Errorf("non-integer weight %q", s)
+		}
+	}
+	return 0, fmt.Errorf("bad weight %q", s)
 }
 
 // WriteEdgeList serializes g in the artifact's plain edge-list format:
@@ -44,6 +76,7 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []Edge
+	var total uint64
 	maxID := int64(-1)
 	line := 0
 	for sc.Scan() {
@@ -66,9 +99,9 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 		}
 		w := uint64(1)
 		if len(fields) >= 3 {
-			w, err = strconv.ParseUint(fields[2], 10, 64)
-			if err != nil || w == 0 {
-				return nil, malformedf("snap line %d: bad weight %q", line, fields[2])
+			w, err = parseWeight(fields[2])
+			if err != nil {
+				return nil, malformedf("snap line %d: %v", line, err)
 			}
 		}
 		if u > maxID {
@@ -78,6 +111,10 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 			maxID = v
 		}
 		if u != v {
+			if total+w < total {
+				return nil, malformedf("snap line %d: total weight overflows uint64", line)
+			}
+			total += w
 			edges = append(edges, Edge{U: int32(u), V: int32(v), W: w})
 		}
 	}
@@ -94,6 +131,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var g *Graph
+	var total uint64
 	line := 0
 	for sc.Scan() {
 		line++
@@ -130,18 +168,19 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		w := uint64(1)
 		if len(fields) >= 3 {
-			w, err = strconv.ParseUint(fields[2], 10, 64)
+			w, err = parseWeight(fields[2])
 			if err != nil {
-				return nil, malformedf("line %d: bad weight %q", line, fields[2])
+				return nil, malformedf("line %d: %v", line, err)
 			}
 		}
 		if u < 0 || v < 0 || int(u) >= g.N || int(v) >= g.N {
 			return nil, malformedf("line %d: edge (%d,%d) out of range for n=%d", line, u, v, g.N)
 		}
-		if w == 0 {
-			return nil, malformedf("line %d: zero weight", line)
-		}
 		if u != v {
+			if total+w < total {
+				return nil, malformedf("line %d: total weight overflows uint64", line)
+			}
+			total += w
 			g.Edges = append(g.Edges, Edge{U: int32(u), V: int32(v), W: w})
 		}
 	}

@@ -110,6 +110,69 @@ func TestLoaderErrorsWrapErrMalformed(t *testing.T) {
 	}
 }
 
+// Hostile weights — NaN, infinities, negatives, fractions, overflow —
+// must be rejected as malformed, never silently wrapped or truncated.
+func TestWeightHardening(t *testing.T) {
+	cases := []struct {
+		weight string
+		want   string // substring of the error
+	}{
+		{"NaN", "NaN"},
+		{"nan", "NaN"},
+		{"Inf", "non-finite"},
+		{"-Inf", "non-finite"},
+		{"-3", "negative"},
+		{"-0.5", "negative"},
+		{"2.5", "non-integer"},
+		{"1e500", "bad weight"},
+		{"18446744073709551616", "overflows"}, // 2^64
+		{"99999999999999999999999", "overflows"},
+		{"0", "zero"},
+		{"0x10", "bad weight"},
+	}
+	for _, c := range cases {
+		in := "2 1\n0 1 " + c.weight + "\n"
+		_, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("edge list weight %q accepted", c.weight)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("weight %q: error %v does not wrap ErrMalformed", c.weight, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("weight %q: error %q lacks %q", c.weight, err, c.want)
+		}
+		if _, err := ReadSNAP(strings.NewReader("0 1 " + c.weight + "\n")); err == nil {
+			t.Errorf("snap weight %q accepted", c.weight)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("snap weight %q: error %v does not wrap ErrMalformed", c.weight, err)
+		}
+	}
+	// The format is strict decimal integers: scientific notation is
+	// rejected even when integer-valued, so files stay canonical.
+	if _, err := ReadEdgeList(strings.NewReader("2 1\n0 1 1e3\n")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("1e3: err = %v, want ErrMalformed", err)
+	}
+}
+
+// Edges whose weights individually fit but whose sum wraps uint64 must
+// be rejected: downstream cut values are total-weight arithmetic.
+func TestTotalWeightOverflow(t *testing.T) {
+	const half = "9223372036854775808" // 2^63
+	in := "3 2\n0 1 " + half + "\n1 2 " + half + "\n"
+	_, err := ReadEdgeList(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("total-weight overflow accepted")
+	}
+	if !errors.Is(err, ErrMalformed) || !strings.Contains(err.Error(), "total") {
+		t.Errorf("err = %v, want ErrMalformed about the total weight", err)
+	}
+	if _, err := ReadSNAP(strings.NewReader("0 1 " + half + "\n1 2 " + half + "\n")); err == nil {
+		t.Error("snap total-weight overflow accepted")
+	}
+}
+
 func TestReadEdgeListDropsSelfLoops(t *testing.T) {
 	g, err := ReadEdgeList(strings.NewReader("3 2\n1 1 4\n0 2 2\n"))
 	if err != nil {

@@ -18,6 +18,12 @@ type Options struct {
 	// MaxTrials caps the trial count (0 = theory-derived count). Useful
 	// for benchmarking fixed workloads.
 	MaxTrials int
+	// Checkpoint, when non-nil, receives every completed trial's cut so
+	// a cancelled run can degrade to the best-so-far answer with a
+	// computable achieved success probability. nil (the default) skips
+	// all checkpoint work; BSP accounting is identical either way —
+	// checkpointing is purely local.
+	Checkpoint *Checkpoint
 }
 
 func (o *Options) defaults() {
@@ -55,6 +61,10 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 	if opts.MaxTrials > 0 && trials > opts.MaxTrials {
 		trials = opts.MaxTrials
 	}
+	cp := opts.Checkpoint
+	if cp != nil {
+		cp.plan(n, m, trials)
+	}
 
 	var bestVal uint64 = math.MaxUint64
 	var bestSide []bool
@@ -72,8 +82,18 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 		trialOps := uint64(3*m) + uint64(2*tbar*tbar*math.Log2(tbar+2))
 		a := getKSArena()
 		for i := lo; i < hi; i++ {
+			// The trial loop is the one compute phase with no intervening
+			// Sync, so it polls the abort flag itself: a cancelled machine
+			// stops trialing immediately and unwinds at the collective
+			// below instead of burning through the remaining trials.
+			if c.Aborting() {
+				break
+			}
 			val, side := sequentialTrial(a, g, st)
 			c.Ops(trialOps)
+			if cp != nil {
+				cp.note(val, side)
+			}
 			if val < bestVal {
 				bestVal = val
 				bestSide = side
@@ -96,6 +116,9 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 			bestSide = make([]bool, n)
 			for v := 0; v < n; v++ {
 				bestSide[v] = side[mapping[v]]
+			}
+			if cp != nil && sub.Rank() == 0 {
+				cp.note(bestVal, bestSide)
 			}
 		}
 		isLeader := sub.Rank() == 0
@@ -123,6 +146,14 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 		bestVal = minD
 		bestSide = make([]bool, n)
 		bestSide[minV] = true
+	}
+	if cp != nil && c.Rank() == 0 {
+		// The min-degree cut is a deterministic bound, not a trial; fold
+		// it into the checkpoint so a cancellation during the final
+		// argmin/broadcast still degrades to the freshest best.
+		side := make([]bool, n)
+		side[minV] = true
+		cp.noteBound(minD, side)
 	}
 
 	// Global argmin across processors, then broadcast the winning side.

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/bsp"
+	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
@@ -38,6 +41,10 @@ type Config struct {
 	// hold kernels at a gate and observe coalescing and admission
 	// control deterministically. Leave nil in production.
 	BeforeExec func(alg string)
+	// Faults, when non-nil and enabled, injects deterministic faults
+	// (panics, stalls, cancellations) into every kernel execution. Off by
+	// default; see internal/faults.
+	Faults *faults.Registry
 }
 
 func (cfg *Config) defaults() {
@@ -72,17 +79,24 @@ func (cfg *Config) defaults() {
 // call is one scheduled kernel execution plus everyone waiting on it:
 // the leader that enqueued it and any coalesced followers.
 type call struct {
-	key      string
-	alg      string
-	sg       *StoredGraph
-	p        int
-	pr       params
-	deadline time.Time
+	key string
+	alg string
+	sg  *StoredGraph
+	p   int
+	pr  params
+
+	// ctx carries the leader's deadline but not the leader's cancellation:
+	// the call outlives any single waiter until either the deadline fires
+	// or the last waiter abandons it (refs hits zero), at which point
+	// cancel() propagates into the BSP machine via RunCtx.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	done chan struct{} // closed when res/err are final
 	res  *QueryResult
 	err  error
 
+	refs    int // waiters (leader included) still interested (guarded by engine mu)
 	waiters int // coalesced followers currently waiting (guarded by engine mu)
 }
 
@@ -153,27 +167,62 @@ func (e *Engine) Close() {
 
 // worker executes queued calls one at a time. Admission control is
 // two-sided: the bounded queue sheds load at submission, and a job whose
-// deadline passed while queued is dropped here without running — stale
-// work must not occupy a worker.
+// deadline passed (or whose waiters all left) while queued is dropped
+// here without running — stale work must not occupy a worker.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for c := range e.jobs {
-		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
-			c.err = fmt.Errorf("%w: expired after queueing", ErrDeadline)
-		} else {
-			if e.cfg.BeforeExec != nil {
-				e.cfg.BeforeExec(c.alg)
-			}
-			c.res, c.err = executeKernel(c.sg, c.alg, c.p, c.pr)
-		}
-		if c.err == nil {
-			e.cache.put(c.key, c.res)
-		}
-		e.mu.Lock()
-		delete(e.inflight, c.key)
-		e.mu.Unlock()
-		close(c.done)
+		e.serve(c)
 	}
+}
+
+// serve runs one call to completion: execute, absorb a single transient
+// fault with a jittered retry, classify the final error, and publish.
+// Cancelled, faulted, and degraded results are never cached.
+func (e *Engine) serve(c *call) {
+	defer c.cancel()
+	if err := c.ctx.Err(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			c.err = fmt.Errorf("%w: abandoned while queued", ErrCancelled)
+		} else {
+			c.err = fmt.Errorf("%w: expired after queueing", ErrDeadline)
+		}
+	} else {
+		c.res, c.err = e.attempt(c)
+		if c.err != nil && !errors.Is(c.err, bsp.ErrCancelled) && c.ctx.Err() == nil {
+			// One bounded retry for transient faults (a panicked processor,
+			// an injected failure). The jittered backoff decorrelates
+			// retries of coalesced call groups that faulted together.
+			e.collector.Observe(trace.QuerySample{Algorithm: c.alg, Outcome: trace.OutcomeRetried})
+			time.Sleep(time.Duration(2+rand.Intn(8)) * time.Millisecond)
+			if c.ctx.Err() == nil {
+				c.res, c.err = e.attempt(c)
+			}
+		}
+		if c.err != nil {
+			if errors.Is(c.err, bsp.ErrCancelled) {
+				c.err = fmt.Errorf("%w: %w", ErrCancelled, c.err)
+			} else {
+				c.err = fmt.Errorf("%w: %w", ErrFaulted, c.err)
+			}
+		}
+	}
+	if c.err == nil && !c.res.Degraded {
+		e.cache.put(c.key, c.res)
+	}
+	e.mu.Lock()
+	if e.inflight[c.key] == c {
+		delete(e.inflight, c.key)
+	}
+	e.mu.Unlock()
+	close(c.done)
+}
+
+func (e *Engine) attempt(c *call) (*QueryResult, error) {
+	if e.cfg.BeforeExec != nil {
+		e.cfg.BeforeExec(c.alg)
+	}
+	return executeKernel(c.ctx, c.sg, c.alg, c.p, c.pr, e.cfg.Faults)
 }
 
 // Query answers one analytics request: cache lookup, coalescing with an
@@ -214,6 +263,7 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 	// equal requests computes once. Checked before the cache so
 	// followers never inflate the miss counter.
 	if c, ok := e.inflight[key]; ok {
+		c.refs++
 		c.waiters++
 		e.mu.Unlock()
 		return e.wait(ctx, c, start, trace.OutcomeCoalesced, true)
@@ -232,10 +282,15 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 			return &Reply{Outcome: trace.OutcomeCacheHit, Result: res, Latency: lat}, nil
 		}
 	}
-	// ③ Admission control: become the leader if the queue has room.
+	// ③ Admission control: become the leader if the queue has room. The
+	// call context inherits the leader's deadline but not its
+	// cancellation (followers with later personal deadlines may still be
+	// waiting after the leader gives up); refs hitting zero cancels it.
+	callCtx, callCancel := context.WithDeadline(context.WithoutCancel(ctx), deadline)
 	c := &call{
 		key: key, alg: req.Algorithm, sg: sg, p: p, pr: pr,
-		deadline: deadline, done: make(chan struct{}),
+		ctx: callCtx, cancel: callCancel,
+		done: make(chan struct{}), refs: 1,
 	}
 	depth := len(e.jobs)
 	select {
@@ -244,6 +299,7 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 		e.mu.Unlock()
 	default:
 		e.mu.Unlock()
+		callCancel()
 		e.collector.Observe(trace.QuerySample{
 			Algorithm:  req.Algorithm,
 			Outcome:    trace.OutcomeRejected,
@@ -255,33 +311,79 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 	return e.wait(ctx, c, start, trace.OutcomeExecuted, false)
 }
 
+// cancelGrace bounds how long a leader whose deadline fired keeps
+// waiting for the call to publish: the call context shares the leader's
+// deadline, so at this point the BSP machine is already being cancelled
+// and unwinds within one superstep — usually milliseconds — carrying
+// the degraded best-so-far answer the leader came for.
+const cancelGrace = time.Second
+
 // wait blocks for a call's completion or the caller's deadline and
-// records the sample. Followers decrement the waiter gauge on exit.
+// records the sample. Every waiter holds one ref; the last one out
+// cancels the call (stopping a kernel nobody wants) and clears the
+// in-flight entry so later identical queries start fresh.
 func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome string, follower bool) (*Reply, error) {
-	if follower {
-		defer func() {
-			e.mu.Lock()
+	defer func() {
+		e.mu.Lock()
+		c.refs--
+		if follower {
 			c.waiters--
-			e.mu.Unlock()
-		}()
-	}
+		}
+		last := c.refs == 0
+		if last && e.inflight[c.key] == c {
+			delete(e.inflight, c.key)
+		}
+		e.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+	}()
+	finished := false
 	select {
 	case <-c.done:
+		finished = true
 	case <-ctx.Done():
-		// The kernel (if running) completes and populates the cache for
-		// future queries; this caller alone gives up.
+		if !follower {
+			// The leader's deadline is the call's deadline: the kernel is
+			// unwinding right now. Hold on briefly for the degraded
+			// best-so-far result instead of discarding it. Followers skip
+			// this — their personal deadline says nothing about the call.
+			grace := time.NewTimer(cancelGrace)
+			select {
+			case <-c.done:
+				finished = true
+			case <-grace.C:
+			}
+			grace.Stop()
+		}
+	}
+	if !finished {
+		if errors.Is(ctx.Err(), context.Canceled) {
+			e.observeFailure(c.alg, trace.OutcomeCancelled, start)
+			return nil, fmt.Errorf("%w: %s on %q: caller gone", ErrCancelled, c.alg, c.sg.Name)
+		}
 		e.observeFailure(c.alg, trace.OutcomeExpired, start)
 		return nil, fmt.Errorf("%w: %s on %q", ErrDeadline, c.alg, c.sg.Name)
 	}
 	lat := time.Since(start)
 	if c.err != nil {
-		// Deadline-dropped jobs surface as expired to every waiter.
+		// The resolving outcome surfaces identically to every waiter.
 		out := trace.OutcomeError
-		if errors.Is(c.err, ErrDeadline) {
+		switch {
+		case errors.Is(c.err, ErrDeadline):
 			out = trace.OutcomeExpired
+		case errors.Is(c.err, ErrCancelled):
+			out = trace.OutcomeCancelled
+		case errors.Is(c.err, ErrFaulted):
+			out = trace.OutcomeFaulted
 		}
 		e.observeFailure(c.alg, out, start)
 		return nil, c.err
+	}
+	if c.res.Degraded && !follower {
+		// The leader owns the degraded resolution; followers stay
+		// "coalesced" (the result still carries Degraded for them).
+		outcome = trace.OutcomeDegraded
 	}
 	sample := trace.QuerySample{
 		Algorithm:  c.alg,

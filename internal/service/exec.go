@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/cc"
 	"repro/internal/dist"
+	"repro/internal/faults"
 	"repro/internal/mincut"
 	"repro/internal/rng"
 )
@@ -153,6 +156,17 @@ type QueryResult struct {
 	Labels     []int32 // cc labelling
 	Side       []bool  // mincut partition side
 	Kernel     KernelStats
+
+	// Degraded marks a best-so-far answer from a deadline-cancelled run:
+	// still a valid cut (or one-sided estimate), but at a weaker guarantee
+	// than requested. Degraded results are never cached.
+	Degraded bool
+	// AchievedProb is the success probability the completed trials
+	// actually achieved (mincut, when Degraded).
+	AchievedProb float64
+	// RetryAfterMs estimates the extra time the query would have needed to
+	// complete, a client retry hint (when Degraded).
+	RetryAfterMs int64
 }
 
 func kernelStatsOf(st *bsp.Stats) KernelStats {
@@ -192,9 +206,15 @@ func releaseMachine(m *bsp.Machine) {
 }
 
 // executeKernel runs one algorithm over the snapshot on a pooled BSP
-// machine of p processors. The snapshot's frozen edge array is sliced
-// across processors with the block distribution — zero copies at
-// ingestion; the kernels treat local slices as read-only.
+// machine of p processors, cancellable through ctx: when the deadline
+// fires (or every waiter abandons the call) the machine is cancelled and
+// unwinds within one superstep. A cancelled mincut or approxcut run
+// degrades to the checkpointed best-so-far answer when one exists;
+// otherwise the error wraps bsp.ErrCancelled for the engine to map.
+//
+// The snapshot's frozen edge array is sliced across processors with the
+// block distribution — zero copies at ingestion; the kernels treat local
+// slices as read-only.
 //
 // Beyond the machine pool above, the kernels themselves draw scratch
 // from process-wide sync.Pools (the Karger–Stein arena in
@@ -202,7 +222,7 @@ func releaseMachine(m *bsp.Machine) {
 // internal/graph), so concurrent queries recycle each other's
 // allocations instead of growing the heap per query. See
 // stress_test.go for the race-checked exercise of that sharing.
-func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult, error) {
+func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr params, freg *faults.Registry) (*QueryResult, error) {
 	snap := sg.Snap
 	n := snap.N()
 	edges := snap.Edges()
@@ -210,12 +230,24 @@ func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult,
 		ccRes *cc.Result
 		mcRes *mincut.CutResult
 		acRes *approxcut.Result
+		mcCp  *mincut.Checkpoint
+		acCp  *approxcut.Checkpoint
 	)
+	switch alg {
+	case AlgMinCut:
+		mcCp = mincut.NewCheckpoint()
+	case AlgApproxCut:
+		acCp = approxcut.NewCheckpoint()
+	}
 	mach, err := acquireMachine(p)
 	if err != nil {
 		return nil, err
 	}
-	st, err := mach.Run(func(c *bsp.Comm) {
+	if freg.Enabled() {
+		mach.SetFaultHook(freg.Hook(mach))
+	}
+	start := time.Now()
+	st, err := mach.RunCtx(ctx, func(c *bsp.Comm) {
 		lo, hi := dist.BlockRange(len(edges), p, c.Rank())
 		local := edges[lo:hi]
 		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
@@ -229,14 +261,16 @@ func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult,
 			r := mincut.Parallel(c, n, local, stream, mincut.Options{
 				SuccessProb: pr.successProb,
 				MaxTrials:   pr.maxTrials,
+				Checkpoint:  mcCp,
 			})
 			if c.Rank() == 0 {
 				mcRes = r
 			}
 		case AlgApproxCut:
 			r := approxcut.Parallel(c, n, local, stream, approxcut.Options{
-				Trials:    pr.trials,
-				Pipelined: pr.pipelined,
+				Trials:     pr.trials,
+				Pipelined:  pr.pipelined,
+				Checkpoint: acCp,
 			})
 			if c.Rank() == 0 {
 				acRes = r
@@ -246,8 +280,14 @@ func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult,
 	if err != nil {
 		// A failed run may leave mailboxes mid-superstep; drop the machine
 		// rather than returning it to the pool.
+		if errors.Is(err, bsp.ErrCancelled) {
+			if res := degradedResult(sg, alg, mcCp, acCp, time.Since(start)); res != nil {
+				return res, nil
+			}
+		}
 		return nil, err
 	}
+	mach.SetFaultHook(nil)
 	releaseMachine(mach)
 	res := &QueryResult{
 		Graph:     sg.Name,
@@ -270,6 +310,57 @@ func executeKernel(sg *StoredGraph, alg string, p int, pr params) (*QueryResult,
 		res.Trials = acRes.TrialsPerIteration
 	}
 	return res, nil
+}
+
+// degradedResult synthesizes a best-so-far answer from a cancelled run's
+// checkpoint, or nil when nothing useful completed. The retry hint
+// extrapolates the remaining work from the observed per-unit pace.
+func degradedResult(sg *StoredGraph, alg string, mcCp *mincut.Checkpoint, acCp *approxcut.Checkpoint, elapsed time.Duration) *QueryResult {
+	res := &QueryResult{
+		Graph:     sg.Name,
+		Version:   sg.Version,
+		Algorithm: alg,
+		Degraded:  true,
+	}
+	switch alg {
+	case AlgMinCut:
+		value, side, done, planned, ok := mcCp.Best()
+		if !ok {
+			return nil
+		}
+		res.Value = value
+		res.Side = side
+		res.Trials = done
+		res.AchievedProb = mcCp.AchievedProb()
+		res.RetryAfterMs = retryHint(elapsed, done, planned)
+		return res
+	case AlgApproxCut:
+		iters, trials, planned, ok := acCp.Partial()
+		if !ok {
+			return nil
+		}
+		// Clearing iteration i without a disconnection puts the cut above
+		// ~2^i w.h.p. — a one-sided estimate, flagged degraded.
+		res.Value = uint64(1) << uint(iters)
+		res.Iterations = iters
+		res.Trials = trials
+		res.RetryAfterMs = retryHint(elapsed, iters, planned)
+		return res
+	}
+	return nil
+}
+
+// retryHint estimates how much longer the cancelled run needed:
+// elapsed × remaining/done, floored at 1ms.
+func retryHint(elapsed time.Duration, done, planned int) int64 {
+	if done <= 0 || planned <= done {
+		return 1
+	}
+	ms := elapsed.Milliseconds() * int64(planned-done) / int64(done)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // cacheKey builds the canonical identity of a query: graph name, version

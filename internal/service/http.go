@@ -18,8 +18,13 @@ import (
 //	GET  /healthz                                   — liveness
 //
 // Error mapping: malformed input and bad parameters → 400, unknown graph
-// → 404, shed load → 429 (with Retry-After), per-request deadline → 504,
-// engine shutdown → 503, anything else → 500.
+// → 404, oversized body → 413, shed load → 429 (with Retry-After),
+// cancelled with nothing to show → 408, per-request deadline (queue
+// expiry) → 504, faulted kernel → 503 (with Retry-After), engine
+// shutdown → 503, anything else → 500. A deadline-cancelled kernel that
+// checkpointed progress is not an error: it returns 200 with
+// "degraded": true, the achieved success probability, and a
+// retry_after_ms hint.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/graphs", func(w http.ResponseWriter, r *http.Request) {
@@ -116,7 +121,7 @@ type QueryResponse struct {
 	Graph      string      `json:"graph"`
 	Version    uint64      `json:"version"`
 	Algorithm  string      `json:"algorithm"`
-	Outcome    string      `json:"outcome"` // executed | cache_hit | coalesced
+	Outcome    string      `json:"outcome"` // executed | cache_hit | coalesced | degraded
 	LatencyMs  float64     `json:"latency_ms"`
 	Value      *uint64     `json:"value,omitempty"`      // mincut, approxcut
 	Components *int        `json:"components,omitempty"` // cc
@@ -125,6 +130,13 @@ type QueryResponse struct {
 	Labels     []int32     `json:"labels,omitempty"`
 	Side       []int32     `json:"side,omitempty"` // smaller shore of the cut
 	Kernel     KernelStats `json:"kernel"`
+	// Degraded marks a best-so-far answer from a deadline-cancelled run;
+	// AchievedSuccessProb is the success probability the completed trials
+	// reached (mincut), RetryAfterMs how much longer the full computation
+	// was projected to need.
+	Degraded            bool    `json:"degraded,omitempty"`
+	AchievedSuccessProb float64 `json:"achieved_success_prob,omitempty"`
+	RetryAfterMs        int64   `json:"retry_after_ms,omitempty"`
 }
 
 func handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -132,13 +144,18 @@ func handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("query body over %d bytes", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query body: %w", err))
 		return
 	}
 	reply, err := e.Query(r.Context(), req)
 	if err != nil {
 		status := statusOf(err)
-		if status == http.StatusTooManyRequests {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, status, err)
@@ -146,14 +163,17 @@ func handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res := reply.Result
 	resp := QueryResponse{
-		Graph:      res.Graph,
-		Version:    res.Version,
-		Algorithm:  res.Algorithm,
-		Outcome:    reply.Outcome,
-		LatencyMs:  float64(reply.Latency.Microseconds()) / 1e3,
-		Iterations: res.Iterations,
-		Trials:     res.Trials,
-		Kernel:     res.Kernel,
+		Graph:               res.Graph,
+		Version:             res.Version,
+		Algorithm:           res.Algorithm,
+		Outcome:             reply.Outcome,
+		LatencyMs:           float64(reply.Latency.Microseconds()) / 1e3,
+		Iterations:          res.Iterations,
+		Trials:              res.Trials,
+		Kernel:              res.Kernel,
+		Degraded:            res.Degraded,
+		AchievedSuccessProb: res.AchievedProb,
+		RetryAfterMs:        res.RetryAfterMs,
 	}
 	switch res.Algorithm {
 	case AlgCC:
@@ -183,7 +203,9 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDeadline):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrCancelled):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrFaulted), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -29,6 +29,13 @@ var (
 	ErrBadRequest = errors.New("service: bad request")
 	// ErrClosed: the engine is shutting down (503).
 	ErrClosed = errors.New("service: engine closed")
+	// ErrCancelled: the kernel was cancelled mid-run — deadline fired or
+	// every waiter abandoned the call — and no partial answer was
+	// available (408).
+	ErrCancelled = errors.New("service: query cancelled")
+	// ErrFaulted: the kernel faulted (processor panic) and the bounded
+	// retry failed too; the query may succeed if retried later (503).
+	ErrFaulted = errors.New("service: query faulted")
 )
 
 // StoredGraph is one registered graph: an immutable snapshot plus

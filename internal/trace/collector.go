@@ -14,6 +14,15 @@ const (
 	OutcomeRejected  = "rejected"  // shed by admission control (queue full)
 	OutcomeExpired   = "expired"   // deadline passed before a result was available
 	OutcomeError     = "error"     // the kernel or the request failed
+	OutcomeCancelled = "cancelled" // the kernel was cancelled mid-run, no partial answer
+	OutcomeDegraded  = "degraded"  // cancelled mid-run but a best-so-far answer was served
+	OutcomeFaulted   = "faulted"   // the kernel faulted and the bounded retry failed too
+
+	// OutcomeRetried is an *event*, not a resolution: it marks one
+	// transient kernel fault absorbed by the retry policy. Retried
+	// samples increment only the Retried counter — the query itself is
+	// still counted exactly once, under whatever outcome resolves it.
+	OutcomeRetried = "retried"
 )
 
 // QuerySample is one finished (or shed) query as seen by the serving
@@ -40,6 +49,10 @@ type AlgoStats struct {
 	Rejected         uint64  `json:"rejected"`
 	Expired          uint64  `json:"expired"`
 	Errors           uint64  `json:"errors"`
+	Cancelled        uint64  `json:"cancelled"`
+	Degraded         uint64  `json:"degraded"`
+	Faulted          uint64  `json:"faulted"`
+	Retried          uint64  `json:"retried"`
 	Supersteps       uint64  `json:"supersteps"`
 	CommVolume       uint64  `json:"comm_volume"`
 	TotalLatencyMs   float64 `json:"total_latency_ms"`
@@ -52,6 +65,12 @@ type AlgoStats struct {
 }
 
 func (a *AlgoStats) observe(s QuerySample) {
+	// A retried sample marks an absorbed transient fault, not a resolved
+	// query: count the event and nothing else.
+	if s.Outcome == OutcomeRetried {
+		a.Retried++
+		return
+	}
 	a.Queries++
 	switch s.Outcome {
 	case OutcomeExecuted:
@@ -64,6 +83,12 @@ func (a *AlgoStats) observe(s QuerySample) {
 		a.Rejected++
 	case OutcomeExpired:
 		a.Expired++
+	case OutcomeCancelled:
+		a.Cancelled++
+	case OutcomeDegraded:
+		a.Degraded++
+	case OutcomeFaulted:
+		a.Faulted++
 	default:
 		a.Errors++
 	}

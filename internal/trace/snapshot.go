@@ -24,21 +24,25 @@ type snapshotRecord struct {
 }
 
 // Snapshot is a machine-readable benchmark snapshot: a named set of
-// Records, e.g. one per benchmarked configuration.
+// Records, e.g. one per benchmarked configuration, optionally carrying
+// the serving layer's outcome aggregates (chaos suites archive these so
+// injected-fault counts are diffable across runs).
 type Snapshot struct {
-	Name    string
-	Records []*Record
+	Name     string
+	Records  []*Record
+	Outcomes *CollectorSnapshot
 }
 
 type snapshotWire struct {
-	Name    string           `json:"name"`
-	Records []snapshotRecord `json:"records"`
+	Name     string             `json:"name"`
+	Records  []snapshotRecord   `json:"records"`
+	Outcomes *CollectorSnapshot `json:"outcomes,omitempty"`
 }
 
 // WriteJSON emits the snapshot as indented JSON, the format CI archives
 // next to the benchstat output so regressions are diffable by machine.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
-	wire := snapshotWire{Name: s.Name, Records: make([]snapshotRecord, 0, len(s.Records))}
+	wire := snapshotWire{Name: s.Name, Records: make([]snapshotRecord, 0, len(s.Records)), Outcomes: s.Outcomes}
 	for _, r := range s.Records {
 		wire.Records = append(wire.Records, snapshotRecord{
 			Input:      r.Input,
@@ -67,7 +71,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err := json.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, err
 	}
-	s := &Snapshot{Name: wire.Name, Records: make([]*Record, 0, len(wire.Records))}
+	s := &Snapshot{Name: wire.Name, Records: make([]*Record, 0, len(wire.Records)), Outcomes: wire.Outcomes}
 	for _, w := range wire.Records {
 		s.Records = append(s.Records, &Record{
 			Input:      w.Input,
