@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check chaos lint bench bench-bsp bench-kernels camcd
+.PHONY: all build test vet race check chaos lint bench bench-bsp bench-kernels bench-service camcd
 
 all: check
 
@@ -55,6 +55,12 @@ bench-bsp:
 # remaps (also writes internal/kernels/BENCH_kernels.json).
 bench-kernels:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/kernels/
+
+# Serving-layer benchmarks: warm-plan vs cold repeated-query throughput
+# and static vs dynamic trial scheduling under an injected straggler
+# (also writes internal/service/BENCH_service.json).
+bench-service:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/service/
 
 camcd:
 	$(GO) run ./cmd/camcd

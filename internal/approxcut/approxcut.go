@@ -56,6 +56,13 @@ type Options struct {
 	Checkpoint *Checkpoint
 	// CC tunes the underlying connected-components runs.
 	CC cc.Options
+	// Plan, when non-nil and matching the input, supplies the snapshot's
+	// total weight and connectivity, skipping the opening TotalWeight
+	// AllReduce and base connectivity check; both skips are recorded on
+	// the BSP ledger via SkipComm. The per-iteration subgraph CC queries
+	// run over a trials×n vertex space and are never plan-eligible. A
+	// mismatched plan (wrong N) is ignored.
+	Plan *graph.Plan
 }
 
 // Checkpoint records early-stopping progress across sparsity levels:
@@ -98,17 +105,35 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 	if n < 2 {
 		return &Result{Value: 0}
 	}
+	pl := opts.Plan
+	if !pl.Matches(n) {
+		pl = nil
+	}
 	// ① Total weight bounds the iteration count: at sparsity 2^-i with
 	// i ≈ log2 W the expected surviving edge weight is O(1), so some
-	// trial disconnects w.h.p. before the scan runs out.
-	w := dist.TotalWeight(c, local)
+	// trial disconnects w.h.p. before the scan runs out. Warm, the plan
+	// already knows it.
+	var w uint64
+	if pl != nil {
+		w = pl.TotalWeight
+		c.SkipComm(pl.WeightCost.Collectives, pl.WeightCost.Words)
+	} else {
+		w = dist.TotalWeight(c, local)
+	}
 	if w == 0 {
 		return &Result{Value: 0}
 	}
 	// The input must be connected for the estimate to mean anything.
-	base := cc.Parallel(c, n, local, st.Derive(0xcc), opts.CC)
-	if base.Count > 1 {
-		return &Result{Value: 0, Disconnected: true}
+	if pl != nil {
+		c.SkipComm(pl.CCCost.Collectives, pl.CCCost.Words)
+		if !pl.Connected {
+			return &Result{Value: 0, Disconnected: true}
+		}
+	} else {
+		base := cc.Parallel(c, n, local, st.Derive(0xcc), opts.CC)
+		if base.Count > 1 {
+			return &Result{Value: 0, Disconnected: true}
+		}
 	}
 
 	trials := opts.Trials

@@ -257,6 +257,8 @@ func (m *Machine) reset() {
 		c.appTime = 0
 		c.commTime = 0
 		c.ops = 0
+		c.skipColl = 0
+		c.skipWords = 0
 		c.lastMark = time.Time{}
 	}
 }
@@ -272,6 +274,11 @@ type Comm struct {
 	commTime time.Duration
 	lastMark time.Time
 	ops      uint64
+
+	// skipColl / skipWords count the collective exchanges (and the words
+	// they would have moved) this processor declared avoided via SkipComm.
+	skipColl  int
+	skipWords uint64
 
 	parent *Comm // non-nil for communicators created by Split
 
@@ -292,6 +299,19 @@ func (c *Comm) Size() int { return c.m.p }
 // Ops adds n to this processor's local-operation counter, the unit of BSP
 // computation time used for model validation.
 func (c *Comm) Ops(n uint64) { c.ops += n }
+
+// SkipComm records that the caller skipped `collectives` collective
+// exchanges, totalling `words` words of communication volume, because a
+// precomputed answer (e.g. a snapshot-resident plan) already supplied the
+// result. This keeps the BSP ledger honest: a warm run's Stats report both
+// what it actually communicated and what it avoided, so "zero volume" is
+// distinguishable from "volume moved off the books". The skip decision is
+// replicated — every rank of the communicator records the same skip — so
+// Stats reports the per-rank maximum, not the sum.
+func (c *Comm) SkipComm(collectives int, words uint64) {
+	c.skipColl += collectives
+	c.skipWords += words
+}
 
 // maxFree bounds the per-processor free list; beyond it, displaced
 // buffers spill into the machine-wide sync.Pool.
@@ -680,6 +700,8 @@ func (c *Comm) Close() {
 	c.parent.appTime += c.appTime
 	c.parent.commTime += c.commTime
 	c.parent.ops += c.ops
+	c.parent.skipColl += c.skipColl
+	c.parent.skipWords += c.skipWords
 	c.parent.lastMark = time.Now()
 	if c.rank == 0 {
 		pm := c.parent.m
@@ -726,6 +748,13 @@ type Stats struct {
 	// analogue of BSP computation time.
 	MaxOps  uint64
 	Workers []WorkerStats
+	// AvoidedCollectives / AvoidedCommVolume count the collective
+	// exchanges (and the words they would have moved) that the kernels
+	// skipped via Comm.SkipComm because precomputed state already held the
+	// answer. They are maxima over processors: skips are replicated
+	// decisions, so every rank records the same amounts.
+	AvoidedCollectives int
+	AvoidedCommVolume  uint64
 	// SimCommTime is the virtual communication time Σ(h·g + L) accrued
 	// under the run's CostModel (zero when no model was configured).
 	SimCommTime time.Duration
@@ -913,6 +942,12 @@ func (m *Machine) run(body func(c *Comm)) (*Stats, error) {
 		}
 		if c.ops > st.MaxOps {
 			st.MaxOps = c.ops
+		}
+		if c.skipColl > st.AvoidedCollectives {
+			st.AvoidedCollectives = c.skipColl
+		}
+		if c.skipWords > st.AvoidedCommVolume {
+			st.AvoidedCommVolume = c.skipWords
 		}
 	}
 	return st, nil

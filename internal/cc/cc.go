@@ -39,6 +39,13 @@ type Options struct {
 	// MaxIterations bounds the sampling rounds (default 64); exceeding it
 	// indicates a logic error and panics the worker.
 	MaxIterations int
+	// Plan, when non-nil and matching the input, supplies the snapshot's
+	// precomputed connectivity labelling: the call returns it immediately
+	// with zero supersteps, recording the skipped cold cost on the BSP
+	// ledger via SkipComm. Plan labels are canonical first-occurrence
+	// dense, so the warm Result is bit-identical to a cold run's. A
+	// mismatched plan (wrong N) is ignored.
+	Plan *graph.Plan
 }
 
 func (o *Options) defaults() {
@@ -60,6 +67,14 @@ func (o *Options) defaults() {
 // processor returns the same Result.
 func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Options) *Result {
 	opts.defaults()
+	if pl := opts.Plan; pl.Matches(n) {
+		c.SkipComm(pl.CCCost.Collectives, pl.CCCost.Words)
+		return &Result{
+			Labels:     append([]int32(nil), pl.Labels...),
+			Count:      pl.Components,
+			Iterations: 0,
+		}
+	}
 	const root = 0
 
 	// The root tracks the label of each original vertex. Its per-round

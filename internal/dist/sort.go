@@ -100,7 +100,7 @@ func SampleSortEdges(c *bsp.Comm, local []graph.Edge) []graph.Edge {
 	parts := make([][]uint64, p)
 	for d := 0; d < p; d++ {
 		chunk := local[bounds[d]:bounds[d+1]]
-		parts[d] = AppendEdges(c.Buffer(len(chunk)*edgeWords)[:0], chunk)
+		parts[d] = AppendEdges(c.Buffer(len(chunk) * edgeWords)[:0], chunk)
 	}
 	got := c.AllToAllOwned(parts)
 	total := 0

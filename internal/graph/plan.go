@@ -1,0 +1,101 @@
+package graph
+
+// Plan holds the snapshot-invariant facts of a graph that every query
+// otherwise recomputes with per-query collectives: the replicated edge
+// view, the edge count, the weighted degree array and its min-degree
+// singleton cut, the total weight, and the exact connectivity labelling.
+// The serving layer builds one Plan per (snapshot version, machine size)
+// at first query and threads it into the kernels through their Options,
+// turning the warm query path communication-free where the facts allow.
+//
+// Accounting honesty: a kernel that consumes a plan fact instead of
+// running the cold collective must call bsp.Comm.SkipComm with the
+// matching CollectiveCost, so the run's Stats report the avoided
+// supersteps and words explicitly rather than silently shrinking. The
+// cost table is *measured* (the plan builder runs the real cold
+// collectives once and reads their Stats), so it tracks the collective
+// implementations instead of hand-derived formulas.
+type Plan struct {
+	N int // vertex count of the snapshot
+	M int // edge count of the snapshot
+	// Version and Fingerprint identify the snapshot the plan was built
+	// from (registry version and content hash); P is the machine size the
+	// cost table was measured at.
+	Version     uint64
+	Fingerprint uint64
+	P           int
+
+	// Edges is the replicated edge view — what AllGatherEdges would
+	// reassemble on every rank. It aliases the snapshot's frozen array
+	// (rank-order reassembly reproduces the snapshot order exactly), so
+	// holding a plan costs no edge copies. Read-only.
+	Edges []Edge
+
+	// Degrees is the weighted degree of every vertex; MinDegVertex is the
+	// first vertex attaining the minimum MinDegree — the singleton cut the
+	// exact min cut algorithm folds in. TotalWeight is the global edge
+	// weight sum.
+	Degrees      []uint64
+	MinDegVertex int
+	MinDegree    uint64
+	TotalWeight  uint64
+
+	// Connected, Labels, and Components are the exact connectivity result.
+	// Labels are dense in first-occurrence order (vertex 0 → label 0),
+	// matching both graph.ConnectedComponents and cc.Parallel's canonical
+	// final labelling, so a warm answer is bit-identical to a cold one.
+	Connected  bool
+	Labels     []int32
+	Components int
+
+	// Measured cold-path costs of the collectives a warm query skips.
+	CCCost     CollectiveCost // connectivity check (cc.Parallel)
+	CountCost  CollectiveCost // edge-count AllReduce
+	GatherCost CollectiveCost // edge replication (AllGatherEdges)
+	DegreeCost CollectiveCost // weighted-degree AllReduce
+	WeightCost CollectiveCost // total-weight AllReduce
+}
+
+// CollectiveCost records what a skipped collective would have cost:
+// its superstep count and communication volume in words.
+type CollectiveCost struct {
+	Collectives int
+	Words       uint64
+}
+
+// Matches reports whether the plan describes an n-vertex input — the
+// kernels' guard against a stale or mismatched plan being threaded in.
+func (pl *Plan) Matches(n int) bool { return pl != nil && pl.N == n }
+
+// PlanFacts computes the snapshot-invariant facts of s sequentially and
+// returns a Plan with a zero cost table (the caller measures costs at its
+// machine size). The degree scan and connectivity labelling reproduce the
+// distributed kernels' results exactly: degrees are plain sums (identical
+// to a partial-sum AllReduce), the min-degree vertex is the first
+// minimum, and labels come from union-find in first-occurrence order.
+func (s *Snapshot) PlanFacts() *Plan {
+	pl := &Plan{
+		N:           s.n,
+		M:           len(s.edges),
+		Fingerprint: s.fingerprint,
+		Edges:       s.edges,
+		TotalWeight: s.totalWeight,
+	}
+	deg := make([]uint64, s.n)
+	for _, e := range s.edges {
+		deg[e.U] += e.W
+		deg[e.V] += e.W
+	}
+	pl.Degrees = deg
+	if s.n > 0 {
+		pl.MinDegVertex, pl.MinDegree = 0, deg[0]
+		for v := 1; v < s.n; v++ {
+			if deg[v] < pl.MinDegree {
+				pl.MinDegVertex, pl.MinDegree = v, deg[v]
+			}
+		}
+	}
+	pl.Labels, pl.Components = s.Graph().ConnectedComponents()
+	pl.Connected = pl.Components <= 1
+	return pl
+}

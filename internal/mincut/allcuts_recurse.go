@@ -122,7 +122,7 @@ func sequentialTrialAll(g *graph.Graph, st *rng.Stream) (uint64, [][]bool) {
 		mapping[i] = int32(i)
 	}
 	if t < g.N {
-		work, mapping = eagerSequential(g, t, st)
+		work, mapping, _ = eagerSequential(g, t, st)
 	}
 	if work.N < 2 {
 		v, s := minDegreeCut(g)

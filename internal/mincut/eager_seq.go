@@ -44,11 +44,15 @@ func prefixContract(uf *graph.UnionFind, sample []graph.Edge, t int) int {
 
 // eagerSequential contracts g to at most t vertices using sequential
 // iterated sampling: repeatedly sparsify, select the longest usable
-// prefix, and bulk-contract. It returns the contracted simple graph and
-// the vertex mapping g.N → contracted ids. If the graph has fewer than t
-// connected components reachable by contraction (disconnected input), it
-// stops when no edges remain.
-func eagerSequential(g *graph.Graph, t int, st *rng.Stream) (*graph.Graph, []int32) {
+// prefix, and bulk-contract. It returns the contracted simple graph, the
+// vertex mapping g.N → contracted ids, and a deterministic work count
+// (edges scanned plus samples drawn plus labels touched, summed over
+// rounds — the measured per-trial cost that drives dynamic trial
+// scheduling). If the graph has fewer than t connected components
+// reachable by contraction (disconnected input), it stops when no edges
+// remain.
+func eagerSequential(g *graph.Graph, t int, st *rng.Stream) (*graph.Graph, []int32, uint64) {
+	var work uint64
 	n := g.N
 	mapping := make([]int32, n)
 	for i := range mapping {
@@ -66,6 +70,7 @@ func eagerSequential(g *graph.Graph, t int, st *rng.Stream) (*graph.Graph, []int
 	var sample []graph.Edge
 	for cur.N > t && len(cur.Edges) > 0 {
 		s := sampleBudget(cur.N, len(cur.Edges))
+		work += uint64(len(cur.Edges)) + uint64(s) + uint64(cur.N)
 		weights := xsort.BorrowWords(len(cur.Edges))
 		for i, e := range cur.Edges {
 			weights[i] = e.W
@@ -95,5 +100,5 @@ func eagerSequential(g *graph.Graph, t int, st *rng.Stream) (*graph.Graph, []int
 		}
 		cur = next
 	}
-	return cur, mapping
+	return cur, mapping, work
 }

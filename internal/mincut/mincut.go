@@ -10,6 +10,13 @@ import (
 	"repro/internal/rng"
 )
 
+// trialLane is the counter sub-stream tag of per-trial RNG streams:
+// trial i draws from st.At(i, trialLane), a stream keyed by (seed, trial
+// index) alone. Distinct from the rank-keyed base streams (sub 0) and
+// Derive's 0x5851f42d-xored space, so trial randomness never collides
+// with — and never depends on — any rank's stream.
+const trialLane = 0x7472696c // "tril"
+
 // Options tunes the parallel minimum cut computation.
 type Options struct {
 	// SuccessProb is the target probability that the returned cut is a
@@ -24,6 +31,25 @@ type Options struct {
 	// all checkpoint work; BSP accounting is identical either way —
 	// checkpointing is purely local.
 	Checkpoint *Checkpoint
+	// Schedule selects the trial scheduling policy in the replicated
+	// regime (p ≤ t); default SchedDynamic. Results are bit-identical
+	// across schedules for a fixed seed: trial streams derive from the
+	// trial index and ties break on the trial index.
+	Schedule Schedule
+	// OnTrial, when non-nil, is invoked after each locally executed
+	// trial with the trial index (replicated regime only). It runs on
+	// the executing rank's clock, so its cost is attributed to that
+	// rank by the dynamic scheduler — which makes it both a progress
+	// hook for serving layers and the injection point load-balance
+	// benchmarks use to simulate straggling ranks.
+	OnTrial func(trial int)
+	// Plan, when non-nil and matching the input, supplies the snapshot's
+	// precomputed invariants (connectivity, edge count, replicated edge
+	// view, degree array), letting the run skip the per-query CC check,
+	// CountEdges, AllGatherEdges, and degree AllReduce. Each skip is
+	// recorded on the BSP ledger via SkipComm with the plan's measured
+	// cold cost. A mismatched plan (wrong N) is ignored.
+	Plan *graph.Plan
 }
 
 func (o *Options) defaults() {
@@ -35,28 +61,52 @@ func (o *Options) defaults() {
 // Parallel computes a global minimum cut of the distributed edge array
 // with probability at least SuccessProb — the full algorithm of §4. The
 // trials are scheduled over the processors: with p ≤ t the graph is
-// replicated and each processor runs ⌈t/p⌉ sequential trials; with p > t
-// the processors split into t groups, each running one distributed trial
-// (Eager Step within the group, then Recursive Contraction with
-// processor-group halving). Every processor returns the same result.
+// replicated and the trials are handed out in dynamically claimed chunks
+// (static block partition under SchedStatic); with p > t the processors
+// split into t groups, each running one distributed trial (Eager Step
+// within the group, then Recursive Contraction with processor-group
+// halving). Every processor returns the same result, independent of the
+// schedule and of p in the replicated regime.
 func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Options) *CutResult {
 	opts.defaults()
 	if n < 2 {
 		return &CutResult{Value: 0, Side: make([]bool, n)}
 	}
-
-	// A disconnected input has minimum cut 0; detect it with the
-	// communication-avoiding CC algorithm (O(1) supersteps).
-	comp := cc.Parallel(c, n, local, st.Derive(0xc0), cc.Options{})
-	if comp.Count > 1 {
-		side := make([]bool, n)
-		for v := range side {
-			side[v] = comp.Labels[v] == comp.Labels[0]
-		}
-		return &CutResult{Value: 0, Side: side}
+	pl := opts.Plan
+	if !pl.Matches(n) {
+		pl = nil
 	}
 
-	m := int(dist.CountEdges(c, local))
+	// A disconnected input has minimum cut 0; detect it with the
+	// communication-avoiding CC algorithm (O(1) supersteps) — or, warm,
+	// read the plan's connectivity bit and skip the query entirely.
+	if pl != nil {
+		c.SkipComm(pl.CCCost.Collectives, pl.CCCost.Words)
+		if !pl.Connected {
+			side := make([]bool, n)
+			for v := range side {
+				side[v] = pl.Labels[v] == pl.Labels[0]
+			}
+			return &CutResult{Value: 0, Side: side}
+		}
+	} else {
+		comp := cc.Parallel(c, n, local, st.Derive(0xc0), cc.Options{})
+		if comp.Count > 1 {
+			side := make([]bool, n)
+			for v := range side {
+				side[v] = comp.Labels[v] == comp.Labels[0]
+			}
+			return &CutResult{Value: 0, Side: side}
+		}
+	}
+
+	var m int
+	if pl != nil {
+		m = pl.M
+		c.SkipComm(pl.CountCost.Collectives, pl.CountCost.Words)
+	} else {
+		m = int(dist.CountEdges(c, local))
+	}
 	trials := Trials(n, m, opts.SuccessProb)
 	if opts.MaxTrials > 0 && trials > opts.MaxTrials {
 		trials = opts.MaxTrials
@@ -67,42 +117,64 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 	}
 
 	var bestVal uint64 = math.MaxUint64
+	// bestTrial is the schedule-independent tie-break: the lowest trial
+	// index attaining bestVal wins the global argmin, so the returned
+	// side never depends on which rank ran which trial. The min-degree
+	// cut ranks after every trial (sentinel index = trials).
+	bestTrial := trials
 	var bestSide []bool
 	p := c.Size()
 
 	if p <= trials {
-		// Replicate the graph; split the trials.
-		all := dist.AllGatherEdges(c, local)
+		// Replicate the graph (or read the plan's shared replicated view —
+		// rank-order reassembly makes them identical); distribute trials.
+		var all []graph.Edge
+		if pl != nil {
+			all = pl.Edges
+			c.SkipComm(pl.GatherCost.Collectives, pl.GatherCost.Words)
+		} else {
+			all = dist.AllGatherEdges(c, local)
+		}
 		g := &graph.Graph{N: n, Edges: all}
-		lo, hi := dist.BlockRange(trials, p, c.Rank())
-		// Per-trial operation estimate for the BSP cost ledger: the Eager
-		// Step scans the edge array a constant number of times and the
-		// Recursive Step does O(t̄² log t̄) work on the contracted graph.
-		tbar := float64(eagerTarget(m))
-		trialOps := uint64(3*m) + uint64(2*tbar*tbar*math.Log2(tbar+2))
 		a := getKSArena()
-		for i := lo; i < hi; i++ {
-			// The trial loop is the one compute phase with no intervening
-			// Sync, so it polls the abort flag itself: a cancelled machine
-			// stops trialing immediately and unwinds at the collective
-			// below instead of burning through the remaining trials.
-			if c.Aborting() {
-				break
-			}
-			val, side := sequentialTrial(a, g, st)
-			c.Ops(trialOps)
+		runTrial := func(i int) {
+			val, side, work := sequentialTrial(a, g, st.At(uint32(i), trialLane))
+			c.Ops(work)
 			if cp != nil {
 				cp.note(val, side)
 			}
-			if val < bestVal {
-				bestVal = val
-				bestSide = side
+			if val < bestVal || (val == bestVal && i < bestTrial) {
+				bestVal, bestTrial, bestSide = val, i, side
 			}
+			if opts.OnTrial != nil {
+				opts.OnTrial(i)
+			}
+		}
+		if p == 1 || trials < 2 || opts.Schedule == SchedStatic {
+			lo, hi := dist.BlockRange(trials, p, c.Rank())
+			for i := lo; i < hi; i++ {
+				// The trial loop is the one compute phase with no intervening
+				// Sync, so it polls the abort flag itself: a cancelled machine
+				// stops trialing immediately and unwinds at the collective
+				// below instead of burning through the remaining trials.
+				if c.Aborting() {
+					break
+				}
+				runTrial(i)
+			}
+		} else {
+			dynamicTrials(c, trials, runTrial)
 		}
 		putKSArena(a)
 	} else {
 		// One distributed trial per group of ~p/trials processors.
-		all := dist.AllGatherEdges(c, local)
+		var all []graph.Edge
+		if pl != nil {
+			all = pl.Edges
+			c.SkipComm(pl.GatherCost.Collectives, pl.GatherCost.Words)
+		} else {
+			all = dist.AllGatherEdges(c, local)
+		}
 		color := c.Rank() * trials / p
 		sub := c.Split(color, c.Rank())
 		lo, hi := dist.BlockRange(len(all), sub.Size(), sub.Rank())
@@ -113,6 +185,7 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 			blk := matrixFromDistributedEdges(sub, count, edges)
 			val, side := recursiveDistributed(sub, blk, st)
 			bestVal = val
+			bestTrial = color
 			bestSide = make([]bool, n)
 			for v := 0; v < n; v++ {
 				bestSide[v] = side[mapping[v]]
@@ -125,25 +198,35 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 		sub.Close()
 		if !isLeader {
 			bestVal = math.MaxUint64
+			bestTrial = trials
 			bestSide = nil
 		}
 	}
 
-	// Fold in the min-degree (singleton) cut, computed distributedly.
-	deg := make([]uint64, n)
-	for _, e := range local {
-		deg[e.U] += e.W
-		deg[e.V] += e.W
-	}
-	deg = c.AllReduce(deg, bsp.OpSum)
-	minV, minD := 0, deg[0]
-	for v := 1; v < n; v++ {
-		if deg[v] < minD {
-			minV, minD = v, deg[v]
+	// Fold in the min-degree (singleton) cut — from the plan's degree
+	// array when warm, otherwise computed distributedly.
+	var minV int
+	var minD uint64
+	if pl != nil {
+		minV, minD = pl.MinDegVertex, pl.MinDegree
+		c.SkipComm(pl.DegreeCost.Collectives, pl.DegreeCost.Words)
+	} else {
+		deg := make([]uint64, n)
+		for _, e := range local {
+			deg[e.U] += e.W
+			deg[e.V] += e.W
+		}
+		deg = c.AllReduce(deg, bsp.OpSum)
+		minV, minD = 0, deg[0]
+		for v := 1; v < n; v++ {
+			if deg[v] < minD {
+				minV, minD = v, deg[v]
+			}
 		}
 	}
 	if minD < bestVal {
 		bestVal = minD
+		bestTrial = trials
 		bestSide = make([]bool, n)
 		bestSide[minV] = true
 	}
@@ -156,12 +239,14 @@ func Parallel(c *bsp.Comm, n int, local []graph.Edge, st *rng.Stream, opts Optio
 		cp.noteBound(minD, side)
 	}
 
-	// Global argmin across processors, then broadcast the winning side.
-	vals := c.AllGather([]uint64{bestVal})
-	winner, winVal := 0, vals[0][0]
+	// Global argmin across processors — (value, trial index) with
+	// lexicographic order, so the winner is the same cut whichever rank
+	// happened to run the winning trial — then broadcast the side.
+	vals := c.AllGather([]uint64{bestVal, uint64(bestTrial)})
+	winner, winVal, winTrial := 0, vals[0][0], vals[0][1]
 	for r := 1; r < p; r++ {
-		if vals[r][0] < winVal {
-			winner, winVal = r, vals[r][0]
+		if vals[r][0] < winVal || (vals[r][0] == winVal && vals[r][1] < winTrial) {
+			winner, winVal, winTrial = r, vals[r][0], vals[r][1]
 		}
 	}
 	var packed []uint64

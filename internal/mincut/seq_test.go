@@ -173,7 +173,7 @@ func TestKargerSteinMatchesStoerWagnerRandom(t *testing.T) {
 
 func TestEagerSequentialContracts(t *testing.T) {
 	g := gen.ErdosRenyiM(200, 2000, 5, gen.Config{MaxWeight: 4})
-	cg, mapping := eagerSequential(g, 40, rng.New(3, 0, 0))
+	cg, mapping, _ := eagerSequential(g, 40, rng.New(3, 0, 0))
 	if cg.N > 40 {
 		t.Errorf("eager left %d vertices, want <= 40", cg.N)
 	}
@@ -210,7 +210,7 @@ func TestEagerSequentialDisconnected(t *testing.T) {
 	}
 	// 10 isolated + two rings; contracting to 2 is impossible (>= 12
 	// components), must stop when edges run out.
-	cg, _ := eagerSequential(g, 2, rng.New(4, 0, 0))
+	cg, _, _ := eagerSequential(g, 2, rng.New(4, 0, 0))
 	if len(cg.Edges) != 0 {
 		t.Errorf("%d edges left after exhaustive contraction", len(cg.Edges))
 	}

@@ -19,22 +19,30 @@ func eagerTarget(m int) int {
 
 // sequentialTrial runs one full trial — Eager Step followed by one run of
 // Recursive Contraction — and returns the cut found, lifted to g's
-// vertices. The graph must have at least 2 vertices and 1 edge. The
-// caller owns the returned side; all recursion scratch comes from a, so
-// a trial loop sharing one arena allocates only the lifted side per
-// trial.
-func sequentialTrial(a *ksArena, g *graph.Graph, st *rng.Stream) (uint64, []bool) {
+// vertices, plus the trial's deterministic work count (the eager rounds'
+// measured scans plus the recursion's O(t̄² log t̄) estimate on the
+// contracted size). The work count is a function of the trial's stream
+// alone, never of the rank running it — the property dynamic trial
+// scheduling relies on for a deterministic, schedule-independent ledger.
+// The graph must have at least 2 vertices and 1 edge. The caller owns the
+// returned side; all recursion scratch comes from a, so a trial loop
+// sharing one arena allocates only the lifted side per trial.
+func sequentialTrial(a *ksArena, g *graph.Graph, st *rng.Stream) (uint64, []bool, uint64) {
 	t := eagerTarget(len(g.Edges))
 	work := g
 	var mapping []int32
+	var ops uint64
 	if t < g.N {
-		work, mapping = eagerSequential(g, t, st)
+		work, mapping, ops = eagerSequential(g, t, st)
 	}
 	if work.N < 2 {
 		// Fully contracted (can happen on tiny graphs): fall back to the
 		// min-degree cut of the original.
-		return minDegreeCut(g)
+		val, side := minDegreeCut(g)
+		return val, side, ops + uint64(len(g.Edges))
 	}
+	tn := float64(work.N)
+	ops += uint64(tn*tn) + uint64(2*tn*tn*math.Log2(tn+2))
 	mat := a.matrixFromEdges(work.N, work.Edges)
 	val, side := a.ksRecurse(mat, st)
 	a.putWords(mat.W)
@@ -47,7 +55,7 @@ func sequentialTrial(a *ksArena, g *graph.Graph, st *rng.Stream) (uint64, []bool
 		}
 	}
 	a.putBools(side)
-	return val, lifted
+	return val, lifted, ops
 }
 
 // perTrialSuccess lower-bounds the probability that one Eager+Recursive
@@ -148,7 +156,7 @@ func Sequential(g *graph.Graph, st *rng.Stream, successProb float64) *CutResult 
 		}
 	} else {
 		for i := 0; i < trials; i++ {
-			val, side := sequentialTrial(a, g, st)
+			val, side, _ := sequentialTrial(a, g, st)
 			if val < best.Value {
 				best.Value = val
 				best.Side = side

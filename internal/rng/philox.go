@@ -66,6 +66,16 @@ func (s *Stream) Derive(sub uint32) *Stream {
 	return &Stream{key: s.key, base: [2]uint32{s.base[0], s.base[1] ^ 0x5851f42d ^ sub}}
 }
 
+// At returns the stream for counter lane (lane, sub) under s's key — the
+// same global seed, but with both counter words replaced, so the result
+// is independent of the rank s was created for. Work items that may be
+// scheduled onto any processor (e.g. minimum-cut trials under dynamic
+// scheduling) derive their streams this way from the item index, making
+// the randomness a function of (seed, item) alone. It does not advance s.
+func (s *Stream) At(lane, sub uint32) *Stream {
+	return &Stream{key: s.key, base: [2]uint32{lane, sub}}
+}
+
 func (s *Stream) refill() {
 	s.buf = philoxBlock([4]uint32{uint32(s.ctr), uint32(s.ctr >> 32), s.base[0], s.base[1]}, s.key)
 	s.ctr++

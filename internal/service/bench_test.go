@@ -1,0 +1,262 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+	"repro/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+// benchEngine builds an engine + registered graph for repeated-query
+// benchmarks. The caller closes it.
+func benchEngine(disablePlans bool, g *graph.Graph) *Engine {
+	e := NewEngine(Config{
+		Workers: 1, MaxProcessors: 16, CacheCapacity: -1, DisablePlans: disablePlans,
+	})
+	if _, err := e.Registry().Put("g", g); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ccGraph is the repeated-CC workload: mid-size, where a cold query
+// pays sampling rounds, root union-find, and two n-word broadcasts that
+// the warm path replaces with a label copy.
+func ccGraph() *graph.Graph {
+	g := gen.ErdosRenyiM(2048, 16384, 7, gen.Config{MaxWeight: 4})
+	for v := 1; v < g.N; v++ {
+		g.AddEdge(int32(v-1), int32(v), 1)
+	}
+	g.AddEdge(int32(g.N-1), 0, 1)
+	return g
+}
+
+// mincutGraph is the repeated-mincut workload: a sparse graph queried
+// with MaxTrials=1 at p=16 — the cheap screening query a serving tier
+// issues repeatedly — where the cold path's per-query connectivity
+// check (n-word label broadcasts), degree AllReduce, and p-way edge
+// replication are a large fixed tax next to the single eager trial.
+func mincutGraph() *graph.Graph {
+	g := gen.ErdosRenyiM(16384, 16384, 7, gen.Config{MaxWeight: 4})
+	for v := 1; v < g.N; v++ {
+		g.AddEdge(int32(v-1), int32(v), 1)
+	}
+	g.AddEdge(int32(g.N-1), 0, 1)
+	return g
+}
+
+// skewGraph is the trial workload for the scheduling comparison: an
+// RMAT multigraph big enough that one contraction trial is a
+// non-trivial unit of work to place.
+func skewGraph() *graph.Graph {
+	g := gen.RMAT(11, 16384, 99, gen.Config{MaxWeight: 16})
+	for v := 1; v < g.N; v++ {
+		g.AddEdge(int32(v-1), int32(v), 1)
+	}
+	return g
+}
+
+// stragglerDelay is the extra per-trial cost injected on the last rank
+// in the scheduling benches — the "noisy neighbor" a static partition
+// cannot route around. It is several times one trial's compute (~12ms
+// here), so a static block assignment strands the straggler with a
+// multi-delay tail while dynamic claiming hands its chunks to the
+// other ranks after the first claim round prices it out.
+const stragglerDelay = 50 * time.Millisecond
+
+func runQuery(b *testing.B, e *Engine, req QueryRequest) {
+	b.Helper()
+	req.NoCache = true
+	if _, err := e.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+}
+
+var (
+	mcReq = QueryRequest{Graph: "g", Algorithm: AlgMinCut, Processors: 16, MaxTrials: 1}
+	ccReq = QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 4}
+)
+
+func benchQueries(b *testing.B, disablePlans bool, mk func() *graph.Graph, req QueryRequest) {
+	e := benchEngine(disablePlans, mk())
+	defer e.Close()
+	req.NoCache = true
+	// First query off the clock: it builds the plan (warm engine) and
+	// fills the machine pool, the state every later query reuses.
+	if _, err := e.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runQuery(b, e, req)
+	}
+}
+
+func BenchmarkQueryMincutWarm(b *testing.B) { benchQueries(b, false, mincutGraph, mcReq) }
+func BenchmarkQueryMincutCold(b *testing.B) { benchQueries(b, true, mincutGraph, mcReq) }
+func BenchmarkQueryCCWarm(b *testing.B)     { benchQueries(b, false, ccGraph, ccReq) }
+func BenchmarkQueryCCCold(b *testing.B)     { benchQueries(b, true, ccGraph, ccReq) }
+
+// runScheduled executes one mincut with the given schedule at p=4,
+// slowing every trial on the last rank by stragglerDelay via the
+// OnTrial hook, and returns the machine stats plus the number of
+// trials the straggler ended up running — the per-worker app times and
+// straggler trial count are the load-balance evidence.
+func runScheduled(g *graph.Graph, sched mincut.Schedule, trials int) (*bsp.Stats, *mincut.CutResult, int) {
+	var res *mincut.CutResult
+	var stragglerTrials int
+	st, err := bsp.Run(4, func(c *bsp.Comm) {
+		straggler := c.Rank() == c.Size()-1
+		ran := 0
+		lo, hi := dist.BlockRange(len(g.Edges), 4, c.Rank())
+		r := mincut.Parallel(c, g.N, g.Edges[lo:hi], rng.New(11, uint32(c.Rank()), 0), mincut.Options{
+			MaxTrials: trials,
+			Schedule:  sched,
+			OnTrial: func(int) {
+				ran++
+				if straggler {
+					time.Sleep(stragglerDelay)
+				}
+			},
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+		if straggler {
+			stragglerTrials = ran
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return st, res, stragglerTrials
+}
+
+func benchScheduled(b *testing.B, sched mincut.Schedule) {
+	g := skewGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runScheduled(g, sched, 16)
+	}
+	_ = g
+}
+
+func BenchmarkMincutStatic(b *testing.B)  { benchScheduled(b, mincut.SchedStatic) }
+func BenchmarkMincutDynamic(b *testing.B) { benchScheduled(b, mincut.SchedDynamic) }
+
+// ---------------------------------------------------------------------------
+// BENCH_service.json
+// ---------------------------------------------------------------------------
+
+type throughputRow struct {
+	Algorithm string  `json:"algorithm"`
+	WarmNsOp  int64   `json:"warm_ns_op"`
+	ColdNsOp  int64   `json:"cold_ns_op"`
+	Speedup   float64 `json:"speedup"` // cold/warm: repeated-query throughput gain
+}
+
+type scheduleRow struct {
+	Schedule string `json:"schedule"`
+	WallNs   int64  `json:"wall_ns"` // max worker app time (the critical path)
+	// IdleFraction is 1 − avg/max worker app time: how much of the
+	// critical-path rank's span the other ranks spent waiting.
+	IdleFraction float64 `json:"idle_fraction"`
+	// StragglerTrials is how many trials landed on the artificially
+	// slowed rank (of 16): 16/p under static, ~1 under dynamic once the
+	// claim rounds price the straggler out.
+	StragglerTrials int    `json:"straggler_trials"`
+	CutValue        uint64 `json:"cut_value"`
+}
+
+type serviceSnapshot struct {
+	Throughput []throughputRow `json:"throughput"`
+	Scheduling []scheduleRow   `json:"scheduling"`
+}
+
+func bench(f func(b *testing.B)) testing.BenchmarkResult { return testing.Benchmark(f) }
+
+func scheduleRowOf(name string, sched mincut.Schedule) scheduleRow {
+	g := skewGraph()
+	// App times are averaged over a few runs to tame timer noise; the
+	// straggler trial count is reported from the last run.
+	const reps = 5
+	var row scheduleRow
+	row.Schedule = name
+	for rep := 0; rep < reps; rep++ {
+		st, res, stragglerTrials := runScheduled(g, sched, 16)
+		row.CutValue = res.Value
+		row.StragglerTrials = stragglerTrials
+		var maxApp, sumApp time.Duration
+		for _, w := range st.Workers {
+			sumApp += w.AppTime
+			if w.AppTime > maxApp {
+				maxApp = w.AppTime
+			}
+		}
+		row.WallNs += maxApp.Nanoseconds()
+		avg := float64(sumApp) / float64(len(st.Workers))
+		if maxApp > 0 {
+			row.IdleFraction += 1 - avg/float64(maxApp)
+		}
+	}
+	row.WallNs /= reps
+	row.IdleFraction /= reps
+	return row
+}
+
+func writeServiceSnapshot(path string) error {
+	var snap serviceSnapshot
+	for _, tc := range []struct {
+		alg string
+		mk  func() *graph.Graph
+		req QueryRequest
+	}{
+		{AlgMinCut, mincutGraph, mcReq},
+		{AlgCC, ccGraph, ccReq},
+	} {
+		warm := bench(func(b *testing.B) { benchQueries(b, false, tc.mk, tc.req) })
+		cold := bench(func(b *testing.B) { benchQueries(b, true, tc.mk, tc.req) })
+		row := throughputRow{Algorithm: tc.alg, WarmNsOp: warm.NsPerOp(), ColdNsOp: cold.NsPerOp()}
+		if row.WarmNsOp > 0 {
+			row.Speedup = float64(row.ColdNsOp) / float64(row.WarmNsOp)
+		}
+		snap.Throughput = append(snap.Throughput, row)
+	}
+	snap.Scheduling = append(snap.Scheduling,
+		scheduleRowOf("static", mincut.SchedStatic),
+		scheduleRowOf("dynamic", mincut.SchedDynamic),
+	)
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// TestMain writes BENCH_service.json whenever benchmarks were requested,
+// mirroring the BSP and kernel suites, so CI's bench-smoke job archives
+// the warm/cold throughput and static/dynamic scheduling comparison.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
+		if err := writeServiceSnapshot("BENCH_service.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "service bench snapshot:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -85,7 +85,9 @@ func TestChaosSlowProcessorRelease(t *testing.T) {
 	reg := faults.New(1).Add(faults.Rule{
 		Kind: faults.Stall, Rank: 1, Superstep: 2, Delay: 600 * time.Millisecond,
 	})
-	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 2, Faults: reg})
+	// DisablePlans: the stall rule targets a cold-path superstep index;
+	// warm plans would remove it and the rule would never fire.
+	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 2, Faults: reg, DisablePlans: true})
 	if _, err := e.Registry().Put("big", testGraph(3000, 9000)); err != nil {
 		t.Fatal(err)
 	}
@@ -120,8 +122,10 @@ func TestChaosSlowProcessorRelease(t *testing.T) {
 func TestChaosPanicRetried(t *testing.T) {
 	reg := faults.New(1).Add(faults.Rule{Kind: faults.Panic, Rank: 0, Superstep: 1})
 	var execs atomic.Int32
+	// DisablePlans: a warm cc query has zero supersteps, so the
+	// superstep-1 panic rule needs the cold path to exist.
 	e := newTestEngine(t, Config{
-		Workers: 1, MaxProcessors: 1, Faults: reg,
+		Workers: 1, MaxProcessors: 1, Faults: reg, DisablePlans: true,
 		BeforeExec: func(string) { execs.Add(1) },
 	})
 	e.Registry().Put("g", testGraph(64, 160))
@@ -159,7 +163,7 @@ func TestChaosPersistentFault(t *testing.T) {
 	reg := faults.New(1).Add(faults.Rule{
 		Kind: faults.Panic, Rank: faults.AnyRank, Superstep: 1, Times: -1,
 	})
-	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg})
+	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg, DisablePlans: true})
 	e.Registry().Put("g", testGraph(64, 160))
 	_, err := e.Query(context.Background(), QueryRequest{Graph: "g", Algorithm: AlgCC})
 	if !errors.Is(err, ErrFaulted) {
@@ -183,7 +187,7 @@ func TestChaosPersistentFault(t *testing.T) {
 // nothing to degrade to: the query resolves as cancelled, uncached.
 func TestChaosCancelInjected(t *testing.T) {
 	reg := faults.New(1).Add(faults.Rule{Kind: faults.Cancel, Rank: faults.AnyRank, Superstep: 1})
-	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg})
+	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg, DisablePlans: true})
 	e.Registry().Put("g", testGraph(64, 160))
 	_, err := e.Query(context.Background(), QueryRequest{Graph: "g", Algorithm: AlgCC})
 	if !errors.Is(err, ErrCancelled) {
@@ -234,7 +238,7 @@ func TestChaosHTTP(t *testing.T) {
 	})
 	t.Run("cancelled-408", func(t *testing.T) {
 		reg := faults.New(1).Add(faults.Rule{Kind: faults.Cancel, Rank: faults.AnyRank, Superstep: 1})
-		e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg})
+		e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg, DisablePlans: true})
 		e.Registry().Put("g", testGraph(64, 160))
 		srv := httptest.NewServer(NewHandler(e))
 		defer srv.Close()
@@ -252,7 +256,7 @@ func TestChaosHTTP(t *testing.T) {
 		reg := faults.New(1).Add(faults.Rule{
 			Kind: faults.Panic, Rank: faults.AnyRank, Superstep: 1, Times: -1,
 		})
-		e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg})
+		e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg, DisablePlans: true})
 		e.Registry().Put("g", testGraph(64, 160))
 		srv := httptest.NewServer(NewHandler(e))
 		defer srv.Close()
@@ -291,7 +295,7 @@ func TestChaosHTTP(t *testing.T) {
 // exercised through a temp file.
 func TestChaosSnapshotExport(t *testing.T) {
 	reg := faults.New(1).Add(faults.Rule{Kind: faults.Panic, Rank: 0, Superstep: 1})
-	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg})
+	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 1, Faults: reg, DisablePlans: true})
 	e.Registry().Put("g", testGraph(64, 160))
 	if _, err := e.Query(context.Background(), QueryRequest{Graph: "g", Algorithm: AlgCC}); err != nil {
 		t.Fatalf("query: %v", err)

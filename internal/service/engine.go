@@ -45,6 +45,12 @@ type Config struct {
 	// (panics, stalls, cancellations) into every kernel execution. Off by
 	// default; see internal/faults.
 	Faults *faults.Registry
+	// DisablePlans turns off snapshot-resident query plans: every query
+	// runs the full cold path (per-query connectivity check, edge count,
+	// replication, and degree collectives). Plans are on by default; the
+	// switch exists for A/B benchmarking and for tests that target the
+	// cold path's exact superstep structure.
+	DisablePlans bool
 }
 
 func (cfg *Config) defaults() {
@@ -222,7 +228,7 @@ func (e *Engine) attempt(c *call) (*QueryResult, error) {
 	if e.cfg.BeforeExec != nil {
 		e.cfg.BeforeExec(c.alg)
 	}
-	return executeKernel(c.ctx, c.sg, c.alg, c.p, c.pr, e.cfg.Faults)
+	return executeKernel(c.ctx, c.sg, c.alg, c.p, c.pr, e.planFor(c.sg, c.p), e.cfg.Faults)
 }
 
 // Query answers one analytics request: cache lookup, coalescing with an
@@ -395,6 +401,8 @@ func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome str
 		sample.P = c.res.Kernel.P
 		sample.Supersteps = c.res.Kernel.Supersteps
 		sample.CommVolume = c.res.Kernel.CommVolume
+		sample.AvoidedCollectives = c.res.Kernel.AvoidedCollectives
+		sample.AvoidedCommVolume = c.res.Kernel.AvoidedCommVolume
 	}
 	e.collector.Observe(sample)
 	return &Reply{Outcome: outcome, Result: c.res, Latency: lat}, nil
@@ -419,6 +427,7 @@ type EngineStats struct {
 	InflightCalls    int                     `json:"inflight_calls"`
 	CoalescedWaiters int                     `json:"coalesced_waiters"`
 	MaxProcessors    int                     `json:"max_processors"`
+	Plans            int                     `json:"plans"`
 	Cache            CacheStats              `json:"cache"`
 	Queries          trace.CollectorSnapshot `json:"queries"`
 }
@@ -441,6 +450,7 @@ func (e *Engine) Stats() EngineStats {
 		InflightCalls:    inflight,
 		CoalescedWaiters: waiters,
 		MaxProcessors:    e.cfg.MaxProcessors,
+		Plans:            e.reg.PlanCount(),
 		Cache:            e.cache.stats(),
 		Queries:          e.collector.Snapshot(),
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/dist"
 	"repro/internal/faults"
+	"repro/internal/graph"
 	"repro/internal/mincut"
 	"repro/internal/rng"
 )
@@ -140,6 +141,12 @@ type KernelStats struct {
 	TimeMs       float64 `json:"time_ms"`
 	CommTimeMs   float64 `json:"comm_time_ms"`
 	MaxOps       uint64  `json:"max_ops"`
+	// AvoidedCollectives / AvoidedCommVolume report what the run skipped
+	// by consuming snapshot-resident plan facts instead of communicating
+	// — the explicit ledger entry that keeps warm-path accounting honest.
+	// Zero on cold runs.
+	AvoidedCollectives int    `json:"avoided_collectives"`
+	AvoidedCommVolume  uint64 `json:"avoided_comm_volume"`
 }
 
 // QueryResult is the full outcome of one kernel execution; it is the
@@ -171,13 +178,15 @@ type QueryResult struct {
 
 func kernelStatsOf(st *bsp.Stats) KernelStats {
 	return KernelStats{
-		P:            st.P,
-		Supersteps:   st.Supersteps,
-		CommVolume:   st.CommVolume,
-		MaxHRelation: st.MaxHRelation(),
-		TimeMs:       float64(st.Total()) / float64(time.Millisecond),
-		CommTimeMs:   float64(st.MaxCommTime) / float64(time.Millisecond),
-		MaxOps:       st.MaxOps,
+		P:                  st.P,
+		Supersteps:         st.Supersteps,
+		CommVolume:         st.CommVolume,
+		MaxHRelation:       st.MaxHRelation(),
+		TimeMs:             float64(st.Total()) / float64(time.Millisecond),
+		CommTimeMs:         float64(st.MaxCommTime) / float64(time.Millisecond),
+		MaxOps:             st.MaxOps,
+		AvoidedCollectives: st.AvoidedCollectives,
+		AvoidedCommVolume:  st.AvoidedCommVolume,
 	}
 }
 
@@ -222,7 +231,12 @@ func releaseMachine(m *bsp.Machine) {
 // internal/graph), so concurrent queries recycle each other's
 // allocations instead of growing the heap per query. See
 // stress_test.go for the race-checked exercise of that sharing.
-func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr params, freg *faults.Registry) (*QueryResult, error) {
+//
+// pl, when non-nil, is the snapshot-resident plan for (sg, p): the
+// kernels consume its precomputed facts instead of running the matching
+// cold collectives, recording each skip on the BSP ledger. nil runs the
+// full cold path.
+func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr params, pl *graph.Plan, freg *faults.Registry) (*QueryResult, error) {
 	snap := sg.Snap
 	n := snap.N()
 	edges := snap.Edges()
@@ -253,7 +267,7 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
 		switch alg {
 		case AlgCC:
-			r := cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon})
+			r := cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon, Plan: pl})
 			if c.Rank() == 0 {
 				ccRes = r
 			}
@@ -262,6 +276,7 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 				SuccessProb: pr.successProb,
 				MaxTrials:   pr.maxTrials,
 				Checkpoint:  mcCp,
+				Plan:        pl,
 			})
 			if c.Rank() == 0 {
 				mcRes = r
@@ -271,6 +286,7 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 				Trials:     pr.trials,
 				Pipelined:  pr.pipelined,
 				Checkpoint: acCp,
+				Plan:       pl,
 			})
 			if c.Rank() == 0 {
 				acRes = r
@@ -279,7 +295,10 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 	})
 	if err != nil {
 		// A failed run may leave mailboxes mid-superstep; drop the machine
-		// rather than returning it to the pool.
+		// rather than returning it to the pool — but detach the fault hook
+		// first so the dropped machine does not pin the fault registry (and
+		// its captured state) until the GC finds it.
+		mach.SetFaultHook(nil)
 		if errors.Is(err, bsp.ErrCancelled) {
 			if res := degradedResult(sg, alg, mcCp, acCp, time.Since(start)); res != nil {
 				return res, nil
@@ -390,11 +409,4 @@ func sideVertices(side []bool) []int32 {
 		}
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

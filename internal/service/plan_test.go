@@ -1,0 +1,168 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// queryExec forces a kernel execution (no cache) and returns the result.
+func queryExec(t *testing.T, e *Engine, req QueryRequest) *QueryResult {
+	t.Helper()
+	req.NoCache = true
+	reply, err := e.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("query %s on %q: %v", req.Algorithm, req.Graph, err)
+	}
+	return reply.Result
+}
+
+// A warm cc query must be communication-free: every collective the cold
+// path runs is covered by plan facts, so the kernel executes zero
+// supersteps and moves zero words — and the ledger says so explicitly
+// through the avoided counters instead of silently shrinking.
+func TestPlanWarmCCCommunicationFree(t *testing.T) {
+	warm := newTestEngine(t, Config{Workers: 1, MaxProcessors: 4})
+	cold := newTestEngine(t, Config{Workers: 1, MaxProcessors: 4, DisablePlans: true})
+	g := testGraph(400, 1600)
+	if _, err := warm.Registry().Put("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Registry().Put("g", g); err != nil {
+		t.Fatal(err)
+	}
+	req := QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 4, IncludeLabels: true}
+
+	coldRes := queryExec(t, cold, req)
+	warmRes := queryExec(t, warm, req)
+
+	if warmRes.Kernel.Supersteps != 0 || warmRes.Kernel.CommVolume != 0 {
+		t.Errorf("warm cc ran ss=%d vol=%d, want 0/0",
+			warmRes.Kernel.Supersteps, warmRes.Kernel.CommVolume)
+	}
+	if warmRes.Kernel.AvoidedCollectives == 0 || warmRes.Kernel.AvoidedCommVolume == 0 {
+		t.Errorf("warm cc avoided=%d/%d words, want both > 0 (the skips must be on the ledger)",
+			warmRes.Kernel.AvoidedCollectives, warmRes.Kernel.AvoidedCommVolume)
+	}
+	if coldRes.Kernel.AvoidedCollectives != 0 || coldRes.Kernel.AvoidedCommVolume != 0 {
+		t.Errorf("cold cc reports avoided=%d/%d, want 0/0",
+			coldRes.Kernel.AvoidedCollectives, coldRes.Kernel.AvoidedCommVolume)
+	}
+	if warmRes.Components != coldRes.Components {
+		t.Errorf("warm components = %d, cold = %d", warmRes.Components, coldRes.Components)
+	}
+	for v := range coldRes.Labels {
+		if warmRes.Labels[v] != coldRes.Labels[v] {
+			t.Fatalf("warm label differs at vertex %d: %d vs %d",
+				v, warmRes.Labels[v], coldRes.Labels[v])
+		}
+	}
+	if got := warm.Stats().Plans; got != 1 {
+		t.Errorf("plan count = %d, want 1", got)
+	}
+	if got := cold.Stats().Plans; got != 0 {
+		t.Errorf("DisablePlans engine cached %d plans, want 0", got)
+	}
+}
+
+// A warm mincut still communicates for its trials (claim rounds, argmin,
+// side broadcast) but must skip the CC check, edge count, replication,
+// and degree collectives entirely — the dominant volume — and return the
+// same cut as the cold path (trial streams derive from the trial index,
+// not from what was skipped).
+func TestPlanWarmMincutAvoidsCollectives(t *testing.T) {
+	warm := newTestEngine(t, Config{Workers: 1, MaxProcessors: 4})
+	cold := newTestEngine(t, Config{Workers: 1, MaxProcessors: 4, DisablePlans: true})
+	g := testGraph(256, 1024)
+	if _, err := warm.Registry().Put("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Registry().Put("g", g); err != nil {
+		t.Fatal(err)
+	}
+	req := QueryRequest{Graph: "g", Algorithm: AlgMinCut, Processors: 4, MaxTrials: 8}
+
+	coldRes := queryExec(t, cold, req)
+	warmRes := queryExec(t, warm, req)
+
+	if warmRes.Value != coldRes.Value {
+		t.Errorf("warm cut = %d, cold cut = %d (plans must not change results)",
+			warmRes.Value, coldRes.Value)
+	}
+	if warmRes.Kernel.AvoidedCollectives == 0 || warmRes.Kernel.AvoidedCommVolume == 0 {
+		t.Errorf("warm mincut avoided=%d/%d words, want both > 0",
+			warmRes.Kernel.AvoidedCollectives, warmRes.Kernel.AvoidedCommVolume)
+	}
+	if warmRes.Kernel.CommVolume >= coldRes.Kernel.CommVolume {
+		t.Errorf("warm volume %d not below cold volume %d",
+			warmRes.Kernel.CommVolume, coldRes.Kernel.CommVolume)
+	}
+	// The plan's replicated edge view stands in for AllGatherEdges, whose
+	// p·3m words dominate the cold volume; the warm run must shed at
+	// least one full replication's worth.
+	if warmRes.Kernel.AvoidedCommVolume < uint64(3*len(g.Edges)) {
+		t.Errorf("avoided volume %d below one replication of %d edges",
+			warmRes.Kernel.AvoidedCommVolume, len(g.Edges))
+	}
+}
+
+// Re-registering a graph under the same name must evict its cached plans
+// immediately — a plan may never outlive the snapshot version it
+// describes — and the next query must rebuild against the new snapshot.
+func TestPlanEvictionOnReplacement(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 2})
+	sg1, err := e.Registry().Put("g", testGraph(128, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg1.Version != 1 {
+		t.Fatalf("first registration version = %d, want 1", sg1.Version)
+	}
+	queryExec(t, e, QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 2})
+	if got := e.Registry().PlanCount(); got != 1 {
+		t.Fatalf("after first query: plan count = %d, want 1", got)
+	}
+
+	// Replace with a different graph (more vertices): version bumps, the
+	// old plan is gone before any query sees the new snapshot.
+	sg2, err := e.Registry().Put("g", testGraph(200, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg2.Version != 2 {
+		t.Fatalf("replacement version = %d, want 2", sg2.Version)
+	}
+	if got := e.Registry().PlanCount(); got != 0 {
+		t.Fatalf("after replacement: plan count = %d, want 0 (stale plan survived)", got)
+	}
+
+	res := queryExec(t, e, QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 2, IncludeLabels: true})
+	if res.Version != 2 {
+		t.Errorf("result version = %d, want 2", res.Version)
+	}
+	if len(res.Labels) != 200 {
+		t.Errorf("labels over %d vertices, want 200 (plan rebuilt for old snapshot?)", len(res.Labels))
+	}
+	if got := e.Registry().PlanCount(); got != 1 {
+		t.Errorf("after re-query: plan count = %d, want 1", got)
+	}
+
+	// Deletion evicts too.
+	e.Registry().Delete("g")
+	if got := e.Registry().PlanCount(); got != 0 {
+		t.Errorf("after delete: plan count = %d, want 0", got)
+	}
+}
+
+// Plans are cached per machine size: the same graph queried at two
+// machine sizes builds two plans, and each skips its own measured costs.
+func TestPlanPerMachineSize(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, MaxProcessors: 4})
+	if _, err := e.Registry().Put("g", testGraph(128, 512)); err != nil {
+		t.Fatal(err)
+	}
+	queryExec(t, e, QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 2})
+	queryExec(t, e, QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 4})
+	if got := e.Registry().PlanCount(); got != 2 {
+		t.Errorf("plan count = %d, want 2 (one per machine size)", got)
+	}
+}

@@ -48,9 +48,13 @@ type StoredGraph struct {
 }
 
 // Registry maps names to graph snapshots. It is safe for concurrent use.
+// It also owns the plan cache (see plan.go): snapshot-resident query
+// plans are keyed by (name, machine size) and live exactly as long as
+// the registration they were built from.
 type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*StoredGraph
+	plans  map[planKey]*planSlot
 	nextID uint64
 }
 
@@ -83,6 +87,9 @@ func (r *Registry) Put(name string, g *graph.Graph) (*StoredGraph, error) {
 	}
 	sg := &StoredGraph{Name: name, Version: version, Snap: snap}
 	r.graphs[name] = sg
+	// Replacement invalidates the name's cached plans immediately — a
+	// plan must never outlive the snapshot version it describes.
+	r.evictPlansLocked(name)
 	return sg, nil
 }
 
@@ -104,6 +111,7 @@ func (r *Registry) Delete(name string) bool {
 	defer r.mu.Unlock()
 	_, ok := r.graphs[name]
 	delete(r.graphs, name)
+	r.evictPlansLocked(name)
 	return ok
 }
 

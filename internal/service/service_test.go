@@ -99,25 +99,6 @@ func TestLRUCache(t *testing.T) {
 	}
 }
 
-func TestChooseP(t *testing.T) {
-	cases := []struct{ m, explicit, maxP, want int }{
-		{0, 0, 8, 1},        // empty graph
-		{100, 0, 8, 1},      // tiny graph
-		{8192, 0, 8, 1},     // at the threshold
-		{30000, 0, 8, 4},    // mid-size: stops once ≤ 2·4096 edges/proc
-		{40000, 0, 8, 8},    // keeps doubling past 10k/proc
-		{1 << 20, 0, 8, 8},  // large, clamped by maxP
-		{1 << 20, 0, 16, 16},
-		{100, 4, 8, 4},      // explicit honored
-		{100, 32, 8, 8},     // explicit clamped
-		{100, 0, 0, 1},      // degenerate maxP
-	}
-	for _, c := range cases {
-		if got := chooseP(c.m, c.explicit, c.maxP); got != c.want {
-			t.Errorf("chooseP(%d, %d, %d) = %d, want %d", c.m, c.explicit, c.maxP, got, c.want)
-		}
-	}
-}
 
 func TestQueryAlgorithmsAgainstSequentialTruth(t *testing.T) {
 	e := newTestEngine(t, Config{Workers: 2, MaxProcessors: 4})
@@ -419,19 +400,6 @@ func TestDegenerateGraphs(t *testing.T) {
 	}
 }
 
-func TestSideVertices(t *testing.T) {
-	side := []bool{true, false, true, false, false}
-	got := sideVertices(side)
-	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
-		t.Errorf("sideVertices = %v", got)
-	}
-	// Majority-true flips to the smaller shore.
-	side = []bool{true, true, true, false}
-	got = sideVertices(side)
-	if len(got) != 1 || got[0] != 3 {
-		t.Errorf("flipped sideVertices = %v", got)
-	}
-}
 
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

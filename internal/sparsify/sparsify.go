@@ -131,7 +131,7 @@ func Unweighted(c *bsp.Comm, root int, local []graph.Edge, s, n int, delta float
 // payload is built in a runtime-pooled buffer and handed off owned, so
 // the gather is copy- and allocation-free in steady state.
 func gatherEdges(c *bsp.Comm, root int, es []graph.Edge) []graph.Edge {
-	parts := c.GatherOwned(root, dist.AppendEdges(c.Buffer(3*len(es))[:0], es))
+	parts := c.GatherOwned(root, dist.AppendEdges(c.Buffer(3 * len(es))[:0], es))
 	if c.Rank() != root {
 		return nil
 	}

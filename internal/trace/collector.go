@@ -35,31 +35,38 @@ type QuerySample struct {
 	P          int    // BSP processors used (0 if no kernel ran)
 	Supersteps int    // 0 if no kernel ran
 	CommVolume uint64 // words; 0 if no kernel ran
-	QueueDepth int    // scheduler queue depth observed at admission
+	// AvoidedCollectives / AvoidedCommVolume count the collectives (and
+	// their words) the kernel skipped by consuming snapshot-resident plan
+	// facts — the warm path's explicit accounting; 0 on cold runs.
+	AvoidedCollectives int
+	AvoidedCommVolume  uint64
+	QueueDepth         int // scheduler queue depth observed at admission
 }
 
 // AlgoStats aggregates the samples of one algorithm (or, for the
 // collector's totals, of all of them). The struct is JSON-ready, so the
 // service's stats endpoint can serve collector snapshots directly.
 type AlgoStats struct {
-	Queries          uint64  `json:"queries"`
-	KernelExecutions uint64  `json:"kernel_executions"`
-	CacheHits        uint64  `json:"cache_hits"`
-	Coalesced        uint64  `json:"coalesced"`
-	Rejected         uint64  `json:"rejected"`
-	Expired          uint64  `json:"expired"`
-	Errors           uint64  `json:"errors"`
-	Cancelled        uint64  `json:"cancelled"`
-	Degraded         uint64  `json:"degraded"`
-	Faulted          uint64  `json:"faulted"`
-	Retried          uint64  `json:"retried"`
-	Supersteps       uint64  `json:"supersteps"`
-	CommVolume       uint64  `json:"comm_volume"`
-	TotalLatencyMs   float64 `json:"total_latency_ms"`
-	MinLatencyMs     float64 `json:"min_latency_ms"`
-	MaxLatencyMs     float64 `json:"max_latency_ms"`
-	AvgLatencyMs     float64 `json:"avg_latency_ms"`
-	MaxP             int     `json:"max_p"`
+	Queries            uint64  `json:"queries"`
+	KernelExecutions   uint64  `json:"kernel_executions"`
+	CacheHits          uint64  `json:"cache_hits"`
+	Coalesced          uint64  `json:"coalesced"`
+	Rejected           uint64  `json:"rejected"`
+	Expired            uint64  `json:"expired"`
+	Errors             uint64  `json:"errors"`
+	Cancelled          uint64  `json:"cancelled"`
+	Degraded           uint64  `json:"degraded"`
+	Faulted            uint64  `json:"faulted"`
+	Retried            uint64  `json:"retried"`
+	Supersteps         uint64  `json:"supersteps"`
+	CommVolume         uint64  `json:"comm_volume"`
+	AvoidedCollectives uint64  `json:"avoided_collectives"`
+	AvoidedCommVolume  uint64  `json:"avoided_comm_volume"`
+	TotalLatencyMs     float64 `json:"total_latency_ms"`
+	MinLatencyMs       float64 `json:"min_latency_ms"`
+	MaxLatencyMs       float64 `json:"max_latency_ms"`
+	AvgLatencyMs       float64 `json:"avg_latency_ms"`
+	MaxP               int     `json:"max_p"`
 
 	latencySamples uint64
 }
@@ -94,6 +101,8 @@ func (a *AlgoStats) observe(s QuerySample) {
 	}
 	a.Supersteps += uint64(s.Supersteps)
 	a.CommVolume += s.CommVolume
+	a.AvoidedCollectives += uint64(s.AvoidedCollectives)
+	a.AvoidedCommVolume += s.AvoidedCommVolume
 	if s.P > a.MaxP {
 		a.MaxP = s.P
 	}

@@ -9,18 +9,20 @@ import (
 // snapshotRecord is the JSON wire form of a Record: durations in
 // seconds, field names matching the profiling CSV columns.
 type snapshotRecord struct {
-	Input      string  `json:"input"`
-	Seed       uint64  `json:"seed"`
-	Trial      int     `json:"trial"`
-	N          int     `json:"n"`
-	M          int     `json:"m"`
-	TimeSec    float64 `json:"time_sec"`
-	MPITimeSec float64 `json:"mpi_time_sec"`
-	Algorithm  string  `json:"algorithm"`
-	P          int     `json:"p"`
-	Result     uint64  `json:"result"`
-	Supersteps int     `json:"supersteps"`
-	CommVolume uint64  `json:"comm_volume"`
+	Input              string  `json:"input"`
+	Seed               uint64  `json:"seed"`
+	Trial              int     `json:"trial"`
+	N                  int     `json:"n"`
+	M                  int     `json:"m"`
+	TimeSec            float64 `json:"time_sec"`
+	MPITimeSec         float64 `json:"mpi_time_sec"`
+	Algorithm          string  `json:"algorithm"`
+	P                  int     `json:"p"`
+	Result             uint64  `json:"result"`
+	Supersteps         int     `json:"supersteps"`
+	CommVolume         uint64  `json:"comm_volume"`
+	AvoidedCollectives int     `json:"avoided_collectives,omitempty"`
+	AvoidedCommVolume  uint64  `json:"avoided_comm_volume,omitempty"`
 }
 
 // Snapshot is a machine-readable benchmark snapshot: a named set of
@@ -45,18 +47,20 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	wire := snapshotWire{Name: s.Name, Records: make([]snapshotRecord, 0, len(s.Records)), Outcomes: s.Outcomes}
 	for _, r := range s.Records {
 		wire.Records = append(wire.Records, snapshotRecord{
-			Input:      r.Input,
-			Seed:       r.Seed,
-			Trial:      r.Trial,
-			N:          r.N,
-			M:          r.M,
-			TimeSec:    r.Time.Seconds(),
-			MPITimeSec: r.MPITime.Seconds(),
-			Algorithm:  r.Algorithm,
-			P:          r.P,
-			Result:     r.Result,
-			Supersteps: r.Supersteps,
-			CommVolume: r.CommVolume,
+			Input:              r.Input,
+			Seed:               r.Seed,
+			Trial:              r.Trial,
+			N:                  r.N,
+			M:                  r.M,
+			TimeSec:            r.Time.Seconds(),
+			MPITimeSec:         r.MPITime.Seconds(),
+			Algorithm:          r.Algorithm,
+			P:                  r.P,
+			Result:             r.Result,
+			Supersteps:         r.Supersteps,
+			CommVolume:         r.CommVolume,
+			AvoidedCollectives: r.AvoidedCollectives,
+			AvoidedCommVolume:  r.AvoidedCommVolume,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -74,18 +78,20 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	s := &Snapshot{Name: wire.Name, Records: make([]*Record, 0, len(wire.Records)), Outcomes: wire.Outcomes}
 	for _, w := range wire.Records {
 		s.Records = append(s.Records, &Record{
-			Input:      w.Input,
-			Seed:       w.Seed,
-			Trial:      w.Trial,
-			N:          w.N,
-			M:          w.M,
-			Time:       secondsToDuration(w.TimeSec),
-			MPITime:    secondsToDuration(w.MPITimeSec),
-			Algorithm:  w.Algorithm,
-			P:          w.P,
-			Result:     w.Result,
-			Supersteps: w.Supersteps,
-			CommVolume: w.CommVolume,
+			Input:              w.Input,
+			Seed:               w.Seed,
+			Trial:              w.Trial,
+			N:                  w.N,
+			M:                  w.M,
+			Time:               secondsToDuration(w.TimeSec),
+			MPITime:            secondsToDuration(w.MPITimeSec),
+			Algorithm:          w.Algorithm,
+			P:                  w.P,
+			Result:             w.Result,
+			Supersteps:         w.Supersteps,
+			CommVolume:         w.CommVolume,
+			AvoidedCollectives: w.AvoidedCollectives,
+			AvoidedCommVolume:  w.AvoidedCommVolume,
 		})
 	}
 	return s, nil

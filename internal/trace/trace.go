@@ -25,6 +25,12 @@ type Record struct {
 	Result     uint64        // cut value or component count
 	Supersteps int
 	CommVolume uint64
+	// AvoidedCollectives / AvoidedCommVolume record communication the run
+	// skipped by consuming precomputed plan facts (0 on cold runs). They
+	// ride the JSON snapshot, not the artifact-format CSV line, whose
+	// column set is fixed by the paper.
+	AvoidedCollectives int
+	AvoidedCommVolume  uint64
 }
 
 // WriteProfile emits the artifact-style profiling CSV line.
