@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check chaos lint bench bench-bsp bench-kernels bench-service camcd
+.PHONY: all build test vet race check chaos lint bench bench-bsp bench-kernels bench-service bench-transport transport camcd
 
 all: check
 
@@ -61,6 +61,18 @@ bench-kernels:
 # (also writes internal/service/BENCH_service.json).
 bench-service:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/service/
+
+# Cross-fabric benchmarks: the same all-to-all superstep through the
+# in-process fabric and the TCP-loopback fabric at p in {2,4,8} (also
+# writes internal/transport/BENCH_transport.json — the local-vs-socket
+# comparison CI archives).
+bench-transport:
+	$(GO) test -run='^$$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem ./internal/transport/
+
+# Multi-process tier: the transport fabric, the shard serving tier, and
+# the 3-process fleet e2e (spawns real camcd processes), race-checked.
+transport:
+	$(GO) test -race -count=1 ./internal/transport/ ./internal/shard/ ./cmd/camcd/
 
 camcd:
 	$(GO) run ./cmd/camcd

@@ -1,0 +1,155 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// freePorts reserves n distinct loopback ports by binding and releasing
+// them. The gap between release and the worker's bind is racy in
+// principle, but loopback port churn in the test environment is nil.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", url)
+}
+
+// TestThreeProcessFleet is the README's deployment for real: it builds
+// the camcd binary, spawns two -worker processes forming one 2-rank
+// shard plus a -frontend process, and runs a query through the public
+// API — exercising the TCP mesh, the job-control protocol, and the
+// sharded routing across genuine process boundaries.
+func TestThreeProcessFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped under -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "camcd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building camcd: %v", err)
+	}
+
+	ports := freePorts(t, 5) // 2 mesh + 2 worker HTTP + 1 frontend HTTP
+	mesh := fmt.Sprintf("127.0.0.1:%d,127.0.0.1:%d", ports[0], ports[1])
+	workerHTTP := []string{
+		fmt.Sprintf("127.0.0.1:%d", ports[2]),
+		fmt.Sprintf("127.0.0.1:%d", ports[3]),
+	}
+	frontHTTP := fmt.Sprintf("127.0.0.1:%d", ports[4])
+
+	spawn := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning %v: %v", args, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		return cmd
+	}
+	// Both workers start concurrently: each blocks until the mesh is up.
+	spawn("-worker", "-rank=0", "-peers="+mesh, "-epoch=7", "-addr="+workerHTTP[0], "-workers=1")
+	spawn("-worker", "-rank=1", "-peers="+mesh, "-epoch=7", "-addr="+workerHTTP[1], "-workers=1")
+	spawn("-frontend", "-shards="+workerHTTP[0]+","+workerHTTP[1], "-addr="+frontHTTP)
+
+	base := "http://" + frontHTTP
+	waitHealthy(t, base)
+	for _, w := range workerHTTP {
+		waitHealthy(t, "http://"+w)
+	}
+
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, gen.Cycle(48, 5)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/graphs?name=ring48", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	for alg, want := range map[string]uint64{"mincut": 10, "cc": 1} {
+		body := fmt.Sprintf(`{"graph":"ring48","algorithm":%q}`, alg)
+		resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr struct {
+			Value      *uint64 `json:"value"`
+			Components *int    `json:"components"`
+			Kernel     struct {
+				P         int    `json:"p"`
+				Transport string `json:"transport"`
+				WireBytes uint64 `json:"wire_bytes"`
+			} `json:"kernel"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", alg, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch alg {
+		case "mincut":
+			if qr.Value == nil || *qr.Value != want {
+				t.Fatalf("mincut = %v, want %d", qr.Value, want)
+			}
+		case "cc":
+			if qr.Components == nil || uint64(*qr.Components) != want {
+				t.Fatalf("components = %v, want %d", qr.Components, want)
+			}
+		}
+		if qr.Kernel.P != 2 || qr.Kernel.Transport != "tcp" || qr.Kernel.WireBytes == 0 {
+			t.Fatalf("%s kernel = %+v: want p=2 over tcp with wire traffic", alg, qr.Kernel)
+		}
+	}
+}

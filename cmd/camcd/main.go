@@ -5,46 +5,74 @@
 // admission control (bounded queue, fixed worker pool, per-request
 // deadlines).
 //
-// API:
+// It runs in one of three modes:
+//
+//	camcd                          single process, in-process BSP machine
+//	camcd -worker -rank=R -peers=A0,A1,...
+//	                               one rank of a shard group; the group's
+//	                               ranks form a TCP mesh and execute every
+//	                               query as one distributed BSP machine
+//	camcd -frontend -shards=U0,U1/U2,U3
+//	                               stateless router: places graphs on
+//	                               shards by consistent hashing, sends
+//	                               queries to shard leaders, merges stats
+//
+// API (identical in every mode):
 //
 //	POST /v1/graphs?name=NAME&format=edgelist|snap   register a graph
 //	POST /v1/query                                   {"graph":..., "algorithm":"cc|mincut|approxcut", ...}
 //	GET  /v1/stats                                   serving metrics (JSON)
 //	GET  /healthz                                    liveness
 //
-// See the README section "Running camcd" for curl examples.
+// See the README section "Running camcd" for curl examples, including a
+// 3-process localhost fleet.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("camcd: ")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8387", "listen address")
+		addr       = flag.String("addr", "127.0.0.1:8387", "HTTP listen address")
 		workers    = flag.Int("workers", 0, "kernel worker pool size (0 = CPUs, max 4)")
 		queueBound = flag.Int("queue", 64, "admission-control queue bound")
 		cacheCap   = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
-		maxP       = flag.Int("maxp", 0, "largest per-query BSP machine (0 = CPUs, max 16)")
+		maxP       = flag.Int("maxp", 0, "largest per-query BSP machine (0 = CPUs, max 16; single-process mode only)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-query deadline")
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "largest honored per-query deadline")
 		faultSpec  = flag.String("faults", os.Getenv(faults.EnvVar),
-			"fault-injection spec for chaos testing, e.g. 'panic@1:3;stall@0:2:50ms' (default $"+faults.EnvVar+"; empty disables)")
+			"fault-injection spec for chaos testing, e.g. 'panic@1:3;drop@1:5' (default $"+faults.EnvVar+"; empty disables)")
+
+		workerMode = flag.Bool("worker", false, "run as one rank of a shard group")
+		rank       = flag.Int("rank", 0, "this worker's rank within the shard group")
+		peers      = flag.String("peers", "", "comma-separated mesh addresses of every rank in the group, index = rank (worker mode)")
+		epoch      = flag.Uint64("epoch", 1, "deployment generation; mesh handshakes reject mismatched epochs (worker mode)")
+
+		frontendMode = flag.Bool("frontend", false, "run as the sharding frontend")
+		shardSpec    = flag.String("shards", "", "worker base URLs: shards separated by '/', ranks by ',' — first URL of each shard is its leader (frontend mode)")
 	)
 	flag.Parse()
+
+	if *workerMode && *frontendMode {
+		log.Fatal("-worker and -frontend are mutually exclusive")
+	}
 
 	freg, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -54,7 +82,7 @@ func main() {
 		log.Printf("FAULT INJECTION ENABLED: %s — this process will deliberately fail", *faultSpec)
 	}
 
-	engine := service.NewEngine(service.Config{
+	svcCfg := service.Config{
 		Workers:        *workers,
 		QueueBound:     *queueBound,
 		CacheCapacity:  *cacheCap,
@@ -62,11 +90,88 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Faults:         freg,
-	})
+	}
 
+	switch {
+	case *frontendMode:
+		shards, err := parseShards(*shardSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe, err := shard.NewFrontend(shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("frontend over %d shard(s)", len(shards))
+		serve(*addr, fe.Handler(), func() {})
+	case *workerMode:
+		addrs := splitNonEmpty(*peers, ",")
+		if len(addrs) == 0 {
+			log.Fatal("worker mode needs -peers=addr0,addr1,... (mesh addresses, index = rank)")
+		}
+		if *rank < 0 || *rank >= len(addrs) {
+			log.Fatalf("-rank=%d out of range for %d peers", *rank, len(addrs))
+		}
+		log.Printf("rank %d/%d joining mesh (epoch %d), listening for peers on %s", *rank, len(addrs), *epoch, addrs[*rank])
+		w, err := shard.NewWorker(shard.WorkerConfig{
+			Rank:    *rank,
+			Addrs:   addrs,
+			Epoch:   *epoch,
+			Faults:  freg,
+			Service: svcCfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mesh up: %d rank(s)", len(addrs))
+		serve(*addr, w.Handler(), w.Close)
+	default:
+		engine := service.NewEngine(svcCfg)
+		serve(*addr, service.NewHandler(engine), engine.Close)
+	}
+}
+
+// parseShards parses the -shards flag: shard groups separated by '/',
+// worker base URLs within a group by ','.
+func parseShards(spec string) ([][]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("frontend mode needs -shards=url0,url1/url2,... (first URL per shard is the leader)")
+	}
+	var shards [][]string
+	for i, group := range strings.Split(spec, "/") {
+		ws := splitNonEmpty(group, ",")
+		if len(ws) == 0 {
+			return nil, fmt.Errorf("-shards: empty shard group at index %d", i)
+		}
+		for j, u := range ws {
+			if !strings.Contains(u, "://") {
+				ws[j] = "http://" + u
+			}
+		}
+		shards = append(shards, ws)
+	}
+	return shards, nil
+}
+
+func splitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains: HTTP
+// first, then the mode's own teardown (engine drain, worker mesh
+// close). The drain is bounded so a long-running kernel (exact min cut
+// on a large graph) cannot hold shutdown hostage; per-request deadlines
+// cancel stragglers from inside anyway.
+func serve(addr string, handler http.Handler, drain func()) {
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           NewLoggingHandler(service.NewHandler(engine)),
+		Addr:              addr,
+		Handler:           NewLoggingHandler(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -82,14 +187,9 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		// Engine.Close drains without cancelling: in-flight kernels finish
-		// (and their waiters get real answers) rather than being cut off
-		// mid-run. Bound the drain so a long-running kernel (exact min cut
-		// on a large graph) cannot hold shutdown hostage; per-request
-		// deadlines cancel stragglers from inside anyway.
 		drained := make(chan struct{})
 		go func() {
-			engine.Close()
+			drain()
 			close(drained)
 		}()
 		select {
@@ -99,7 +199,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving on http://%s (POST /v1/graphs, POST /v1/query, GET /v1/stats)", *addr)
+	log.Printf("serving on http://%s (POST /v1/graphs, POST /v1/query, GET /v1/stats)", addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -1,7 +1,7 @@
-// Package bsp implements a Bulk Synchronous Parallel runtime over
-// goroutines — the stand-in for MPI in this reproduction. A machine runs p
-// virtual processors; computation proceeds in supersteps: processors
-// compute locally, exchange word messages, and meet at a barrier (Sync).
+// Package bsp implements a Bulk Synchronous Parallel runtime — the
+// stand-in for MPI in this reproduction. A machine runs p virtual
+// processors; computation proceeds in supersteps: processors compute
+// locally, exchange word messages, and meet at a barrier (Sync).
 // Messages sent in superstep s are readable only in superstep s+1,
 // matching the BSP semantics the paper analyses (§2.1).
 //
@@ -15,15 +15,24 @@
 // All message payloads are []uint64 words; vertex ids, weights, and labels
 // all fit the word model of BSP.
 //
+// # Transports
+//
+// Message delivery lives behind internal/transport: the in-process
+// fabric (goroutine mailboxes, the default built by NewMachine) and the
+// TCP fabric (each rank a separate worker process, see NewMachineOver)
+// implement the same superstep contract and derive identical ledgers.
+//
 // # Hot-path design
 //
-// The runtime is built so that a steady-state superstep performs no
-// allocation and no cross-goroutine locking:
+// Over the in-process fabric a steady-state superstep performs no
+// allocation, no cross-goroutine locking, and no interface calls on the
+// Send/Recv paths:
 //
-//   - Staging is sender-owned: staging[src][dst] is written only by
-//     processor src, so Send is a plain append with no synchronization.
-//     Each processor's row is a contiguous slice of cells, so senders
-//     never false-share mailbox headers.
+//   - Staging is sender-owned: each Comm caches its rank's staging row
+//     (a contiguous slice of cells written only by this processor), so
+//     Send is a plain append with no synchronization and no dynamic
+//     dispatch. The cache is refreshed after every Sync, when the
+//     fabric's mailbox swap changes the row's identity.
 //   - Delivery is a pointer swap of the double-buffered mailboxes. After
 //     the swap each processor clears its own staging row (p cells), so the
 //     O(p²) cleanup is distributed instead of serialized on the last
@@ -39,17 +48,21 @@
 //   - Payload buffers handed to SendOwned recirculate: displaced mailbox
 //     arrays feed a per-processor free list backed by a shared sync.Pool,
 //     and Buffer hands them back to payload builders.
+//
+// Remote fabrics are driven through the transport.Endpoint interface
+// instead — there the per-call indirection is noise against socket I/O.
 package bsp
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // CostModel emulates an interconnect in the classic BSP g/L sense: every
@@ -69,60 +82,20 @@ type CostModel struct {
 
 func (cm CostModel) enabled() bool { return cm.WordTime > 0 || cm.SyncLatency > 0 }
 
-const cacheLineSize = 64
-
-// padCounter is a cache-line padded plain counter owned by one processor.
-// Only the owner writes it; the barrier's happens-before edges order the
-// finalizer's reads after the owners' writes.
-type padCounter struct {
-	v uint64
-	_ [cacheLineSize - 8]byte
-}
-
-// padAtomic is a cache-line padded atomic word (barrier state).
-type padAtomic struct {
-	v atomic.Uint64
-	_ [cacheLineSize - 8]byte
-}
-
-// Machine is one communicator's shared state: the two-phase barrier plus
-// double-buffered, sender-owned mailboxes. A Machine is sized once for p
-// processors and may be reused across many Run calls (the serving layer
-// pools machines per request size); it must not run two bodies
-// concurrently.
+// Machine is one communicator's shared state: a handle on a transport
+// fabric plus the processors (Comms) this process hosts. A Machine is
+// sized once for p processors and may be reused across many Run calls
+// when its fabric supports it (the serving layer pools in-process
+// machines per request size); it must not run two bodies concurrently.
 type Machine struct {
 	p    int
 	cost CostModel
+	tag  uint64 // deterministic fabric tag (0 for root machines)
 
-	// Two-phase sense-reversing barrier. arrive counts arrivals of the
-	// current superstep; release carries the phase number whose delivery
-	// is complete. Both are padded so arrivals and release polling touch
-	// distinct cache lines.
-	arrive  padAtomic
-	release padAtomic
-
-	// Spin budgets, fixed at construction from GOMAXPROCS: waiters spin
-	// actively for spinActive iterations, yield the processor until
-	// spinYield, then park. With p ≤ GOMAXPROCS waiters virtually never
-	// park; oversubscribed machines degrade to scheduler-cooperative
-	// yielding and finally a parked wait.
-	spinActive int
-	spinYield  int
-
-	// Parked-waiter slow path. The mutex guards only parked; it is never
-	// touched while spinning succeeds.
-	parkMu   sync.Mutex
-	parkCond *sync.Cond
-	parked   int
-
-	// Abort protocol: abortFlag is polled by spinning waiters and checked
-	// on Sync entry; the cause is stored once under parkMu. Cancellation
-	// (Machine.Cancel, RunCtx deadlines) rides the same flag, so the whole
-	// cancellation machinery costs the one relaxed atomic load per
-	// superstep that the abort protocol already paid — accounting stays
-	// byte-identical with cancellation compiled in.
-	abortFlag atomic.Bool
-	abortErr  error
+	tr transport.Transport
+	// abortFlag aliases the fabric's flag: cancellation and failure
+	// polling is one relaxed atomic load per superstep.
+	abortFlag *atomic.Bool
 
 	// faultHook, when non-nil, runs at every Sync entry with the calling
 	// processor's (rank, superstep). It is the seam the fault-injection
@@ -131,39 +104,18 @@ type Machine struct {
 	// the production state — costs a single predictable branch.
 	faultHook FaultHook
 
-	// staging[src][dst] collects words processor src queued for dst during
-	// the current superstep; inbox holds the previous superstep's delivery.
-	// The barrier swaps the two slice headers — delivery is O(1).
-	staging [][][]uint64
-	inbox   [][][]uint64
-
-	// sentWords[i] counts words processor i sent this superstep
-	// (owner-written, finalizer-read).
-	sentWords []padCounter
-
 	// bufPool backs the per-Comm payload free lists (see Comm.Buffer).
 	bufPool sync.Pool
 
-	// Accounting, owned by the finalizing processor of each barrier and
-	// read after the run completes.
-	phase      uint64
-	supersteps int
-	volume     uint64   // sum over supersteps of the max h-relation
-	hRelations []uint64 // per-superstep max h, for model validation
-	simComm    time.Duration
-
-	// foldMu orders concurrent Close folds from split sub-communicators.
-	foldMu sync.Mutex
-
-	// registry for Split sub-communicators, keyed by phase and color
+	// registry for Split sub-communicators, keyed by superstep and color
 	subsMu sync.Mutex
 	subs   map[subKey]*subGroup
 
-	comms []*Comm // reused across Run calls
+	comms []*Comm // indexed by rank; nil for ranks hosted elsewhere
 }
 
 type subKey struct {
-	phase uint64
+	phase uint64 // the members' Comm sense at the split point
 	color int
 }
 
@@ -172,35 +124,44 @@ type subGroup struct {
 	members []int // parent ranks in rank order
 }
 
-// NewMachine builds a reusable p-processor BSP machine. p must be
-// positive.
+// NewMachine builds a reusable p-processor BSP machine over the
+// in-process fabric. p must be positive.
 func NewMachine(p int) (*Machine, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("bsp: machine with p=%d", p)
 	}
+	tr, err := transport.NewLocal(p)
+	if err != nil {
+		return nil, fmt.Errorf("bsp: %w", err)
+	}
+	return NewMachineOver(tr)
+}
+
+// NewMachineOver builds a machine over an existing transport fabric. The
+// machine hosts Comms only for the fabric's local ranks — over TCP each
+// worker process hosts exactly one. The fabric's abort, ledger, and cost
+// configuration are owned by the machine from here on.
+func NewMachineOver(tr transport.Transport) (*Machine, error) {
+	p := tr.Size()
+	if p <= 0 {
+		return nil, fmt.Errorf("bsp: machine with p=%d", p)
+	}
 	m := &Machine{
-		p:          p,
-		staging:    makeMailbox(p),
-		inbox:      makeMailbox(p),
-		sentWords:  make([]padCounter, p),
-		hRelations: make([]uint64, 0, 64),
-		subs:       make(map[subKey]*subGroup),
-		comms:      make([]*Comm, p),
+		p:         p,
+		tr:        tr,
+		abortFlag: tr.AbortFlag(),
+		subs:      make(map[subKey]*subGroup),
+		comms:     make([]*Comm, p),
 	}
-	m.parkCond = sync.NewCond(&m.parkMu)
-	// Spin budgets: with enough hardware parallelism the release arrives
-	// while waiters actively spin; oversubscribed, yielding is what lets
-	// the remaining arrivals run at all, so skip the active phase and park
-	// after a bounded number of scheduler round-trips.
-	if runtime.GOMAXPROCS(0) >= p {
-		m.spinActive = 64
-		m.spinYield = m.spinActive + 16*p + 64
-	} else {
-		m.spinActive = 0
-		m.spinYield = 16*p + 64
-	}
-	for r := 0; r < p; r++ {
-		m.comms[r] = &Comm{m: m, rank: r}
+	for _, r := range tr.LocalRanks() {
+		c := &Comm{m: m, rank: r, ep: tr.Endpoint(r)}
+		if lep, ok := c.ep.(*transport.LocalEndpoint); ok {
+			c.lep = lep
+			c.row = lep.StagingRow()
+			c.inboxRef = lep.InboxRef()
+			c.sentW = lep.SentCounter()
+		}
+		m.comms[r] = c
 	}
 	return m, nil
 }
@@ -208,44 +169,23 @@ func NewMachine(p int) (*Machine, error) {
 // P returns the machine's processor count.
 func (m *Machine) P() int { return m.p }
 
+// Transport returns the fabric kind label (transport.KindLocal,
+// transport.KindTCP) the machine runs over.
+func (m *Machine) Transport() string { return m.tr.Kind() }
+
 // SetCost configures the emulated interconnect for subsequent Run calls.
 // It must not be called while a body is running.
-func (m *Machine) SetCost(cost CostModel) { m.cost = cost }
-
-func makeMailbox(p int) [][][]uint64 {
-	mb := make([][][]uint64, p)
-	for i := range mb {
-		mb[i] = make([][]uint64, p)
-	}
-	return mb
+func (m *Machine) SetCost(cost CostModel) {
+	m.cost = cost
+	m.tr.SetCost(cost.WordTime, cost.SyncLatency)
 }
 
 // reset restores the machine to its pre-run state, keeping every mailbox
-// cell's and scratch buffer's capacity for reuse.
-func (m *Machine) reset() {
-	m.arrive.v.Store(0)
-	m.release.v.Store(0)
-	m.abortFlag.Store(false)
-	// Cancel may legally race a reset (cancelling an idle machine is
-	// documented as harmless), so the fields it touches are cleared under
-	// the same locks abort/wakeParked take.
-	m.parkMu.Lock()
-	m.abortErr = nil
-	m.parked = 0
-	m.phase = 0
-	m.parkMu.Unlock()
-	m.supersteps = 0
-	m.volume = 0
-	m.hRelations = m.hRelations[:0]
-	m.simComm = 0
-	for i := range m.sentWords {
-		m.sentWords[i].v = 0
-	}
-	for src := range m.staging {
-		for dst := range m.staging[src] {
-			m.staging[src][dst] = m.staging[src][dst][:0]
-			m.inbox[src][dst] = m.inbox[src][dst][:0]
-		}
+// cell's and scratch buffer's capacity for reuse. Single-run fabrics
+// (TCP) refuse a second reset; the error surfaces from Run.
+func (m *Machine) reset() error {
+	if err := m.tr.Reset(); err != nil {
+		return err
 	}
 	m.subsMu.Lock()
 	for k := range m.subs {
@@ -253,6 +193,9 @@ func (m *Machine) reset() {
 	}
 	m.subsMu.Unlock()
 	for _, c := range m.comms {
+		if c == nil {
+			continue
+		}
 		c.sense = 0
 		c.appTime = 0
 		c.commTime = 0
@@ -260,7 +203,14 @@ func (m *Machine) reset() {
 		c.skipColl = 0
 		c.skipWords = 0
 		c.lastMark = time.Time{}
+		// The previous run may have swapped the double-buffered mailboxes
+		// an odd number of times; re-fetch the cached identities.
+		if c.lep != nil {
+			c.row = c.lep.StagingRow()
+			c.inboxRef = c.lep.InboxRef()
+		}
 	}
+	return nil
 }
 
 // Comm is a processor's handle on a communicator. It is owned by exactly
@@ -269,6 +219,18 @@ type Comm struct {
 	m     *Machine
 	rank  int
 	sense uint64 // local barrier sense (number of Syncs performed)
+
+	// ep is the transport endpoint; lep is its concrete in-process form
+	// when the fabric is local. row/inboxRef/sentW cache the local
+	// fabric's current staging row, inbox, and send counter so the
+	// Send/Recv hot paths involve no interface calls; they are refreshed
+	// after every Sync (the mailbox swap changes their identities) and
+	// are nil on remote fabrics.
+	ep       transport.Endpoint
+	lep      *transport.LocalEndpoint
+	row      [][]uint64
+	inboxRef [][][]uint64
+	sentW    *uint64
 
 	appTime  time.Duration
 	commTime time.Duration
@@ -357,13 +319,15 @@ func (c *Comm) recycle(buf []uint64) {
 // The words are appended to any previously queued payload for the same
 // destination within this superstep. The slice is copied.
 func (c *Comm) Send(to int, words []uint64) {
-	m := c.m
-	if to < 0 || to >= m.p {
-		panic(fmt.Sprintf("bsp: Send to rank %d of %d", to, m.p))
+	if row := c.row; row != nil {
+		if to < 0 || to >= len(row) {
+			panic(fmt.Sprintf("bsp: Send to rank %d of %d", to, len(row)))
+		}
+		row[to] = append(row[to], words...)
+		*c.sentW += uint64(len(words))
+		return
 	}
-	row := m.staging[c.rank]
-	row[to] = append(row[to], words...)
-	m.sentWords[c.rank].v += uint64(len(words))
+	c.ep.Send(to, words)
 }
 
 // SendOwned queues words like Send but, when nothing is queued yet for
@@ -372,25 +336,30 @@ func (c *Comm) Send(to int, words []uint64) {
 // Use for freshly built payloads on hot paths (large gathers); the
 // accounted communication volume is identical to Send's.
 func (c *Comm) SendOwned(to int, words []uint64) {
-	m := c.m
-	if to < 0 || to >= m.p {
-		panic(fmt.Sprintf("bsp: SendOwned to rank %d of %d", to, m.p))
+	if row := c.row; row != nil {
+		if to < 0 || to >= len(row) {
+			panic(fmt.Sprintf("bsp: SendOwned to rank %d of %d", to, len(row)))
+		}
+		box := row[to]
+		if len(box) == 0 {
+			c.recycle(box)
+			row[to] = words
+		} else {
+			row[to] = append(box, words...)
+		}
+		*c.sentW += uint64(len(words))
+		return
 	}
-	row := m.staging[c.rank]
-	box := row[to]
-	if len(box) == 0 {
-		c.recycle(box)
-		row[to] = words
-	} else {
-		row[to] = append(box, words...)
-	}
-	m.sentWords[c.rank].v += uint64(len(words))
+	c.ep.SendOwned(to, words)
 }
 
 // Recv returns the words delivered from processor `from` at the last Sync.
 // The slice aliases runtime storage and is valid until the next Sync.
 func (c *Comm) Recv(from int) []uint64 {
-	return c.m.inbox[from][c.rank]
+	if ib := c.inboxRef; ib != nil {
+		return ib[from][c.rank]
+	}
+	return c.ep.Recv(from)
 }
 
 // RecvAll returns the per-source delivered payloads (index = source
@@ -409,7 +378,7 @@ func (c *Comm) inboxViews() [][]uint64 {
 	}
 	c.sc.views = c.sc.views[:p]
 	for src := 0; src < p; src++ {
-		c.sc.views[src] = c.m.inbox[src][c.rank]
+		c.sc.views[src] = c.Recv(src)
 	}
 	return c.sc.views
 }
@@ -435,7 +404,11 @@ func (e cancelError) Error() string {
 	return ErrCancelled.Error() + ": " + e.cause.Error()
 }
 
-func (e cancelError) Is(target error) bool { return target == ErrCancelled }
+func (e cancelError) Is(target error) bool {
+	// transport.ErrCancelled too: the TCP fabric uses the match to flag
+	// its abort frames as cancels rather than failures.
+	return target == ErrCancelled || target == transport.ErrCancelled
+}
 func (e cancelError) Unwrap() error        { return e.cause }
 
 // FaultHook is an injection point called on every processor at Sync
@@ -456,7 +429,8 @@ func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
 // wait, or an explicit Aborting poll), including processors currently
 // inside Split sub-machines. Run returns an error matching ErrCancelled
 // and wrapping cause. Cancelling an idle machine is harmless — the next
-// Run resets the flag.
+// Run resets the flag. Over TCP the cancellation propagates to every
+// peer worker process via the fabric's abort frames.
 func (m *Machine) Cancel(cause error) {
 	m.abort(cancelError{cause: cause})
 }
@@ -485,101 +459,36 @@ func (c *Comm) Sync() {
 	}
 
 	c.sense++
-	want := c.sense
-	// Phase 1: arrive. The last arriver finalizes the superstep and
-	// releases; everyone else waits for the sense word to reach the phase.
-	if m.arrive.v.Add(1) == uint64(m.p) {
-		m.arrive.v.Store(0)
-		m.finalize()
-		m.release.v.Store(want) // phase 2: release
-		m.wakeParked()
-	} else {
-		m.await(want)
+	if lep := c.lep; lep != nil {
+		if err := lep.Exchange(); err != nil {
+			panic(abortError{wrapAbort(err)})
+		}
+		// The exchange swapped the double-buffered mailboxes; refresh the
+		// cached staging-row and inbox identities.
+		c.row = lep.StagingRow()
+		c.inboxRef = lep.InboxRef()
+	} else if err := c.ep.Exchange(); err != nil {
+		panic(abortError{wrapAbort(err)})
 	}
-
-	// Post-barrier, every processor clears its own staging row: after the
-	// swap it holds the payloads delivered two supersteps ago, which no
-	// one may read anymore. This distributes the O(p²) cleanup p ways and
-	// keeps every cell's capacity with its owning sender.
-	row := m.staging[c.rank]
-	for dst := range row {
-		row[dst] = row[dst][:0]
-	}
-	m.sentWords[c.rank].v = 0
 
 	end := time.Now()
 	c.commTime += end.Sub(start)
 	c.lastMark = end
 }
 
-// finalize runs on the last arriver, with every other processor blocked:
-// it accounts the superstep's h-relation and swaps the mailboxes.
-func (m *Machine) finalize() {
-	p := m.p
-	var h uint64
-	for dst := 0; dst < p; dst++ {
-		var r uint64
-		for src := 0; src < p; src++ {
-			r += uint64(len(m.staging[src][dst]))
-		}
-		if r > h {
-			h = r
-		}
+// wrapAbort rewraps a transport abort cause so the run error keeps the
+// bsp cancellation contract: a peer process that aborted because of a
+// cooperative cancel surfaces as ErrCancelled here too, not as a
+// failure.
+func wrapAbort(err error) error {
+	if err == nil {
+		return errors.New("bsp: aborted with no recorded cause")
 	}
-	for i := 0; i < p; i++ {
-		if s := m.sentWords[i].v; s > h {
-			h = s
-		}
+	var ra *transport.RemoteAbort
+	if errors.As(err, &ra) && ra.Cancelled && !errors.Is(err, ErrCancelled) {
+		return cancelError{cause: err}
 	}
-	m.supersteps++
-	m.volume += h
-	m.hRelations = append(m.hRelations, h)
-	if m.cost.enabled() {
-		m.simComm += time.Duration(h)*m.cost.WordTime + m.cost.SyncLatency
-	}
-	m.inbox, m.staging = m.staging, m.inbox
-	m.phase++
-}
-
-// await blocks until the release sense reaches want: bounded active
-// spinning, then cooperative yielding, then a parked wait. Aborts are
-// polled throughout so no waiter outlives a failed peer.
-func (m *Machine) await(want uint64) {
-	for spins := 0; ; spins++ {
-		if m.release.v.Load() >= want {
-			return
-		}
-		if m.abortFlag.Load() {
-			panic(abortError{m.abortCause()})
-		}
-		if spins < m.spinActive {
-			continue
-		}
-		if spins < m.spinYield {
-			runtime.Gosched()
-			continue
-		}
-		m.parkMu.Lock()
-		if m.release.v.Load() >= want || m.abortFlag.Load() {
-			m.parkMu.Unlock()
-			continue
-		}
-		m.parked++
-		m.parkCond.Wait()
-		m.parkMu.Unlock()
-	}
-}
-
-// wakeParked releases any waiters that gave up spinning. The release
-// sense is already published, so a waiter that parks between the check
-// and the broadcast re-checks under parkMu and never sleeps through it.
-func (m *Machine) wakeParked() {
-	m.parkMu.Lock()
-	if m.parked > 0 {
-		m.parked = 0
-		m.parkCond.Broadcast()
-	}
-	m.parkMu.Unlock()
+	return err
 }
 
 // abort marks the communicator failed and wakes all waiters. Any
@@ -588,15 +497,10 @@ func (m *Machine) wakeParked() {
 // barrier polls the *child's* flag, so without the cascade a failure (or
 // cancellation) on the parent would strand siblings inside their groups.
 // The cascade walks the split tree top-down; lock order is always
-// parent.subsMu before child.parkMu, so concurrent aborts cannot cycle.
+// parent.subsMu before the child's own state, so concurrent aborts
+// cannot cycle.
 func (m *Machine) abort(err error) {
-	m.parkMu.Lock()
-	if m.abortErr == nil {
-		m.abortErr = err
-	}
-	m.parkMu.Unlock()
-	m.abortFlag.Store(true)
-	m.wakeParked()
+	m.tr.Abort(err)
 	m.subsMu.Lock()
 	subs := make([]*Machine, 0, len(m.subs))
 	for _, grp := range m.subs {
@@ -609,9 +513,23 @@ func (m *Machine) abort(err error) {
 }
 
 func (m *Machine) abortCause() error {
-	m.parkMu.Lock()
-	defer m.parkMu.Unlock()
-	return m.abortErr
+	return wrapAbort(m.tr.Err())
+}
+
+// childTag derives the deterministic fabric tag for a Split group:
+// every member mixes the same (parent tag, superstep sense, color), so
+// over sockets all worker processes route the group's frames under the
+// same id with no extra negotiation. splitmix64-style finalizer.
+func childTag(parent, sense uint64, color int) uint64 {
+	x := parent ^ 0x9e3779b97f4a7c15
+	x ^= sense * 0xbf58476d1ce4e5b9
+	x ^= uint64(int64(color)) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Split partitions the communicator: processors passing the same color
@@ -654,14 +572,21 @@ func (c *Comm) Split(color, key int) *Comm {
 			newRank = i
 		}
 	}
-	// Get or create the shared machine for this group; it inherits the
-	// parent's interconnect cost model.
+	// Get or create the shared machine for this group; the derived fabric
+	// inherits the parent's interconnect cost model. The registry key is
+	// the members' barrier sense at this split point — identical across
+	// members of a collective call, distinct across successive Splits
+	// (each Split Syncs).
 	m := c.m
 	m.subsMu.Lock()
-	key2 := subKey{phase: m.phase, color: color}
+	key2 := subKey{phase: c.sense, color: color}
 	grp, ok := m.subs[key2]
 	if !ok {
-		sm, err := NewMachine(len(mine))
+		tr, err := m.tr.Derive(childTag(m.tag, c.sense, color), parentRanks)
+		var sm *Machine
+		if err == nil {
+			sm, err = NewMachineOver(tr)
+		}
 		if err != nil {
 			// Route the failure through the abort protocol instead of
 			// panicking raw: sibling processors — including ones already
@@ -674,6 +599,7 @@ func (c *Comm) Split(color, key int) *Comm {
 			panic(abortError{err})
 		}
 		sm.cost = m.cost
+		sm.tag = childTag(m.tag, c.sense, color)
 		sm.faultHook = m.faultHook
 		grp = &subGroup{m: sm, members: parentRanks}
 		m.subs[key2] = grp
@@ -687,8 +613,8 @@ func (c *Comm) Split(color, key int) *Comm {
 
 // Close folds a split communicator's accumulated times and operation
 // counts back into its parent, and (once per group, via the group's rank
-// 0) folds the child machine's superstep and volume accounting into the
-// parent machine. It must be called once per Split, after the last use of
+// 0) folds the child fabric's superstep and volume accounting into the
+// parent fabric. It must be called once per Split, after the last use of
 // the child. Concurrent Closes at different nesting depths are safe; for
 // the fold totals to be deterministic, a parent-communicator barrier (any
 // collective) should separate nested children's Closes from the parent's
@@ -704,21 +630,7 @@ func (c *Comm) Close() {
 	c.parent.skipWords += c.skipWords
 	c.parent.lastMark = time.Now()
 	if c.rank == 0 {
-		pm := c.parent.m
-		cm := c.m
-		// With nested splits this child machine may itself still be
-		// receiving folds from its own children (their rank 0s run on
-		// other goroutines), so its counters are read under its own
-		// foldMu. Locking child before parent is a consistent order —
-		// folds always go child → parent along the split tree.
-		cm.foldMu.Lock()
-		pm.foldMu.Lock()
-		pm.supersteps += cm.supersteps
-		pm.volume += cm.volume
-		pm.hRelations = append(pm.hRelations, cm.hRelations...)
-		pm.simComm += cm.simComm
-		pm.foldMu.Unlock()
-		cm.foldMu.Unlock()
+		c.parent.m.tr.FoldChild(c.m.tr)
 	}
 }
 
@@ -734,14 +646,21 @@ type WorkerStats struct {
 type Stats struct {
 	P          int
 	Supersteps int
+	// Transport is the fabric kind the run executed over
+	// (transport.KindLocal, transport.KindTCP).
+	Transport string
 	// CommVolume is the sum over supersteps of the largest number of words
 	// sent or received by any processor (the BSP communication volume).
 	CommVolume uint64
 	// HRelations records each superstep's h-relation.
 	HRelations []uint64
+	// WireBytes counts real bytes moved over sockets during the run
+	// (frame headers included); zero on the in-process fabric.
+	WireBytes uint64
 	// MaxAppTime / MaxCommTime are the per-run maxima over processors of
 	// cumulative computation and communication (Sync) wall time, matching
 	// the paper's "maximum among all participating processors" metric.
+	// Over TCP they cover this process's locally hosted ranks.
 	MaxAppTime  time.Duration
 	MaxCommTime time.Duration
 	// MaxOps is the maximum operation count over processors, the measured
@@ -825,7 +744,7 @@ func RunWithCost(p int, cost CostModel, body func(c *Comm)) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.cost = cost
+	m.SetCost(cost)
 	return m.Run(body)
 }
 
@@ -842,14 +761,16 @@ func RunCtx(ctx context.Context, p int, body func(c *Comm)) (*Stats, error) {
 	return m.RunCtx(ctx, body)
 }
 
-// Run executes body on the machine's p virtual processors and returns the
-// run's cost statistics. The machine fully resets first, so it can be
-// reused across runs (mailbox cells, collective scratch, and payload
-// pools keep their capacity — steady-state runs allocate almost nothing).
-// A Machine runs one body at a time; concurrent Run calls are a caller
-// bug.
+// Run executes body on the machine's locally hosted virtual processors
+// and returns the run's cost statistics. The machine fully resets first,
+// so it can be reused across runs (mailbox cells, collective scratch, and
+// payload pools keep their capacity — steady-state runs allocate almost
+// nothing). A Machine runs one body at a time; concurrent Run calls are a
+// caller bug.
 func (m *Machine) Run(body func(c *Comm)) (*Stats, error) {
-	m.reset()
+	if err := m.reset(); err != nil {
+		return nil, err
+	}
 	return m.run(body)
 }
 
@@ -867,7 +788,9 @@ func (m *Machine) RunCtx(ctx context.Context, body func(c *Comm)) (*Stats, error
 	}
 	// Reset before the watcher starts: a cancellation arriving between
 	// reset and the first superstep must not be wiped out.
-	m.reset()
+	if err := m.reset(); err != nil {
+		return nil, err
+	}
 	stop := make(chan struct{})
 	var watcher sync.WaitGroup
 	watcher.Add(1)
@@ -892,6 +815,9 @@ func (m *Machine) run(body func(c *Comm)) (*Stats, error) {
 	var firstErr error
 	for r := 0; r < m.p; r++ {
 		c := m.comms[r]
+		if c == nil {
+			continue
+		}
 		c.lastMark = time.Now()
 		wg.Add(1)
 		go func() {
@@ -923,17 +849,27 @@ func (m *Machine) run(body func(c *Comm)) (*Stats, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	st := &Stats{
-		P:          m.p,
-		Supersteps: m.supersteps,
-		CommVolume: m.volume,
-		// Copy: the machine's backing array is recycled on the next Run.
-		HRelations:  append([]uint64(nil), m.hRelations...),
-		Workers:     make([]WorkerStats, m.p),
-		SimCommTime: m.simComm,
+	// FinishRun completes the fabric's accounting; over TCP it merges the
+	// sub-group ledgers of all worker processes. A merge failure (peer
+	// lost at end of run) is a transport failure, not a kernel result.
+	if err := m.tr.FinishRun(); err != nil {
+		return nil, wrapAbort(err)
 	}
-	for r, c := range m.comms {
-		st.Workers[r] = WorkerStats{Rank: r, AppTime: c.appTime, CommTime: c.commTime, Ops: c.ops}
+	ledger := m.tr.Ledger()
+	st := &Stats{
+		P:           m.p,
+		Supersteps:  ledger.Supersteps,
+		Transport:   m.tr.Kind(),
+		CommVolume:  ledger.Volume,
+		HRelations:  ledger.HRelations,
+		WireBytes:   ledger.WireBytes,
+		SimCommTime: ledger.SimComm,
+	}
+	for _, c := range m.comms {
+		if c == nil {
+			continue
+		}
+		st.Workers = append(st.Workers, WorkerStats{Rank: c.rank, AppTime: c.appTime, CommTime: c.commTime, Ops: c.ops})
 		if c.appTime > st.MaxAppTime {
 			st.MaxAppTime = c.appTime
 		}

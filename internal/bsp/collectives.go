@@ -53,7 +53,7 @@ func (c *Comm) collectInbox(s *vecScratch) [][]uint64 {
 	p := c.m.p
 	total := 0
 	for src := 0; src < p; src++ {
-		total += len(c.m.inbox[src][c.rank])
+		total += len(c.Recv(src))
 	}
 	s.flat = growWords(s.flat, total)
 	if cap(s.parts) < p {
@@ -62,7 +62,7 @@ func (c *Comm) collectInbox(s *vecScratch) [][]uint64 {
 	s.parts = s.parts[:p]
 	off := 0
 	for src := 0; src < p; src++ {
-		in := c.m.inbox[src][c.rank]
+		in := c.Recv(src)
 		n := copy(s.flat[off:off+len(in)], in)
 		s.parts[src] = s.flat[off : off+n : off+n]
 		off += n

@@ -1,0 +1,204 @@
+package bsp_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/transport"
+)
+
+// runOverTCP executes the same SPMD body once per worker "process" over
+// a loopback mesh and returns each process's Stats (identical by
+// construction when the run succeeds).
+func runOverTCP(t *testing.T, p int, epoch uint64, body func(c *bsp.Comm)) ([]*bsp.Stats, []error) {
+	t.Helper()
+	meshes, err := transport.NewLoopbackMeshes(p, 1)
+	if err != nil {
+		t.Fatalf("loopback meshes: %v", err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	stats := make([]*bsp.Stats, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sess, err := meshes[r].NewSession(epoch, members)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer sess.Close()
+			m, err := bsp.NewMachineOver(sess.Root())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			stats[r], errs[r] = m.Run(body)
+		}(r)
+	}
+	wg.Wait()
+	return stats, errs
+}
+
+// collectiveWorkout exercises every collective plus Split; the returned
+// word is a per-rank checksum every transport must reproduce.
+func collectiveWorkout(c *bsp.Comm) uint64 {
+	p := c.Size()
+	r := c.Rank()
+	var sum uint64
+
+	bc := c.Broadcast(0, []uint64{7, 11, 13})
+	for _, w := range bc {
+		sum += w
+	}
+	parts := c.AllGather([]uint64{uint64(r + 1)})
+	for _, part := range parts {
+		for _, w := range part {
+			sum += w * 3
+		}
+	}
+	red := c.AllReduce([]uint64{uint64(r), 1}, bsp.OpSum)
+	sum += red[0]*5 + red[1]
+
+	// Large broadcast takes the two-phase path.
+	big := make([]uint64, 4*p+3)
+	for i := range big {
+		big[i] = uint64(i * i)
+	}
+	got := c.Broadcast(p-1, big)
+	for _, w := range got {
+		sum += w
+	}
+
+	// Split into two groups, reduce inside each, rejoin.
+	sub := c.Split(r%2, r)
+	sr := sub.AllReduce([]uint64{uint64(r + 100)}, bsp.OpMax)
+	sum += sr[0] * 7
+	sub.Close()
+	c.Barrier()
+
+	all := c.AllToAll(func() [][]uint64 {
+		out := make([][]uint64, p)
+		for d := range out {
+			out[d] = []uint64{sum % 1000, uint64(d)}
+		}
+		return out
+	}())
+	for _, part := range all {
+		sum += part[0]
+	}
+	return sum
+}
+
+func TestMachineOverTCPMatchesLocal(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			sums := make([]uint64, p)
+			var mu sync.Mutex
+			body := func(c *bsp.Comm) {
+				s := collectiveWorkout(c)
+				mu.Lock()
+				sums[c.Rank()] = s
+				mu.Unlock()
+			}
+			localStats, err := bsp.Run(p, body)
+			if err != nil {
+				t.Fatalf("local run: %v", err)
+			}
+			localSums := append([]uint64(nil), sums...)
+
+			for i := range sums {
+				sums[i] = 0
+			}
+			tcpStats, errs := runOverTCP(t, p, 1000+uint64(p), body)
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("tcp rank %d: %v", r, err)
+				}
+			}
+			if fmt.Sprint(sums) != fmt.Sprint(localSums) {
+				t.Fatalf("tcp results %v != local %v", sums, localSums)
+			}
+			for r, st := range tcpStats {
+				if st.Supersteps != localStats.Supersteps || st.CommVolume != localStats.CommVolume {
+					t.Fatalf("rank %d: tcp ss=%d vol=%d != local ss=%d vol=%d",
+						r, st.Supersteps, st.CommVolume, localStats.Supersteps, localStats.CommVolume)
+				}
+				if st.Transport != transport.KindTCP {
+					t.Fatalf("rank %d transport label %q", r, st.Transport)
+				}
+				if st.WireBytes == 0 {
+					t.Fatalf("rank %d: no wire bytes accounted", r)
+				}
+			}
+			if localStats.Transport != transport.KindLocal || localStats.WireBytes != 0 {
+				t.Fatalf("local stats transport=%q wire=%d", localStats.Transport, localStats.WireBytes)
+			}
+		})
+	}
+}
+
+func TestMachineOverTCPCancelPropagates(t *testing.T) {
+	const p = 3
+	meshes, err := transport.NewLoopbackMeshes(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	members := []int{0, 1, 2}
+	cause := errors.New("operator pulled the plug")
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sess, err := meshes[r].NewSession(2, members)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer sess.Close()
+			m, err := bsp.NewMachineOver(sess.Root())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if r == 0 {
+				go func() {
+					time.Sleep(20 * time.Millisecond)
+					m.Cancel(cause)
+				}()
+			}
+			_, errs[r] = m.Run(func(c *bsp.Comm) {
+				for {
+					c.Sync()
+				}
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if !errors.Is(errs[r], bsp.ErrCancelled) {
+			t.Fatalf("rank %d: %v, want ErrCancelled (cancel must cross the wire)", r, errs[r])
+		}
+	}
+}

@@ -20,18 +20,26 @@
 //
 //	spec  := [ "seed=" uint ";" ] rule { ";" rule }
 //	rule  := kind "@" rank ":" superstep { ":" opt }
-//	kind  := "panic" | "stall" | "cancel"
+//	kind  := "panic" | "stall" | "cancel" | "drop" | "stall-conn"
 //	rank  := "*" | uint            (virtual processor, per machine)
 //	superstep := "*" | uint        (0-based Sync index, per machine)
-//	opt   := duration              (stall length, e.g. "50ms"; stall only)
+//	opt   := duration              (stall length, e.g. "50ms"; stall and
+//	                                stall-conn only)
 //	       | "p" float             (firing probability at matching points)
 //	       | "x" uint | "x*"       (max fires; default 1, "x*" unlimited)
+//
+// The first three kinds fire inside Sync through the bsp.FaultHook; the
+// two transport kinds fire inside the TCP fabric's Exchange through a
+// wire hook (see WireHook) and are inert on the in-process transport,
+// which has no connections to kill or stall.
 //
 // Examples:
 //
 //	stall@0:2:50ms            processor 0 stalls 50ms at superstep 2, once
 //	panic@1:3                 processor 1 panics at superstep 3, once
 //	cancel@*:4                whichever processor reaches superstep 4 first cancels
+//	drop@1:5                  rank 1's process severs all peer connections at superstep 5
+//	stall-conn@2:3:80ms       rank 2's process delays its superstep-3 frames by 80ms
 //	seed=7;panic@*:*:p0.001:x*  every (rank, superstep) panics w.p. 0.1%, seeded
 package faults
 
@@ -61,6 +69,13 @@ const (
 	// Cancel invokes Cancel on the hook's bound machine — an external
 	// cancellation racing the superstep.
 	Cancel
+	// Drop severs every peer connection of the matched rank's process at
+	// the matched superstep — a worker crash as the survivors see it.
+	// Transport kind: fires through WireHook, not the Sync hook.
+	Drop
+	// StallConn delays the matched rank's outgoing frames for the matched
+	// superstep — a congested or half-dead link. Transport kind.
+	StallConn
 )
 
 func (k Kind) String() string {
@@ -71,6 +86,10 @@ func (k Kind) String() string {
 		return "stall"
 	case Cancel:
 		return "cancel"
+	case Drop:
+		return "drop"
+	case StallConn:
+		return "stall-conn"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -182,6 +201,9 @@ func (r *Registry) Hook(target Canceller) func(rank int, superstep uint64) {
 			return
 		}
 		for i, ru := range r.rules {
+			if ru.Kind == Drop || ru.Kind == StallConn {
+				continue // transport kinds fire through WireHook
+			}
 			if !ru.matches(rank, superstep) {
 				continue
 			}
@@ -202,6 +224,56 @@ func (r *Registry) Hook(target Canceller) func(rank int, superstep uint64) {
 				panic(fmt.Sprintf("faults: injected panic at rank %d superstep %d", rank, superstep))
 			}
 		}
+	}
+}
+
+// WireHook compiles the registry's transport rules (Drop, StallConn)
+// into the TCP fabric's per-superstep hook for one rank. It returns nil
+// when no transport rule could ever match that rank, so the fabric's
+// fast path stays hook-free. The hook runs at the top of every Exchange:
+// drop=true makes the process sever all peer connections (the surviving
+// ranks see ErrPeerLost), stall delays the rank's outgoing frames.
+func (r *Registry) WireHook(rank int) func(superstep uint64) (drop bool, stall time.Duration) {
+	if !r.Enabled() {
+		return nil
+	}
+	any := false
+	for _, ru := range r.rules {
+		if (ru.Kind == Drop || ru.Kind == StallConn) && (ru.Rank == AnyRank || ru.Rank == rank) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	return func(superstep uint64) (drop bool, stall time.Duration) {
+		if !r.enabled.Load() {
+			return false, 0
+		}
+		for i, ru := range r.rules {
+			if ru.Kind != Drop && ru.Kind != StallConn {
+				continue
+			}
+			if !ru.matches(rank, superstep) {
+				continue
+			}
+			if ru.Prob > 0 && !r.roll(uint64(i), ru.Prob, rank, superstep) {
+				continue
+			}
+			if !ru.take() {
+				continue
+			}
+			switch ru.Kind {
+			case Drop:
+				drop = true
+			case StallConn:
+				if ru.Delay > stall {
+					stall = ru.Delay
+				}
+			}
+		}
+		return drop, stall
 	}
 }
 
@@ -305,8 +377,12 @@ func parseRule(s string) (Rule, error) {
 		ru.Kind = Stall
 	case "cancel":
 		ru.Kind = Cancel
+	case "drop":
+		ru.Kind = Drop
+	case "stall-conn":
+		ru.Kind = StallConn
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|stall|cancel)", s, kindStr)
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|stall|cancel|drop|stall-conn)", s, kindStr)
 	}
 	fields := strings.Split(rest, ":")
 	if len(fields) < 2 {
@@ -345,8 +421,8 @@ func parseRule(s string) (Rule, error) {
 			ru.Delay = d
 		}
 	}
-	if ru.Kind == Stall && ru.Delay == 0 {
-		return Rule{}, fmt.Errorf("faults: rule %q: stall needs a duration option", s)
+	if (ru.Kind == Stall || ru.Kind == StallConn) && ru.Delay == 0 {
+		return Rule{}, fmt.Errorf("faults: rule %q: %s needs a duration option", s, ru.Kind)
 	}
 	return ru, nil
 }

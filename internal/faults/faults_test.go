@@ -210,3 +210,83 @@ func TestNilRegistryIsInert(t *testing.T) {
 		t.Fatal("nil registry Fired() non-empty")
 	}
 }
+
+func TestParseTransportKinds(t *testing.T) {
+	r, err := Parse("drop@1:5;stall-conn@2:3:80ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.rules) != 2 {
+		t.Fatalf("got %d rules", len(r.rules))
+	}
+	if r.rules[0].Kind != Drop || r.rules[0].Rank != 1 || r.rules[0].Superstep != 5 {
+		t.Fatalf("drop rule = %+v", r.rules[0].Rule)
+	}
+	if r.rules[1].Kind != StallConn || r.rules[1].Delay != 80*time.Millisecond {
+		t.Fatalf("stall-conn rule = %+v", r.rules[1].Rule)
+	}
+	if _, err := Parse("stall-conn@0:1"); err == nil {
+		t.Fatal("stall-conn without duration must not parse")
+	}
+	if _, err := Parse("drop@x:1"); err == nil {
+		t.Fatal("bad rank must not parse")
+	}
+}
+
+func TestWireHookFiring(t *testing.T) {
+	r, err := Parse("drop@1:5;stall-conn@2:3:80ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 0 matches no transport rule: no hook at all.
+	if h := r.WireHook(0); h != nil {
+		t.Fatal("rank 0 got a wire hook despite matching no rule")
+	}
+
+	h1 := r.WireHook(1)
+	if h1 == nil {
+		t.Fatal("rank 1 needs a wire hook")
+	}
+	if drop, stall := h1(4); drop || stall != 0 {
+		t.Fatalf("superstep 4 fired: drop=%v stall=%v", drop, stall)
+	}
+	if drop, _ := h1(5); !drop {
+		t.Fatal("drop@1:5 did not fire at superstep 5")
+	}
+	// Point rules fire once.
+	if drop, _ := h1(5); drop {
+		t.Fatal("drop@1:5 fired twice")
+	}
+
+	h2 := r.WireHook(2)
+	if _, stall := h2(3); stall != 80*time.Millisecond {
+		t.Fatalf("stall-conn@2:3:80ms gave %v", stall)
+	}
+	if r.Fired()["drop"] != 1 || r.Fired()["stall-conn"] != 1 {
+		t.Fatalf("fired = %v", r.Fired())
+	}
+}
+
+// TestSyncHookSkipsTransportKinds pins the split responsibility: a spec
+// of pure transport rules compiles to a Sync hook that never fires (the
+// rules belong to the wire), and the Sync kinds never leak into the
+// wire hook.
+func TestSyncHookSkipsTransportKinds(t *testing.T) {
+	r, err := Parse("drop@*:*:x*;stall@0:1:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := r.Hook(nil)
+	hook(0, 0) // would take the drop rule if Sync hooks matched transport kinds
+	if got := r.Fired()["drop"]; got != 0 {
+		t.Fatalf("Sync hook consumed %d drop firings", got)
+	}
+	wh := r.WireHook(0)
+	if _, stall := wh(1); stall != 0 {
+		t.Fatal("wire hook fired the Sync-side stall rule")
+	}
+	if drop, _ := wh(1); !drop {
+		t.Fatal("wildcard drop rule did not fire through the wire hook")
+	}
+}

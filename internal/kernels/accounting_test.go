@@ -78,12 +78,19 @@ func hashEdges(es []graph.Edge) uint64 {
 }
 
 func acctCases() []acctCase {
+	return acctCasesFor(1, 4, 8)
+}
+
+// acctCasesFor builds the pinned configurations at arbitrary machine
+// sizes; the cross-transport tests reuse it at sizes that have no golden
+// entry and instead compare two transports against each other.
+func acctCasesFor(ps ...int) []acctCase {
 	ccG := gen.ErdosRenyiM(400, 2000, 7, gen.Config{MaxWeight: 5})
 	mcG := gen.ErdosRenyiM(96, 480, 11, gen.Config{MaxWeight: 4})
 	sortG := gen.RMAT(10, 4096, 13, gen.Config{MaxWeight: 9})
 
 	var cases []acctCase
-	for _, p := range []int{1, 4, 8} {
+	for _, p := range ps {
 		p := p
 		cases = append(cases,
 			acctCase{name: fmt.Sprintf("cc/er400/p=%d", p), p: p, run: func(c *bsp.Comm) uint64 {

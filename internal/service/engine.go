@@ -12,6 +12,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/faults"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Config tunes an Engine. Zero values select the defaults noted on each
@@ -51,6 +52,11 @@ type Config struct {
 	// switch exists for A/B benchmarking and for tests that target the
 	// cold path's exact superstep structure.
 	DisablePlans bool
+	// Executor, when non-nil, replaces in-process kernel execution: every
+	// query runs through it at its fixed machine size (the shard tier
+	// plugs its distributed TCP machine in here). Cache, coalescing,
+	// admission control, and the retry policy are unchanged.
+	Executor Executor
 }
 
 func (cfg *Config) defaults() {
@@ -206,9 +212,15 @@ func (e *Engine) serve(c *call) {
 			}
 		}
 		if c.err != nil {
-			if errors.Is(c.err, bsp.ErrCancelled) {
+			switch {
+			case errors.Is(c.err, bsp.ErrCancelled):
 				c.err = fmt.Errorf("%w: %w", ErrCancelled, c.err)
-			} else {
+			case errors.Is(c.err, transport.ErrPeerLost):
+				// A dead peer connection is a fabric problem, not a kernel
+				// problem: distinct sentinel, same client contract as a fault
+				// (503 + Retry-After, never cached).
+				c.err = fmt.Errorf("%w: %w", ErrTransport, c.err)
+			default:
 				c.err = fmt.Errorf("%w: %w", ErrFaulted, c.err)
 			}
 		}
@@ -227,6 +239,9 @@ func (e *Engine) serve(c *call) {
 func (e *Engine) attempt(c *call) (*QueryResult, error) {
 	if e.cfg.BeforeExec != nil {
 		e.cfg.BeforeExec(c.alg)
+	}
+	if e.cfg.Executor != nil {
+		return e.cfg.Executor.Execute(c.ctx, c.sg, c.alg, c.pr.export())
 	}
 	return executeKernel(c.ctx, c.sg, c.alg, c.p, c.pr, e.planFor(c.sg, c.p), e.cfg.Faults)
 }
@@ -247,6 +262,11 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 		return nil, err
 	}
 	p := chooseP(sg.Snap.M(), req.Processors, e.cfg.MaxProcessors)
+	if e.cfg.Executor != nil {
+		// A distributed machine's size is its worker-group size; per-query
+		// sizing doesn't apply.
+		p = e.cfg.Executor.MachineP()
+	}
 	key := cacheKey(sg, req.Algorithm, p, pr)
 
 	timeout := e.cfg.DefaultTimeout
@@ -380,6 +400,8 @@ func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome str
 			out = trace.OutcomeExpired
 		case errors.Is(c.err, ErrCancelled):
 			out = trace.OutcomeCancelled
+		case errors.Is(c.err, ErrTransport):
+			out = trace.OutcomeTransport
 		case errors.Is(c.err, ErrFaulted):
 			out = trace.OutcomeFaulted
 		}
@@ -403,6 +425,8 @@ func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome str
 		sample.CommVolume = c.res.Kernel.CommVolume
 		sample.AvoidedCollectives = c.res.Kernel.AvoidedCollectives
 		sample.AvoidedCommVolume = c.res.Kernel.AvoidedCommVolume
+		sample.Transport = c.res.Kernel.Transport
+		sample.WireBytes = c.res.Kernel.WireBytes
 	}
 	e.collector.Observe(sample)
 	return &Reply{Outcome: outcome, Result: c.res, Latency: lat}, nil

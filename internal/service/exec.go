@@ -147,6 +147,11 @@ type KernelStats struct {
 	// Zero on cold runs.
 	AvoidedCollectives int    `json:"avoided_collectives"`
 	AvoidedCommVolume  uint64 `json:"avoided_comm_volume"`
+	// Transport labels the BSP fabric that carried the run ("local",
+	// "tcp"); WireBytes is the framed socket traffic it cost — zero for
+	// the in-process fabric.
+	Transport string `json:"transport,omitempty"`
+	WireBytes uint64 `json:"wire_bytes,omitempty"`
 }
 
 // QueryResult is the full outcome of one kernel execution; it is the
@@ -187,6 +192,8 @@ func kernelStatsOf(st *bsp.Stats) KernelStats {
 		MaxOps:             st.MaxOps,
 		AvoidedCollectives: st.AvoidedCollectives,
 		AvoidedCommVolume:  st.AvoidedCommVolume,
+		Transport:          st.Transport,
+		WireBytes:          st.WireBytes,
 	}
 }
 
@@ -237,21 +244,12 @@ func releaseMachine(m *bsp.Machine) {
 // cold collectives, recording each skip on the BSP ledger. nil runs the
 // full cold path.
 func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr params, pl *graph.Plan, freg *faults.Registry) (*QueryResult, error) {
-	snap := sg.Snap
-	n := snap.N()
-	edges := snap.Edges()
-	var (
-		ccRes *cc.Result
-		mcRes *mincut.CutResult
-		acRes *approxcut.Result
-		mcCp  *mincut.Checkpoint
-		acCp  *approxcut.Checkpoint
-	)
+	var out kernelOut
 	switch alg {
 	case AlgMinCut:
-		mcCp = mincut.NewCheckpoint()
+		out.mcCp = mincut.NewCheckpoint()
 	case AlgApproxCut:
-		acCp = approxcut.NewCheckpoint()
+		out.acCp = approxcut.NewCheckpoint()
 	}
 	mach, err := acquireMachine(p)
 	if err != nil {
@@ -261,38 +259,7 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 		mach.SetFaultHook(freg.Hook(mach))
 	}
 	start := time.Now()
-	st, err := mach.RunCtx(ctx, func(c *bsp.Comm) {
-		lo, hi := dist.BlockRange(len(edges), p, c.Rank())
-		local := edges[lo:hi]
-		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
-		switch alg {
-		case AlgCC:
-			r := cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon, Plan: pl})
-			if c.Rank() == 0 {
-				ccRes = r
-			}
-		case AlgMinCut:
-			r := mincut.Parallel(c, n, local, stream, mincut.Options{
-				SuccessProb: pr.successProb,
-				MaxTrials:   pr.maxTrials,
-				Checkpoint:  mcCp,
-				Plan:        pl,
-			})
-			if c.Rank() == 0 {
-				mcRes = r
-			}
-		case AlgApproxCut:
-			r := approxcut.Parallel(c, n, local, stream, approxcut.Options{
-				Trials:     pr.trials,
-				Pipelined:  pr.pipelined,
-				Checkpoint: acCp,
-				Plan:       pl,
-			})
-			if c.Rank() == 0 {
-				acRes = r
-			}
-		}
-	})
+	st, err := mach.RunCtx(ctx, kernelBody(sg.Snap, alg, pr, pl, &out))
 	if err != nil {
 		// A failed run may leave mailboxes mid-superstep; drop the machine
 		// rather than returning it to the pool — but detach the fault hook
@@ -300,7 +267,7 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 		// its captured state) until the GC finds it.
 		mach.SetFaultHook(nil)
 		if errors.Is(err, bsp.ErrCancelled) {
-			if res := degradedResult(sg, alg, mcCp, acCp, time.Since(start)); res != nil {
+			if res := degradedResult(sg, alg, out.mcCp, out.acCp, time.Since(start)); res != nil {
 				return res, nil
 			}
 		}
@@ -308,6 +275,63 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 	}
 	mach.SetFaultHook(nil)
 	releaseMachine(mach)
+	return assembleResult(sg, alg, st, &out), nil
+}
+
+// kernelOut receives rank 0's results; on a machine that hosts no rank 0
+// (a peer worker process of a distributed run) every field stays nil.
+type kernelOut struct {
+	cc   *cc.Result
+	mc   *mincut.CutResult
+	ac   *approxcut.Result
+	mcCp *mincut.Checkpoint
+	acCp *approxcut.Checkpoint
+}
+
+// kernelBody builds the SPMD body for one algorithm over a snapshot. The
+// body is transport-agnostic: it slices the frozen edge array with the
+// block distribution over c.Size() global ranks, so the same closure
+// runs on an in-process machine or on each worker process of a TCP
+// machine (every process holds the full snapshot; each rank touches only
+// its block).
+func kernelBody(snap *graph.Snapshot, alg string, pr params, pl *graph.Plan, out *kernelOut) func(c *bsp.Comm) {
+	n := snap.N()
+	edges := snap.Edges()
+	return func(c *bsp.Comm) {
+		lo, hi := dist.BlockRange(len(edges), c.Size(), c.Rank())
+		local := edges[lo:hi]
+		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
+		switch alg {
+		case AlgCC:
+			r := cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon, Plan: pl})
+			if c.Rank() == 0 {
+				out.cc = r
+			}
+		case AlgMinCut:
+			r := mincut.Parallel(c, n, local, stream, mincut.Options{
+				SuccessProb: pr.successProb,
+				MaxTrials:   pr.maxTrials,
+				Checkpoint:  out.mcCp,
+				Plan:        pl,
+			})
+			if c.Rank() == 0 {
+				out.mc = r
+			}
+		case AlgApproxCut:
+			r := approxcut.Parallel(c, n, local, stream, approxcut.Options{
+				Trials:     pr.trials,
+				Pipelined:  pr.pipelined,
+				Checkpoint: out.acCp,
+				Plan:       pl,
+			})
+			if c.Rank() == 0 {
+				out.ac = r
+			}
+		}
+	}
+}
+
+func assembleResult(sg *StoredGraph, alg string, st *bsp.Stats, out *kernelOut) *QueryResult {
 	res := &QueryResult{
 		Graph:     sg.Name,
 		Version:   sg.Version,
@@ -316,19 +340,93 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 	}
 	switch alg {
 	case AlgCC:
-		res.Components = ccRes.Count
-		res.Iterations = ccRes.Iterations
-		res.Labels = ccRes.Labels
+		res.Components = out.cc.Count
+		res.Iterations = out.cc.Iterations
+		res.Labels = out.cc.Labels
 	case AlgMinCut:
-		res.Value = mcRes.Value
-		res.Trials = mcRes.Trials
-		res.Side = mcRes.Side
+		res.Value = out.mc.Value
+		res.Trials = out.mc.Trials
+		res.Side = out.mc.Side
 	case AlgApproxCut:
-		res.Value = acRes.Value
-		res.Iterations = acRes.Iterations
-		res.Trials = acRes.TrialsPerIteration
+		res.Value = out.ac.Value
+		res.Iterations = out.ac.Iterations
+		res.Trials = out.ac.TrialsPerIteration
 	}
-	return res, nil
+	return res
+}
+
+// ExecParams is the exported form of the normalized tuning parameters —
+// the identity a distributed executor ships to worker processes.
+type ExecParams struct {
+	Seed        uint64  `json:"seed"`
+	Epsilon     float64 `json:"epsilon"`
+	SuccessProb float64 `json:"success_prob"`
+	MaxTrials   int     `json:"max_trials"`
+	Trials      int     `json:"trials"`
+	Pipelined   bool    `json:"pipelined"`
+}
+
+func (pr params) export() ExecParams {
+	return ExecParams{
+		Seed:        pr.seed,
+		Epsilon:     pr.epsilon,
+		SuccessProb: pr.successProb,
+		MaxTrials:   pr.maxTrials,
+		Trials:      pr.trials,
+		Pipelined:   pr.pipelined,
+	}
+}
+
+func (ep ExecParams) internal() params {
+	return params{
+		seed:        ep.Seed,
+		epsilon:     ep.Epsilon,
+		successProb: ep.SuccessProb,
+		maxTrials:   ep.MaxTrials,
+		trials:      ep.Trials,
+		pipelined:   ep.Pipelined,
+	}
+}
+
+// NormalizeParams validates and defaults a request's tuning parameters
+// without touching the engine — the shard worker uses it to turn a
+// forwarded QueryRequest into the canonical ExecParams.
+func NormalizeParams(req *QueryRequest) (ExecParams, error) {
+	pr, err := normalize(req)
+	if err != nil {
+		return ExecParams{}, err
+	}
+	return pr.export(), nil
+}
+
+// Executor runs kernels on behalf of the engine. When Config.Executor is
+// set the engine delegates every execution to it instead of running on a
+// pooled in-process machine; the cache, coalescing, admission control,
+// and retry/degradation policy stay in the engine. MachineP reports the
+// fixed machine size the executor runs at (a distributed machine's size
+// is its worker-group size, not a per-query choice).
+type Executor interface {
+	MachineP() int
+	Execute(ctx context.Context, sg *StoredGraph, alg string, pr ExecParams) (*QueryResult, error)
+}
+
+// ExecuteOnMachine runs one algorithm over the snapshot on the
+// caller-provided machine — the distributed execution primitive. Every
+// process of a TCP machine calls it with the same arguments; the process
+// hosting global rank 0 gets the assembled result, the others get
+// (nil, nil). Distributed runs are always cold (no snapshot-resident
+// plan — plans are keyed to a single process's registry) and never
+// degrade: a cancelled run surfaces its error on every process.
+func ExecuteOnMachine(ctx context.Context, m *bsp.Machine, sg *StoredGraph, alg string, pr ExecParams) (*QueryResult, error) {
+	var out kernelOut
+	st, err := m.RunCtx(ctx, kernelBody(sg.Snap, alg, pr.internal(), nil, &out))
+	if err != nil {
+		return nil, err
+	}
+	if out.cc == nil && out.mc == nil && out.ac == nil {
+		return nil, nil
+	}
+	return assembleResult(sg, alg, st, &out), nil
 }
 
 // degradedResult synthesizes a best-so-far answer from a cancelled run's

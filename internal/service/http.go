@@ -20,7 +20,8 @@ import (
 // Error mapping: malformed input and bad parameters → 400, unknown graph
 // → 404, oversized body → 413, shed load → 429 (with Retry-After),
 // cancelled with nothing to show → 408, per-request deadline (queue
-// expiry) → 504, faulted kernel → 503 (with Retry-After), engine
+// expiry) → 504, faulted kernel or lost worker connection → 503 (with
+// Retry-After), engine
 // shutdown → 503, anything else → 500. A deadline-cancelled kernel that
 // checkpointed progress is not an error: it returns 200 with
 // "degraded": true, the achieved success probability, and a
@@ -205,7 +206,7 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrCancelled):
 		return http.StatusRequestTimeout
-	case errors.Is(err, ErrFaulted), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrFaulted), errors.Is(err, ErrTransport), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -36,6 +36,11 @@ var (
 	// ErrFaulted: the kernel faulted (processor panic) and the bounded
 	// retry failed too; the query may succeed if retried later (503).
 	ErrFaulted = errors.New("service: query faulted")
+	// ErrTransport: a peer worker connection was lost mid-run (or could
+	// not be established) and the bounded retry failed too. Distinct from
+	// ErrFaulted so operators can tell a sick fabric from a sick kernel,
+	// but mapped the same way: 503 with Retry-After, never cached.
+	ErrTransport = errors.New("service: transport failure")
 )
 
 // StoredGraph is one registered graph: an immutable snapshot plus

@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// Frontend routes the public API across shards: graph uploads replicate
+// to every worker of the owning shard (each rank process needs the full
+// snapshot to slice its block), queries go to the owning shard's
+// leader, and stats merge across the whole fleet.
+type Frontend struct {
+	ring *Ring
+	// shards[i] lists shard i's worker base URLs in rank order;
+	// shards[i][0] is the leader.
+	shards   [][]string
+	client   *http.Client
+	attempts int
+	backoff  time.Duration
+}
+
+// NewFrontend builds a frontend over the given worker fleet.
+func NewFrontend(shards [][]string) (*Frontend, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: frontend needs at least one shard")
+	}
+	for i, ws := range shards {
+		if len(ws) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no workers", i)
+		}
+	}
+	ring, err := NewRing(len(shards), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Frontend{
+		ring:     ring,
+		shards:   shards,
+		client:   &http.Client{Timeout: 5 * time.Minute},
+		attempts: 3,
+		backoff:  50 * time.Millisecond,
+	}, nil
+}
+
+// Handler returns the frontend HTTP API — the same shape as a single
+// worker's, so clients need not know whether they talk to one process
+// or a fleet.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/graphs", f.handleUpload)
+	mux.HandleFunc("/v1/query", f.handleQuery)
+	mux.HandleFunc("/v1/stats", f.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// do issues one request with retry-on-connect-failure: only transport
+// errors (dial refused, connection reset before a response) retry; any
+// HTTP response, success or failure, is final. body is re-readable by
+// construction (a byte slice), so retries are safe.
+func (f *Frontend) do(method, url string, body []byte, contentType string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < f.attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(f.backoff * time.Duration(attempt))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := f.client.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("shard: %s %s failed after %d attempts: %w", method, url, f.attempts, lastErr)
+}
+
+// relay copies a worker's response through to the client, preserving
+// the status and the retry contract (Retry-After).
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeFrontendError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// maxUploadBytes mirrors the worker-side bound.
+const maxUploadBytes = 64 << 20
+
+// handleUpload places the graph by name and replicates the body to
+// every worker of the owning shard: a distributed run slices the frozen
+// edge array by rank, so each rank process must hold the full snapshot.
+// All-or-nothing isn't required — a partially replicated graph fails
+// closed at query time (the leader's start/ack round rejects the run).
+func (f *Frontend) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeFrontendError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		// Workers auto-generate names independently, which would scatter
+		// one logical graph across per-process identities; the frontend
+		// requires the name to keep placement well-defined.
+		writeFrontendError(w, http.StatusBadRequest, fmt.Errorf("shard: uploads require an explicit ?name="))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		status := http.StatusInternalServerError
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeFrontendError(w, status, err)
+		return
+	}
+	shard := f.ring.Shard(name)
+	q := r.URL.Query().Encode()
+	var last *http.Response
+	for _, worker := range f.shards[shard] {
+		resp, err := f.do(http.MethodPost, worker+"/v1/graphs?"+q, body, r.Header.Get("Content-Type"))
+		if err != nil {
+			if last != nil {
+				last.Body.Close()
+			}
+			writeFrontendError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if resp.StatusCode != http.StatusCreated {
+			if last != nil {
+				last.Body.Close()
+			}
+			relay(w, resp)
+			return
+		}
+		if last != nil {
+			last.Body.Close()
+		}
+		last = resp
+	}
+	w.Header().Set("X-Shard", fmt.Sprint(shard))
+	relay(w, last)
+}
+
+// handleQuery routes a query to the owning shard's leader.
+func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeFrontendError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeFrontendError(w, http.StatusBadRequest, err)
+		return
+	}
+	var peek struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil || peek.Graph == "" {
+		writeFrontendError(w, http.StatusBadRequest, fmt.Errorf("shard: query body needs a graph name"))
+		return
+	}
+	shard := f.ring.Shard(peek.Graph)
+	leader := f.shards[shard][0]
+	resp, err := f.do(http.MethodPost, leader+"/v1/query", body, "application/json")
+	if err != nil {
+		writeFrontendError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("X-Shard", fmt.Sprint(shard))
+	relay(w, resp)
+}
+
+// WorkerStats is one worker's contribution to the merged stats view.
+type WorkerStats struct {
+	URL   string               `json:"url"`
+	Error string               `json:"error,omitempty"`
+	Stats *service.EngineStats `json:"stats,omitempty"`
+}
+
+// ShardStats groups one shard's workers.
+type ShardStats struct {
+	Shard   int           `json:"shard"`
+	Workers []WorkerStats `json:"workers"`
+}
+
+// FrontendStats is the merged /v1/stats response: the full per-worker
+// detail plus fleet totals summed over shard leaders (queries flow
+// through leaders only, so leader totals are the fleet totals; summing
+// every rank would double-count the replicated registries).
+type FrontendStats struct {
+	Shards             []ShardStats                    `json:"shards"`
+	Graphs             int                             `json:"graphs"`
+	Queries            uint64                          `json:"queries"`
+	KernelExecutions   uint64                          `json:"kernel_executions"`
+	CacheHits          uint64                          `json:"cache_hits"`
+	TransportLost      uint64                          `json:"transport_lost"`
+	WireBytes          uint64                          `json:"wire_bytes"`
+	Transports         map[string]trace.TransportStats `json:"transports,omitempty"`
+	UnreachableWorkers int                             `json:"unreachable_workers"`
+}
+
+func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := FrontendStats{Shards: make([]ShardStats, len(f.shards))}
+	for si, workers := range f.shards {
+		ss := ShardStats{Shard: si, Workers: make([]WorkerStats, len(workers))}
+		for wi, worker := range workers {
+			ws := WorkerStats{URL: worker}
+			resp, err := f.do(http.MethodGet, worker+"/v1/stats", nil, "")
+			if err != nil {
+				ws.Error = err.Error()
+				out.UnreachableWorkers++
+			} else {
+				var st service.EngineStats
+				err := json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					ws.Error = err.Error()
+					out.UnreachableWorkers++
+				} else {
+					ws.Stats = &st
+					if wi == 0 {
+						out.Graphs += st.Graphs
+						out.Queries += st.Queries.Totals.Queries
+						out.KernelExecutions += st.Queries.Totals.KernelExecutions
+						out.CacheHits += st.Queries.Totals.CacheHits
+						out.TransportLost += st.Queries.Totals.TransportLost
+						out.WireBytes += st.Queries.Totals.WireBytes
+						for kind, ts := range st.Queries.Transports {
+							if out.Transports == nil {
+								out.Transports = make(map[string]trace.TransportStats)
+							}
+							agg := out.Transports[kind]
+							agg.KernelExecutions += ts.KernelExecutions
+							agg.Supersteps += ts.Supersteps
+							agg.CommVolume += ts.CommVolume
+							agg.WireBytes += ts.WireBytes
+							out.Transports[kind] = agg
+						}
+					}
+				}
+			}
+			ss.Workers[wi] = ws
+		}
+		out.Shards[si] = ss
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/faults"
+	"repro/internal/service"
+	"repro/internal/transport"
+)
+
+// WorkerConfig configures one worker process — one rank of one shard's
+// BSP machine.
+type WorkerConfig struct {
+	// Rank is this process's rank in the shard group, in [0, len(Addrs)).
+	// Rank 0 is the group leader: it serves queries (through the engine's
+	// cache/coalescing/admission pipeline) and coordinates the other
+	// ranks; every rank serves graph uploads and stats.
+	Rank int
+	// Addrs lists every rank's mesh listen address, index = rank.
+	Addrs []string
+	// Epoch is the deployment generation; the mesh handshake rejects
+	// peers from a different epoch.
+	Epoch uint64
+	// Listener, when non-nil, is used instead of listening on
+	// Addrs[Rank] (tests pass pre-bound 127.0.0.1:0 listeners).
+	Listener net.Listener
+	// DialTimeout bounds mesh establishment (default 15s).
+	DialTimeout time.Duration
+	// Faults, when non-nil, compiles its transport rules into the wire
+	// hook of every run this rank participates in (and its Sync rules
+	// into leader-side machines through Service.Faults as usual).
+	Faults *faults.Registry
+	// Service is the base engine configuration. On rank 0 its Executor is
+	// replaced by the distributed executor; on peers by a rejecting one.
+	Service service.Config
+	// JobTimeout bounds a peer rank's share of one distributed run when
+	// the leader never aborts it (default: Service.DefaultTimeout, or
+	// 60s). Leader-side deadlines propagate faster through the abort
+	// protocol; this is the backstop against a vanished leader.
+	JobTimeout time.Duration
+}
+
+// ctrlMsg is the JSON job-control protocol riding the mesh's control
+// frames: the leader announces a run ("start"), each peer validates its
+// registry and answers ("ack"), and the leader releases the barrier
+// ("go") once every peer is ready.
+type ctrlMsg struct {
+	Type    string             `json:"type"` // start | ack | go
+	Run     uint64             `json:"run"`
+	Graph   string             `json:"graph,omitempty"`
+	Version uint64             `json:"version,omitempty"`
+	Alg     string             `json:"alg,omitempty"`
+	Params  service.ExecParams `json:"params,omitempty"`
+	OK      bool               `json:"ok,omitempty"`
+	Err     string             `json:"err,omitempty"`
+	Rank    int                `json:"rank,omitempty"`
+}
+
+type ackResult struct {
+	rank int
+	ok   bool
+	err  string
+}
+
+// Worker is one rank process of a shard group: a mesh endpoint, the
+// job-control state machine, and an HTTP-facing service engine.
+type Worker struct {
+	rank       int
+	p          int
+	members    []int
+	faults     *faults.Registry
+	jobTimeout time.Duration
+
+	mesh   *transport.Mesh
+	engine *service.Engine
+
+	nextRun atomic.Uint64
+
+	mu     sync.Mutex
+	acks   map[uint64]chan ackResult // leader: pending run acknowledgements
+	staged map[uint64]ctrlMsg        // peer: validated runs awaiting "go"
+	closed bool
+	jobs   sync.WaitGroup
+}
+
+// NewWorker connects the rank into its shard's mesh (blocking until all
+// peers are up) and starts the engine. Callers serve Worker.Handler()
+// over HTTP and Close() on shutdown.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	p := len(cfg.Addrs)
+	w := &Worker{
+		rank:       cfg.Rank,
+		p:          p,
+		members:    make([]int, p),
+		faults:     cfg.Faults,
+		jobTimeout: cfg.JobTimeout,
+		acks:       make(map[uint64]chan ackResult),
+		staged:     make(map[uint64]ctrlMsg),
+	}
+	for i := range w.members {
+		w.members[i] = i
+	}
+	if w.jobTimeout <= 0 {
+		w.jobTimeout = cfg.Service.DefaultTimeout
+	}
+	if w.jobTimeout <= 0 {
+		w.jobTimeout = 60 * time.Second
+	}
+	mesh, err := transport.NewMesh(transport.MeshConfig{
+		Rank:         cfg.Rank,
+		Addrs:        cfg.Addrs,
+		MachineEpoch: cfg.Epoch,
+		Listener:     cfg.Listener,
+		DialTimeout:  cfg.DialTimeout,
+		Control:      w.handleControl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.mesh = mesh
+	svc := cfg.Service
+	if cfg.Rank == 0 {
+		svc.Executor = &distExecutor{w: w}
+	} else {
+		svc.Executor = &rejectExecutor{rank: cfg.Rank, p: p}
+	}
+	w.engine = service.NewEngine(svc)
+	return w, nil
+}
+
+// Rank returns this worker's group rank.
+func (w *Worker) Rank() int { return w.rank }
+
+// Engine exposes the worker's service engine (registry, stats).
+func (w *Worker) Engine() *service.Engine { return w.engine }
+
+// Handler returns the worker's HTTP API — the standard service surface;
+// the frontend talks to it with plain service requests.
+func (w *Worker) Handler() http.Handler { return service.NewHandler(w.engine) }
+
+// Close shuts the worker down: engine first (draining queries, which
+// aborts their sessions), then the mesh, then any straggling peer jobs.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.engine.Close()
+	w.mesh.Close()
+	w.jobs.Wait()
+}
+
+// handleControl runs on mesh read-pump goroutines; it must not block,
+// so acks and job execution move to their own goroutines.
+func (w *Worker) handleControl(src int, epoch uint64, payload []byte) {
+	var msg ctrlMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return
+	}
+	switch msg.Type {
+	case "start":
+		w.mu.Lock()
+		closed := w.closed
+		if !closed {
+			w.staged[msg.Run] = msg
+		}
+		w.mu.Unlock()
+		ack := ctrlMsg{Type: "ack", Run: msg.Run, Rank: w.rank, OK: !closed}
+		if closed {
+			ack.Err = "worker shutting down"
+		} else if _, err := w.engine.Registry().Get(msg.Graph); err != nil {
+			ack.OK = false
+			ack.Err = fmt.Sprintf("graph %q not registered on rank %d", msg.Graph, w.rank)
+			w.mu.Lock()
+			delete(w.staged, msg.Run)
+			w.mu.Unlock()
+		}
+		go w.sendCtrl(src, ack)
+	case "ack":
+		w.mu.Lock()
+		ch := w.acks[msg.Run]
+		w.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- ackResult{rank: msg.Rank, ok: msg.OK, err: msg.Err}:
+			default:
+			}
+		}
+	case "go":
+		w.mu.Lock()
+		job, ok := w.staged[msg.Run]
+		delete(w.staged, msg.Run)
+		closed := w.closed
+		if ok && !closed {
+			w.jobs.Add(1)
+		}
+		w.mu.Unlock()
+		if ok && !closed {
+			go w.runPeerJob(job)
+		}
+	}
+}
+
+func (w *Worker) sendCtrl(dst int, msg ctrlMsg) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	return w.mesh.SendControl(dst, msg.Run, payload)
+}
+
+// runPeerJob is a non-leader rank's share of one distributed run: build
+// the session and machine for the announced run and execute the same
+// kernel body the leader runs. The result is nil here (no global rank
+// 0); errors surface on the leader through the abort protocol, so they
+// are deliberately dropped.
+func (w *Worker) runPeerJob(job ctrlMsg) {
+	defer w.jobs.Done()
+	sg, err := w.engine.Registry().Get(job.Graph)
+	if err != nil || sg.Version != job.Version {
+		return // validated at "start"; a racing re-registration aborts via the leader's timeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), w.jobTimeout)
+	defer cancel()
+	w.runOnSession(ctx, job.Run, sg, job.Alg, job.Params)
+}
+
+// runOnSession executes one distributed run's local share: session,
+// wire-fault hook, machine, kernel.
+func (w *Worker) runOnSession(ctx context.Context, run uint64, sg *service.StoredGraph, alg string, pr service.ExecParams) (*service.QueryResult, error) {
+	sess, err := w.mesh.NewSession(run, w.members)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	if w.faults != nil {
+		if h := w.faults.WireHook(w.rank); h != nil {
+			sess.SetWireHook(h)
+		}
+	}
+	m, err := bsp.NewMachineOver(sess.Root())
+	if err != nil {
+		return nil, err
+	}
+	return service.ExecuteOnMachine(ctx, m, sg, alg, pr)
+}
+
+// distExecutor is the leader's service.Executor: it runs every query on
+// the shard's distributed TCP machine, coordinating the peers through
+// the control protocol. Distributed runs are always cold — no
+// snapshot-resident plans — and sized to the group.
+type distExecutor struct{ w *Worker }
+
+func (d *distExecutor) MachineP() int { return d.w.p }
+
+func (d *distExecutor) Execute(ctx context.Context, sg *service.StoredGraph, alg string, pr service.ExecParams) (*service.QueryResult, error) {
+	w := d.w
+	run := w.nextRun.Add(1)
+	if w.p > 1 {
+		ch := make(chan ackResult, w.p-1)
+		w.mu.Lock()
+		w.acks[run] = ch
+		w.mu.Unlock()
+		defer func() {
+			w.mu.Lock()
+			delete(w.acks, run)
+			w.mu.Unlock()
+		}()
+
+		start := ctrlMsg{
+			Type: "start", Run: run,
+			Graph: sg.Name, Version: sg.Version,
+			Alg: alg, Params: pr,
+		}
+		for peer := 1; peer < w.p; peer++ {
+			if err := w.sendCtrl(peer, start); err != nil {
+				return nil, err // wraps ErrPeerLost → 503 + Retry-After
+			}
+		}
+		for n := 0; n < w.p-1; n++ {
+			select {
+			case ack := <-ch:
+				if !ack.ok {
+					return nil, fmt.Errorf("shard: peer rank %d rejected run %d: %s", ack.rank, run, ack.err)
+				}
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: run %d: %d/%d peers acknowledged before the deadline",
+					transport.ErrPeerLost, run, n, w.p-1)
+			}
+		}
+		release := ctrlMsg{Type: "go", Run: run}
+		for peer := 1; peer < w.p; peer++ {
+			if err := w.sendCtrl(peer, release); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w.runOnSession(ctx, run, sg, alg, pr)
+}
+
+// rejectExecutor answers queries sent to a non-leader worker: routing
+// them here is a frontend bug (or an operator poking a peer directly),
+// and silently running a private single-process kernel would hide it.
+type rejectExecutor struct{ rank, p int }
+
+func (r *rejectExecutor) MachineP() int { return r.p }
+
+func (r *rejectExecutor) Execute(context.Context, *service.StoredGraph, string, service.ExecParams) (*service.QueryResult, error) {
+	return nil, fmt.Errorf("%w: worker rank %d is not the shard leader; queries go to rank 0", service.ErrBadRequest, r.rank)
+}

@@ -17,6 +17,7 @@ const (
 	OutcomeCancelled = "cancelled" // the kernel was cancelled mid-run, no partial answer
 	OutcomeDegraded  = "degraded"  // cancelled mid-run but a best-so-far answer was served
 	OutcomeFaulted   = "faulted"   // the kernel faulted and the bounded retry failed too
+	OutcomeTransport = "transport_lost" // a peer connection died mid-run and the retry failed too
 
 	// OutcomeRetried is an *event*, not a resolution: it marks one
 	// transient kernel fault absorbed by the retry policy. Retried
@@ -41,6 +42,11 @@ type QuerySample struct {
 	AvoidedCollectives int
 	AvoidedCommVolume  uint64
 	QueueDepth         int // scheduler queue depth observed at admission
+	// Transport labels which fabric carried the kernel ("local", "tcp");
+	// empty if no kernel ran. WireBytes is the framed bytes the run put on
+	// sockets — always 0 for the in-process fabric.
+	Transport string
+	WireBytes uint64
 }
 
 // AlgoStats aggregates the samples of one algorithm (or, for the
@@ -57,11 +63,13 @@ type AlgoStats struct {
 	Cancelled          uint64  `json:"cancelled"`
 	Degraded           uint64  `json:"degraded"`
 	Faulted            uint64  `json:"faulted"`
+	TransportLost      uint64  `json:"transport_lost"`
 	Retried            uint64  `json:"retried"`
 	Supersteps         uint64  `json:"supersteps"`
 	CommVolume         uint64  `json:"comm_volume"`
 	AvoidedCollectives uint64  `json:"avoided_collectives"`
 	AvoidedCommVolume  uint64  `json:"avoided_comm_volume"`
+	WireBytes          uint64  `json:"wire_bytes"`
 	TotalLatencyMs     float64 `json:"total_latency_ms"`
 	MinLatencyMs       float64 `json:"min_latency_ms"`
 	MaxLatencyMs       float64 `json:"max_latency_ms"`
@@ -96,11 +104,14 @@ func (a *AlgoStats) observe(s QuerySample) {
 		a.Degraded++
 	case OutcomeFaulted:
 		a.Faulted++
+	case OutcomeTransport:
+		a.TransportLost++
 	default:
 		a.Errors++
 	}
 	a.Supersteps += uint64(s.Supersteps)
 	a.CommVolume += s.CommVolume
+	a.WireBytes += s.WireBytes
 	a.AvoidedCollectives += uint64(s.AvoidedCollectives)
 	a.AvoidedCommVolume += s.AvoidedCommVolume
 	if s.P > a.MaxP {
@@ -123,11 +134,23 @@ func (a *AlgoStats) observe(s QuerySample) {
 	a.AvgLatencyMs = a.TotalLatencyMs / float64(a.latencySamples)
 }
 
+// TransportStats aggregates the kernel executions carried by one BSP
+// fabric ("local", "tcp"). WireBytes stays zero for the in-process
+// fabric, which is precisely the communication-avoidance claim the
+// stats endpoint lets operators check.
+type TransportStats struct {
+	KernelExecutions uint64 `json:"kernel_executions"`
+	Supersteps       uint64 `json:"supersteps"`
+	CommVolume       uint64 `json:"comm_volume"`
+	WireBytes        uint64 `json:"wire_bytes"`
+}
+
 // CollectorSnapshot is a point-in-time copy of a Collector's aggregates.
 type CollectorSnapshot struct {
-	Totals        AlgoStats            `json:"totals"`
-	Algorithms    map[string]AlgoStats `json:"algorithms"`
-	MaxQueueDepth int                  `json:"max_queue_depth"`
+	Totals        AlgoStats                 `json:"totals"`
+	Algorithms    map[string]AlgoStats      `json:"algorithms"`
+	Transports    map[string]TransportStats `json:"transports,omitempty"`
+	MaxQueueDepth int                       `json:"max_queue_depth"`
 }
 
 // Collector aggregates per-query metrics for a serving process. It is
@@ -137,12 +160,16 @@ type Collector struct {
 	mu            sync.Mutex
 	totals        AlgoStats
 	algos         map[string]*AlgoStats
+	transports    map[string]*TransportStats
 	maxQueueDepth int
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{algos: make(map[string]*AlgoStats)}
+	return &Collector{
+		algos:      make(map[string]*AlgoStats),
+		transports: make(map[string]*TransportStats),
+	}
 }
 
 // Observe records one query sample.
@@ -156,6 +183,17 @@ func (c *Collector) Observe(s QuerySample) {
 		c.algos[s.Algorithm] = a
 	}
 	a.observe(s)
+	if s.Transport != "" {
+		tr := c.transports[s.Transport]
+		if tr == nil {
+			tr = &TransportStats{}
+			c.transports[s.Transport] = tr
+		}
+		tr.KernelExecutions++
+		tr.Supersteps += uint64(s.Supersteps)
+		tr.CommVolume += s.CommVolume
+		tr.WireBytes += s.WireBytes
+	}
 	if s.QueueDepth > c.maxQueueDepth {
 		c.maxQueueDepth = s.QueueDepth
 	}
@@ -173,6 +211,12 @@ func (c *Collector) Snapshot() CollectorSnapshot {
 	for name, a := range c.algos {
 		out.Algorithms[name] = *a
 	}
+	if len(c.transports) > 0 {
+		out.Transports = make(map[string]TransportStats, len(c.transports))
+		for name, tr := range c.transports {
+			out.Transports[name] = *tr
+		}
+	}
 	return out
 }
 
@@ -182,5 +226,6 @@ func (c *Collector) Reset() {
 	defer c.mu.Unlock()
 	c.totals = AlgoStats{}
 	c.algos = make(map[string]*AlgoStats)
+	c.transports = make(map[string]*TransportStats)
 	c.maxQueueDepth = 0
 }

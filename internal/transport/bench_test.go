@@ -1,0 +1,195 @@
+package transport_test
+
+// Cross-fabric benchmarks: the same all-to-all superstep driven through
+// the in-process fabric and the TCP-loopback fabric, at matching rank
+// counts and payloads, so the socket tax is directly measurable. When
+// benchmarks run, TestMain also writes BENCH_transport.json — the
+// machine-readable local-vs-tcp comparison CI archives.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+var benchPs = []int{2, 4, 8}
+
+const benchWords = 1024 // words staged per peer per superstep
+
+// driveAllToAll runs b.N all-to-all supersteps: every rank stages
+// `words` words for every peer, then Exchanges. Exchange itself is the
+// barrier, so the ranks stay in lockstep without extra synchronization.
+func driveAllToAll(b *testing.B, eps []transport.Endpoint, words int) {
+	b.Helper()
+	p := len(eps)
+	b.SetBytes(int64(p * (p - 1) * words * 8))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			payload := make([]uint64, words)
+			for i := range payload {
+				payload[i] = uint64(i)
+			}
+			for i := 0; i < b.N; i++ {
+				for to := 0; to < p; to++ {
+					if to != ep.Rank() {
+						ep.Send(to, payload)
+					}
+				}
+				if err := ep.Exchange(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(eps[r])
+	}
+	wg.Wait()
+}
+
+func BenchmarkExchangeLocal(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			l, err := transport.NewLocal(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eps := make([]transport.Endpoint, p)
+			for r := 0; r < p; r++ {
+				eps[r] = l.Endpoint(r)
+			}
+			driveAllToAll(b, eps, benchWords)
+		})
+	}
+}
+
+func BenchmarkExchangeTCPLoopback(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			eps, cleanup := newLoopbackEndpoints(b, p)
+			defer cleanup()
+			driveAllToAll(b, eps, benchWords)
+		})
+	}
+}
+
+// newLoopbackEndpoints brings up a p-process-equivalent loopback mesh
+// and opens one session across it, returning each rank's endpoint.
+func newLoopbackEndpoints(tb testing.TB, p int) ([]transport.Endpoint, func()) {
+	tb.Helper()
+	meshes, err := transport.NewLoopbackMeshes(p, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	eps := make([]transport.Endpoint, p)
+	sessions := make([]*transport.Session, p)
+	for r := 0; r < p; r++ {
+		sess, err := meshes[r].NewSession(1, members)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sessions[r] = sess
+		eps[r] = sess.Root().Endpoint(r)
+	}
+	return eps, func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+		for _, m := range meshes {
+			m.Close()
+		}
+	}
+}
+
+// benchRecord is one line of BENCH_transport.json.
+type benchRecord struct {
+	Transport      string  `json:"transport"`
+	P              int     `json:"p"`
+	WordsPerPeer   int     `json:"words_per_peer"`
+	NsPerSuperstep int64   `json:"ns_per_superstep"`
+	MBPerSec       float64 `json:"mb_per_s"`
+}
+
+// TestMain writes BENCH_transport.json whenever benchmarks were
+// requested, mirroring the BENCH_bsp.json / BENCH_kernels.json idiom.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
+		if err := writeBenchSnapshot("BENCH_transport.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "bench snapshot:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchSnapshot(path string) error {
+	type snapshot struct {
+		Name       string        `json:"name"`
+		Benchmarks []benchRecord `json:"benchmarks"`
+	}
+	snap := snapshot{Name: "transport-bench"}
+	for _, p := range benchPs {
+		p := p
+		for _, kind := range []string{transport.KindLocal, transport.KindTCP} {
+			kind := kind
+			var failed error
+			res := testing.Benchmark(func(b *testing.B) {
+				var eps []transport.Endpoint
+				switch kind {
+				case transport.KindLocal:
+					l, err := transport.NewLocal(p)
+					if err != nil {
+						failed = err
+						b.SkipNow()
+					}
+					eps = make([]transport.Endpoint, p)
+					for r := 0; r < p; r++ {
+						eps[r] = l.Endpoint(r)
+					}
+				case transport.KindTCP:
+					var cleanup func()
+					eps, cleanup = newLoopbackEndpoints(b, p)
+					defer cleanup()
+				}
+				driveAllToAll(b, eps, benchWords)
+			})
+			if failed != nil {
+				return failed
+			}
+			rec := benchRecord{
+				Transport:      kind,
+				P:              p,
+				WordsPerPeer:   benchWords,
+				NsPerSuperstep: res.NsPerOp(),
+			}
+			if res.NsPerOp() > 0 {
+				bytes := float64(p * (p - 1) * benchWords * 8)
+				rec.MBPerSec = bytes / float64(res.NsPerOp()) * 1e9 / (1 << 20)
+			}
+			snap.Benchmarks = append(snap.Benchmarks, rec)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,1071 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The TCP fabric: each mesh rank is a separate worker process holding
+// one persistent framed connection to every peer (full mesh). On top of
+// the mesh, a Session scopes one BSP run (keyed by epoch), and tcpGroup
+// implements Transport+Endpoint for the run's root communicator and
+// every Split sub-group (keyed by deterministic group tags).
+//
+// Superstep delivery: Exchange coalesces everything staged for a peer
+// into one data frame carrying the sender's full per-destination size
+// vector, so every member reconstructs the same p×p size matrix and
+// accounts the identical h-relation the in-process finalizer would.
+// Read pumps (one goroutine per connection) decode inbound frames and
+// park them on the owning group's step state; Exchange blocks on a
+// condition variable until all gp-1 peer frames for its step arrived.
+//
+// Aborts ride the PR 4 protocol: a local Machine.Cancel (or worker
+// panic) poisons the session and broadcasts an ABORT frame to every
+// peer; a lost connection aborts every session on both sides with
+// ErrPeerLost. End of run, FinishRun exchanges LEDGER frames so every
+// process folds the sub-group ledgers it did not witness (each group's
+// rank-0 process logs that group's ledger; the flat union over processes
+// equals the in-process hierarchical fold as a multiset).
+
+// MeshConfig configures one worker process's position in the mesh.
+type MeshConfig struct {
+	// Rank is this process's mesh rank in [0, len(Addrs)).
+	Rank int
+	// Addrs lists every rank's listen address, index = rank.
+	Addrs []string
+	// MachineEpoch identifies the deployment generation; handshakes
+	// reject peers from a different epoch.
+	MachineEpoch uint64
+	// Listener, when non-nil, is used instead of listening on
+	// Addrs[Rank] (tests pass pre-bound 127.0.0.1:0 listeners).
+	Listener net.Listener
+	// DialTimeout bounds connection establishment, covering peer-process
+	// startup skew (default 15s).
+	DialTimeout time.Duration
+	// Control receives out-of-band job-control frames (shard worker
+	// coordination). It runs on a read-pump goroutine and must not block.
+	Control func(src int, epoch uint64, payload []byte)
+}
+
+// Mesh is a worker process's set of persistent peer connections. One
+// mesh serves many sessions (jobs) over its lifetime.
+type Mesh struct {
+	rank  int
+	p     int
+	epoch uint64
+
+	ln      net.Listener
+	control func(src int, epoch uint64, payload []byte)
+
+	mu       sync.Mutex
+	peers    []*peerConn
+	sessions map[uint64]*Session
+	orphans  map[uint64][]frame
+	closed   bool
+
+	pumps sync.WaitGroup
+}
+
+// maxOrphans bounds frames buffered for a not-yet-registered session or
+// group; beyond it the sender is protocol-broken and the frames are
+// dropped (the eventual barrier wait surfaces the loss as a stall that
+// the job deadline converts into a cancel).
+const maxOrphans = 1 << 16
+
+type peerConn struct {
+	rank int
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	dead atomic.Bool
+}
+
+// write frames out one buffer under the connection's write lock.
+func (pc *peerConn) write(buf []byte) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	if pc.dead.Load() {
+		return fmt.Errorf("%w: rank %d", ErrPeerLost, pc.rank)
+	}
+	if _, err := pc.bw.Write(buf); err == nil {
+		if err = pc.bw.Flush(); err == nil {
+			return nil
+		}
+	}
+	pc.dead.Store(true)
+	return fmt.Errorf("%w: write to rank %d: connection failed", ErrPeerLost, pc.rank)
+}
+
+// NewMesh connects this process into the full mesh: it listens at
+// Addrs[Rank], dials every lower rank (with retry, so start order does
+// not matter), accepts every higher rank, and returns once all p-1
+// connections are up and handshaken.
+func NewMesh(cfg MeshConfig) (*Mesh, error) {
+	p := len(cfg.Addrs)
+	if cfg.Rank < 0 || cfg.Rank >= p {
+		return nil, fmt.Errorf("transport: mesh rank %d of %d", cfg.Rank, p)
+	}
+	ln := cfg.Listener
+	if ln == nil && p > 1 {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+		}
+	}
+	m := &Mesh{
+		rank:     cfg.Rank,
+		p:        p,
+		epoch:    cfg.MachineEpoch,
+		ln:       ln,
+		control:  cfg.Control,
+		peers:    make([]*peerConn, p),
+		sessions: make(map[uint64]*Session),
+		orphans:  make(map[uint64][]frame),
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	accepted := make(chan error, 1)
+	if ln != nil {
+		go m.acceptLoop(accepted, deadline)
+	}
+	// Dial every lower rank; they are accepting already or will be soon.
+	for j := 0; j < m.rank; j++ {
+		conn, err := dialRetry(cfg.Addrs[j], deadline)
+		if err == nil {
+			err = writePreamble(conn, m.rank, m.epoch)
+		}
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", j, cfg.Addrs[j], err)
+		}
+		m.addPeer(j, conn)
+	}
+	// Wait for every higher rank to dial in.
+	for {
+		m.mu.Lock()
+		missing := 0
+		for j := m.rank + 1; j < p; j++ {
+			if m.peers[j] == nil {
+				missing++
+			}
+		}
+		m.mu.Unlock()
+		if missing == 0 {
+			break
+		}
+		select {
+		case err := <-accepted:
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+		case <-time.After(time.Until(deadline)):
+			m.Close()
+			return nil, fmt.Errorf("%w: %d higher rank(s) never dialed in", ErrPeerLost, missing)
+		}
+	}
+	return m, nil
+}
+
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("%w: %v", ErrPeerLost, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// acceptLoop admits higher-rank dialers; each handshake result is
+// signalled to NewMesh through ch.
+func (m *Mesh) acceptLoop(ch chan<- error, deadline time.Time) {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if !closed {
+				select {
+				case ch <- fmt.Errorf("transport: accept: %w", err):
+				default:
+				}
+			}
+			return
+		}
+		_ = conn.SetReadDeadline(deadline)
+		rank, err := readPreamble(conn, m.epoch)
+		_ = conn.SetReadDeadline(time.Time{})
+		if err != nil || rank <= m.rank || rank >= m.p {
+			if err == nil {
+				err = fmt.Errorf("%w: unexpected dialer rank %d", ErrPeerLost, rank)
+			}
+			conn.Close()
+			select {
+			case ch <- err:
+			default:
+			}
+			continue
+		}
+		m.addPeer(rank, conn)
+		select {
+		case ch <- nil:
+		default:
+		}
+	}
+}
+
+// addPeer registers a handshaken connection and starts its read pump.
+func (m *Mesh) addPeer(rank int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // supersteps are latency-bound, not throughput-bound
+	}
+	pc := &peerConn{rank: rank, conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+	m.mu.Lock()
+	if m.closed || m.peers[rank] != nil {
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
+	m.peers[rank] = pc
+	m.mu.Unlock()
+	m.pumps.Add(1)
+	go m.readPump(pc)
+}
+
+// Rank returns this process's mesh rank.
+func (m *Mesh) Rank() int { return m.rank }
+
+// Size returns the mesh's process count.
+func (m *Mesh) Size() int { return m.p }
+
+// readPump decodes inbound frames from one peer until the connection
+// dies, routing each to its session (or the orphan buffer).
+func (m *Mesh) readPump(pc *peerConn) {
+	defer m.pumps.Done()
+	br := bufio.NewReaderSize(pc.conn, 64<<10)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			pc.dead.Store(true)
+			m.peerLost(pc.rank, err)
+			return
+		}
+		if f.kind == frameControl {
+			if h := m.control; h != nil {
+				h(f.src, f.epoch, f.payload)
+			}
+			continue
+		}
+		m.mu.Lock()
+		s := m.sessions[f.epoch]
+		if s == nil {
+			if !m.closed && len(m.orphans[f.epoch]) < maxOrphans {
+				m.orphans[f.epoch] = append(m.orphans[f.epoch], f)
+			}
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Unlock()
+		s.deliver(f)
+	}
+}
+
+// peerLost aborts every live session when a connection dies.
+func (m *Mesh) peerLost(rank int, cause error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	err := fmt.Errorf("%w: rank %d: %v", ErrPeerLost, rank, cause)
+	for _, s := range sessions {
+		s.abort(err, true)
+	}
+}
+
+// sendFrame writes one frame to a mesh peer, returning the bytes moved.
+func (m *Mesh) sendFrame(dst int, buf []byte) (int, error) {
+	m.mu.Lock()
+	pc := m.peers[dst]
+	m.mu.Unlock()
+	if pc == nil {
+		return 0, fmt.Errorf("%w: no connection to rank %d", ErrPeerLost, dst)
+	}
+	if err := pc.write(buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// SendControl delivers an out-of-band job-control payload to a peer
+// (or, with dst == own rank, loops it back through the handler).
+func (m *Mesh) SendControl(dst int, epoch uint64, payload []byte) error {
+	if dst == m.rank {
+		if h := m.control; h != nil {
+			h(m.rank, epoch, payload)
+		}
+		return nil
+	}
+	buf := appendFrameHeader(make([]byte, 0, 4+frameHeaderLen+len(payload)), frameControl, epoch, 0, 0, m.rank)
+	buf = append(buf, payload...)
+	patchFrameLen(buf)
+	_, err := m.sendFrame(dst, buf)
+	return err
+}
+
+// DropPeers severs every peer connection — the "drop" wire fault. Both
+// sides' read pumps fail, aborting live sessions with ErrPeerLost.
+func (m *Mesh) DropPeers() {
+	m.mu.Lock()
+	peers := append([]*peerConn(nil), m.peers...)
+	m.mu.Unlock()
+	for _, pc := range peers {
+		if pc != nil {
+			pc.dead.Store(true)
+			pc.conn.Close()
+		}
+	}
+}
+
+// Close tears the mesh down: listener, connections, and sessions.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	peers := append([]*peerConn(nil), m.peers...)
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.abort(fmt.Errorf("%w: mesh closed", ErrPeerLost), false)
+	}
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	for _, pc := range peers {
+		if pc != nil {
+			pc.conn.Close()
+		}
+	}
+	m.pumps.Wait()
+	return nil
+}
+
+// Session scopes one BSP run (one job) on a mesh, keyed by epoch. It
+// owns the run's groups, abort state, fold-log, and wire-byte count.
+type Session struct {
+	mesh  *Mesh
+	epoch uint64
+
+	mu      sync.Mutex
+	groups  map[uint64]*tcpGroup
+	orphans map[uint64][]frame
+	abortE  error
+	sent    bool // abort frames already broadcast
+
+	abortFlag atomic.Bool
+	wireBytes atomic.Uint64
+
+	// wireHook, when non-nil, runs before each root-group Exchange's
+	// sends with the group superstep; it may request a drop (sever all
+	// connections) or a stall (delay the outbound flush). The seam
+	// internal/faults' transport kinds compile onto.
+	wireHook func(step uint64) (drop bool, stall time.Duration)
+
+	foldMu  sync.Mutex
+	foldLog []Ledger
+
+	root *tcpGroup
+}
+
+// NewSession registers a run on the mesh. members lists the mesh ranks
+// participating in the run's root group, ascending; this process's rank
+// must be among them. The returned session's Root() group is the
+// Transport to hand to bsp.NewMachineOver.
+func (m *Mesh) NewSession(epoch uint64, members []int) (*Session, error) {
+	localRank := -1
+	for i, r := range members {
+		if r == m.rank {
+			localRank = i
+		}
+		if r < 0 || r >= m.p {
+			return nil, fmt.Errorf("transport: session member rank %d of %d", r, m.p)
+		}
+	}
+	if localRank < 0 {
+		return nil, fmt.Errorf("transport: rank %d not in session members %v", m.rank, members)
+	}
+	s := &Session{
+		mesh:    m,
+		epoch:   epoch,
+		groups:  make(map[uint64]*tcpGroup),
+		orphans: make(map[uint64][]frame),
+	}
+	s.root = newTCPGroup(s, 0, append([]int(nil), members...), localRank)
+	s.groups[0] = s.root
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: mesh closed", ErrPeerLost)
+	}
+	if _, dup := m.sessions[epoch]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("transport: session epoch %d already registered", epoch)
+	}
+	m.sessions[epoch] = s
+	backlog := m.orphans[epoch]
+	delete(m.orphans, epoch)
+	m.mu.Unlock()
+	for _, f := range backlog {
+		s.deliver(f)
+	}
+	return s, nil
+}
+
+// Root returns the session's root group — the run's Transport.
+func (s *Session) Root() Transport { return s.root }
+
+// SetWireHook installs the session's wire fault hook (see wireHook).
+// Call before the run starts.
+func (s *Session) SetWireHook(h func(step uint64) (drop bool, stall time.Duration)) {
+	s.wireHook = h
+}
+
+// WireBytes returns the bytes this process has written for the session.
+func (s *Session) WireBytes() uint64 { return s.wireBytes.Load() }
+
+// Close deregisters the session from its mesh. Idempotent; live waiters
+// are aborted first.
+func (s *Session) Close() error {
+	s.abort(fmt.Errorf("%w: session closed", ErrPeerLost), false)
+	m := s.mesh
+	m.mu.Lock()
+	if m.sessions[s.epoch] == s {
+		delete(m.sessions, s.epoch)
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Err returns the session's abort cause, or nil.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abortE
+}
+
+// abort poisons the session: the first cause is recorded, every group's
+// waiters wake, and (when notifyPeers) every peer of the root group is
+// sent an ABORT frame. Remote aborts pass notifyPeers=false — the
+// originator already told everyone.
+func (s *Session) abort(err error, notifyPeers bool) {
+	s.mu.Lock()
+	if s.abortE == nil {
+		s.abortE = err
+	}
+	first := !s.sent && notifyPeers
+	if first {
+		s.sent = true
+	}
+	groups := make([]*tcpGroup, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+	s.abortFlag.Store(true)
+	for _, g := range groups {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	if !first {
+		return
+	}
+	payload := encodeAbort(errors.Is(err, ErrCancelled), err.Error())
+	buf := appendFrameHeader(make([]byte, 0, 4+frameHeaderLen+len(payload)), frameAbort, s.epoch, 0, 0, s.mesh.rank)
+	buf = append(buf, payload...)
+	patchFrameLen(buf)
+	for i, r := range s.root.members {
+		if i == s.root.rank {
+			continue
+		}
+		if n, err2 := s.mesh.sendFrame(r, buf); err2 == nil {
+			s.wireBytes.Add(uint64(n))
+		}
+	}
+}
+
+// deliver routes one inbound frame to its group (or the orphan buffer —
+// a peer may legally exchange on a Split group before this process
+// derives it).
+func (s *Session) deliver(f frame) {
+	if f.kind == frameAbort {
+		cancelled, msg := decodeAbort(f.payload)
+		s.abort(&RemoteAbort{Rank: f.src, Msg: msg, Cancelled: cancelled}, false)
+		return
+	}
+	s.mu.Lock()
+	g := s.groups[f.tag]
+	if g == nil {
+		if len(s.orphans[f.tag]) < maxOrphans {
+			s.orphans[f.tag] = append(s.orphans[f.tag], f)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	g.deliver(f)
+}
+
+// registerGroup adds a derived group and replays its orphaned frames.
+func (s *Session) registerGroup(g *tcpGroup) error {
+	s.mu.Lock()
+	if _, dup := s.groups[g.tag]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("transport: group tag %#x already derived", g.tag)
+	}
+	s.groups[g.tag] = g
+	backlog := s.orphans[g.tag]
+	delete(s.orphans, g.tag)
+	s.mu.Unlock()
+	for _, f := range backlog {
+		g.deliver(f)
+	}
+	return nil
+}
+
+// stepState accumulates one superstep's inbound frames for a group.
+type stepState struct {
+	got   int
+	sizes [][]uint32 // per source group rank: its full size vector
+	words [][]uint64 // per source group rank: the payload for this rank
+}
+
+type ledgerMsg struct {
+	wireBytes uint64
+	ledgers   []Ledger
+}
+
+// tcpGroup is one communicator over the mesh: the session's root group
+// or a Split sub-group. It implements both Transport and Endpoint — a
+// worker process hosts exactly one rank of each group it is a member of.
+type tcpGroup struct {
+	sess    *Session
+	tag     uint64
+	members []int // mesh ranks, by group rank
+	rank    int   // this process's group rank
+	used    bool  // Reset burns it: socket groups are single-run
+
+	wordTime    time.Duration
+	syncLatency time.Duration
+
+	step    uint64
+	staging [][]uint64
+	inbox   [][]uint64
+	sendBuf []byte   // frame build scratch, reused across supersteps
+	mySizes []uint32 // size vector scratch
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[uint64]*stepState
+	ledgerIn map[int]ledgerMsg
+
+	ledger Ledger
+	merged *Ledger // root only, set by FinishRun
+}
+
+func newTCPGroup(s *Session, tag uint64, members []int, rank int) *tcpGroup {
+	g := &tcpGroup{
+		sess:     s,
+		tag:      tag,
+		members:  members,
+		rank:     rank,
+		staging:  make([][]uint64, len(members)),
+		inbox:    make([][]uint64, len(members)),
+		mySizes:  make([]uint32, len(members)),
+		pending:  make(map[uint64]*stepState),
+		ledgerIn: make(map[int]ledgerMsg),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// groupRankOf translates a mesh rank to this group's rank, or -1.
+func (g *tcpGroup) groupRankOf(meshRank int) int {
+	for i, r := range g.members {
+		if r == meshRank {
+			return i
+		}
+	}
+	return -1
+}
+
+// deliver parks one inbound frame on the group's step (or ledger) state.
+// Runs on read-pump goroutines.
+func (g *tcpGroup) deliver(f frame) {
+	src := g.groupRankOf(f.src)
+	if src < 0 || src == g.rank {
+		g.sess.abort(fmt.Errorf("%w: frame from rank %d not a peer of group %#x", ErrPeerLost, f.src, g.tag), true)
+		return
+	}
+	switch f.kind {
+	case frameData:
+		sizes, words, err := decodeDataPayload(f.payload, len(g.members), g.rank)
+		if err != nil {
+			g.sess.abort(fmt.Errorf("%w: rank %d: %v", ErrPeerLost, f.src, err), true)
+			return
+		}
+		g.mu.Lock()
+		st := g.pending[f.step]
+		if st == nil {
+			st = &stepState{sizes: make([][]uint32, len(g.members)), words: make([][]uint64, len(g.members))}
+			g.pending[f.step] = st
+		}
+		if st.sizes[src] == nil {
+			st.got++
+		}
+		st.sizes[src] = sizes
+		st.words[src] = words
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	case frameLedger:
+		wb, ledgers, err := decodeLedgers(f.payload)
+		if err != nil {
+			g.sess.abort(fmt.Errorf("%w: rank %d: %v", ErrPeerLost, f.src, err), true)
+			return
+		}
+		g.mu.Lock()
+		g.ledgerIn[src] = ledgerMsg{wireBytes: wb, ledgers: ledgers}
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// --- Endpoint ---
+
+// Rank returns this process's rank in the group.
+func (g *tcpGroup) Rank() int { return g.rank }
+
+// Send stages a copy of words for group rank `to`.
+func (g *tcpGroup) Send(to int, words []uint64) {
+	if to < 0 || to >= len(g.staging) {
+		panic(fmt.Sprintf("transport: send to rank %d of %d", to, len(g.staging)))
+	}
+	g.staging[to] = append(g.staging[to], words...)
+}
+
+// SendOwned stages words; over sockets adoption saves nothing beyond
+// the copy Send would do, so it shares Send's path.
+func (g *tcpGroup) SendOwned(to int, words []uint64) {
+	if to < 0 || to >= len(g.staging) {
+		panic(fmt.Sprintf("transport: send to rank %d of %d", to, len(g.staging)))
+	}
+	if len(g.staging[to]) == 0 {
+		g.staging[to] = words
+		return
+	}
+	g.staging[to] = append(g.staging[to], words...)
+}
+
+// Recv returns the words delivered from group rank src at the last
+// Exchange.
+func (g *tcpGroup) Recv(src int) []uint64 { return g.inbox[src] }
+
+// Buffer returns a fresh word slice (socket groups decode into new
+// slices anyway, so there is no pool to recycle from).
+func (g *tcpGroup) Buffer(n int) []uint64 { return make([]uint64, n) }
+
+// Exchange is the superstep barrier over sockets: coalesce one data
+// frame per peer (carrying the full size vector), then block until all
+// gp-1 peer frames for this step arrived. Every member then computes
+// the identical h-relation from the assembled size matrix.
+func (g *tcpGroup) Exchange() error {
+	s := g.sess
+	if s.abortFlag.Load() {
+		return g.waitErr()
+	}
+	gp := len(g.members)
+	step := g.step
+
+	if h := s.wireHook; h != nil {
+		drop, stall := h(step)
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if drop {
+			s.mesh.DropPeers()
+		}
+	}
+
+	for d := 0; d < gp; d++ {
+		g.mySizes[d] = uint32(len(g.staging[d]))
+	}
+	for dst := 0; dst < gp; dst++ {
+		if dst == g.rank {
+			continue
+		}
+		buf := appendFrameHeader(g.sendBuf[:0], frameData, s.epoch, g.tag, step, s.mesh.rank)
+		buf = appendUint32(buf, uint32(gp))
+		for _, sz := range g.mySizes {
+			buf = appendUint32(buf, sz)
+		}
+		buf = appendWords(buf, g.staging[dst])
+		patchFrameLen(buf)
+		g.sendBuf = buf[:0]
+		n, err := s.mesh.sendFrame(g.members[dst], buf)
+		if err != nil {
+			s.abort(err, true)
+			return g.waitErr()
+		}
+		s.wireBytes.Add(uint64(n))
+	}
+
+	// Barrier: wait for every peer's frame for this step. The step state
+	// is created here when no peer frame beat us to it (and always for a
+	// single-member group, which waits on nobody).
+	g.mu.Lock()
+	st := g.pending[step]
+	if st == nil {
+		st = &stepState{sizes: make([][]uint32, gp), words: make([][]uint64, gp)}
+		g.pending[step] = st
+	}
+	for st.got < gp-1 {
+		if s.abortFlag.Load() {
+			g.mu.Unlock()
+			return g.waitErr()
+		}
+		g.cond.Wait()
+	}
+	delete(g.pending, step)
+	g.mu.Unlock()
+
+	// Deliver: peers' payloads plus the self-staged words; the displaced
+	// self buffer becomes the next superstep's self staging cell.
+	spare := g.inbox[g.rank]
+	for src := 0; src < gp; src++ {
+		if src == g.rank {
+			g.inbox[src] = g.staging[src]
+		} else {
+			g.inbox[src] = st.words[src]
+		}
+	}
+	for dst := 0; dst < gp; dst++ {
+		if dst == g.rank {
+			g.staging[dst] = spare[:0]
+		} else {
+			g.staging[dst] = g.staging[dst][:0]
+		}
+	}
+
+	// Account the h-relation from the full size matrix — byte-identical
+	// to the in-process finalizer: max over destinations of the column
+	// sum and over sources of the row sum.
+	var h uint64
+	for dst := 0; dst < gp; dst++ {
+		var recv uint64
+		for src := 0; src < gp; src++ {
+			if src == g.rank {
+				recv += uint64(g.mySizes[dst])
+			} else {
+				recv += uint64(st.sizes[src][dst])
+			}
+		}
+		if recv > h {
+			h = recv
+		}
+	}
+	for src := 0; src < gp; src++ {
+		var sent uint64
+		if src == g.rank {
+			for _, sz := range g.mySizes {
+				sent += uint64(sz)
+			}
+		} else {
+			for _, sz := range st.sizes[src] {
+				sent += uint64(sz)
+			}
+		}
+		if sent > h {
+			h = sent
+		}
+	}
+	g.ledger.Supersteps++
+	g.ledger.Volume += h
+	g.ledger.HRelations = append(g.ledger.HRelations, h)
+	if g.wordTime > 0 || g.syncLatency > 0 {
+		g.ledger.SimComm += time.Duration(h)*g.wordTime + g.syncLatency
+	}
+	g.step = step + 1
+	return nil
+}
+
+// waitErr returns the session's abort cause, never nil once aborted.
+func (g *tcpGroup) waitErr() error {
+	if err := g.sess.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: aborted with no recorded cause", ErrPeerLost)
+}
+
+// --- Transport ---
+
+// Kind returns KindTCP.
+func (g *tcpGroup) Kind() string { return KindTCP }
+
+// Size returns the group's rank count.
+func (g *tcpGroup) Size() int { return len(g.members) }
+
+// LocalRanks returns the single rank this process hosts.
+func (g *tcpGroup) LocalRanks() []int { return []int{g.rank} }
+
+// Endpoint returns this process's endpoint; the group is its own
+// endpoint.
+func (g *tcpGroup) Endpoint(rank int) Endpoint {
+	if rank != g.rank {
+		panic(fmt.Sprintf("transport: rank %d not hosted by this process (local rank %d)", rank, g.rank))
+	}
+	return g
+}
+
+// AbortFlag returns the session-wide abort flag: all groups of a run
+// poison together, which is exactly the bsp cascade's contract.
+func (g *tcpGroup) AbortFlag() *atomic.Bool { return &g.sess.abortFlag }
+
+// Abort poisons the session and notifies every peer process.
+func (g *tcpGroup) Abort(err error) { g.sess.abort(err, true) }
+
+// Err returns the abort cause, or nil.
+func (g *tcpGroup) Err() error { return g.sess.Err() }
+
+// SetCost configures the emulated interconnect.
+func (g *tcpGroup) SetCost(wordTime, syncLatency time.Duration) {
+	g.wordTime = wordTime
+	g.syncLatency = syncLatency
+}
+
+// Derive creates the group for a Split: members are parent-group ranks
+// in sub-rank order; they translate to mesh ranks through this group's
+// membership. Every member derives the same tag, so frames route
+// correctly even when a peer exchanges on the child before this process
+// derives it (the session orphan buffer holds them).
+func (g *tcpGroup) Derive(tag uint64, members []int) (Transport, error) {
+	meshMembers := make([]int, len(members))
+	childRank := -1
+	for i, pr := range members {
+		if pr < 0 || pr >= len(g.members) {
+			return nil, fmt.Errorf("transport: derive member %d of %d", pr, len(g.members))
+		}
+		meshMembers[i] = g.members[pr]
+		if pr == g.rank {
+			childRank = i
+		}
+	}
+	if childRank < 0 {
+		return nil, fmt.Errorf("transport: deriving group %#x without local rank %d", tag, g.rank)
+	}
+	child := newTCPGroup(g.sess, tag, meshMembers, childRank)
+	child.wordTime = g.wordTime
+	child.syncLatency = g.syncLatency
+	if err := g.sess.registerGroup(child); err != nil {
+		return nil, err
+	}
+	return child, nil
+}
+
+// FoldChild logs a derived group's ledger for the end-of-run merge.
+// Called exactly once per group, from the process hosting its rank 0 —
+// so across all processes each group is logged exactly once, and the
+// flat union FinishRun merges equals the in-process hierarchical fold.
+func (g *tcpGroup) FoldChild(sub Transport) {
+	child, ok := sub.(*tcpGroup)
+	if !ok {
+		panic("transport: FoldChild across fabric kinds")
+	}
+	s := g.sess
+	entry := child.ledger
+	entry.HRelations = append([]uint64(nil), child.ledger.HRelations...)
+	s.foldMu.Lock()
+	s.foldLog = append(s.foldLog, entry)
+	s.foldMu.Unlock()
+}
+
+// Reset burns the group's single run; a second Reset is an error
+// (sessions are per-job, the serving layer never pools them).
+func (g *tcpGroup) Reset() error {
+	if g.used {
+		return fmt.Errorf("transport: tcp fabric is single-run (epoch %d)", g.sess.epoch)
+	}
+	g.used = true
+	return nil
+}
+
+// FinishRun merges the run's accounting across processes: every member
+// of the root group broadcasts its fold-log (the ledgers of sub-groups
+// it hosted rank 0 of) plus its wire-byte count, and merges what it
+// receives. After it, every process holds the identical ledger the
+// in-process fabric would have produced, plus the summed wire traffic.
+func (g *tcpGroup) FinishRun() error {
+	s := g.sess
+	gp := len(g.members)
+	s.foldMu.Lock()
+	ownLog := append([]Ledger(nil), s.foldLog...)
+	s.foldMu.Unlock()
+	ownWire := s.wireBytes.Load()
+
+	if gp > 1 {
+		payload := encodeLedgers(ownWire, ownLog)
+		for i, r := range g.members {
+			if i == g.rank {
+				continue
+			}
+			buf := appendFrameHeader(make([]byte, 0, 4+frameHeaderLen+len(payload)), frameLedger, s.epoch, g.tag, 0, s.mesh.rank)
+			buf = append(buf, payload...)
+			patchFrameLen(buf)
+			n, err := s.mesh.sendFrame(r, buf)
+			if err != nil {
+				s.abort(err, true)
+				return g.waitErr()
+			}
+			s.wireBytes.Add(uint64(n))
+		}
+		g.mu.Lock()
+		for len(g.ledgerIn) < gp-1 {
+			if s.abortFlag.Load() {
+				g.mu.Unlock()
+				return g.waitErr()
+			}
+			g.cond.Wait()
+		}
+		g.mu.Unlock()
+	}
+
+	merged := g.ledger
+	merged.HRelations = append([]uint64(nil), g.ledger.HRelations...)
+	for _, l := range ownLog {
+		merged.add(&l)
+	}
+	merged.WireBytes = ownWire
+	g.mu.Lock()
+	for _, msg := range g.ledgerIn {
+		for _, l := range msg.ledgers {
+			merged.add(&l)
+		}
+		merged.WireBytes += msg.wireBytes
+	}
+	g.mu.Unlock()
+	g.merged = &merged
+	return nil
+}
+
+// Ledger returns the merged run accounting (root, after FinishRun) or
+// this group's own share.
+func (g *tcpGroup) Ledger() Ledger {
+	src := &g.ledger
+	if g.merged != nil {
+		src = g.merged
+	}
+	out := *src
+	out.HRelations = append([]uint64(nil), src.HRelations...)
+	return out
+}
+
+// Close deregisters: the root group closes its whole session, a child
+// removes just itself.
+func (g *tcpGroup) Close() error {
+	s := g.sess
+	if g == s.root {
+		return s.Close()
+	}
+	s.mu.Lock()
+	if s.groups[g.tag] == g {
+		delete(s.groups, g.tag)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// appendUint32 appends v little-endian.
+func appendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// NewLoopbackMeshes builds a fully connected p-process mesh on
+// 127.0.0.1 ephemeral ports, all in this process — the test harness for
+// multi-process behaviour without spawning processes. Callers own the
+// meshes and must Close each.
+func NewLoopbackMeshes(p int, epoch uint64) ([]*Mesh, error) {
+	return NewLoopbackMeshesControl(p, epoch, nil)
+}
+
+// NewLoopbackMeshesControl is NewLoopbackMeshes with a per-rank control
+// handler factory (may be nil).
+func NewLoopbackMeshesControl(p int, epoch uint64, control func(rank int) func(src int, epoch uint64, payload []byte)) ([]*Mesh, error) {
+	lns := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				lns[j].Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	meshes := make([]*Mesh, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := MeshConfig{Rank: i, Addrs: addrs, MachineEpoch: epoch, Listener: lns[i]}
+			if control != nil {
+				cfg.Control = control(i)
+			}
+			meshes[i], errs[i] = NewMesh(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, ms := range meshes {
+				if ms != nil {
+					ms.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return meshes, nil
+}

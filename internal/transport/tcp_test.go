@@ -1,0 +1,439 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newLoopbackListeners binds n ephemeral loopback listeners.
+func newLoopbackListeners(n int) ([]net.Listener, error) {
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				lns[j].Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+	}
+	return lns, nil
+}
+
+// withMeshes builds p loopback meshes, hands them to fn, and tears them
+// down.
+func withMeshes(t *testing.T, p int, fn func(meshes []*Mesh)) {
+	t.Helper()
+	meshes, err := NewLoopbackMeshes(p, 42)
+	if err != nil {
+		t.Fatalf("loopback meshes: %v", err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	fn(meshes)
+}
+
+// runRanks runs body once per rank concurrently and returns the
+// per-rank errors.
+func runRanks(p int, body func(rank int) error) []error {
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = body(r)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+func allMembers(p int) []int {
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	return members
+}
+
+// trafficPattern drives a deterministic exchange pattern on any
+// Endpoint: superstep s, rank r sends (s<<16 | r<<8 | dst) repeated
+// (r+s)%3+ (rank-dependent) times.
+func trafficPattern(ep Endpoint, steps int) error {
+	p := ep.Size()
+	r := ep.Rank()
+	for s := 0; s < steps; s++ {
+		for dst := 0; dst < p; dst++ {
+			n := (r+s+dst)%3 + 1
+			for i := 0; i < n; i++ {
+				ep.Send(dst, []uint64{uint64(s)<<16 | uint64(r)<<8 | uint64(dst)})
+			}
+		}
+		if err := ep.Exchange(); err != nil {
+			return err
+		}
+		for src := 0; src < p; src++ {
+			got := ep.Recv(src)
+			wantN := (src+s+r)%3 + 1
+			if len(got) != wantN {
+				return fmt.Errorf("rank %d step %d from %d: %d words, want %d", r, s, src, len(got), wantN)
+			}
+			want := uint64(s)<<16 | uint64(src)<<8 | uint64(r)
+			for _, w := range got {
+				if w != want {
+					return fmt.Errorf("rank %d step %d from %d: word %#x, want %#x", r, s, src, w, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func ledgerEq(a, b Ledger) bool {
+	if a.Supersteps != b.Supersteps || a.Volume != b.Volume || len(a.HRelations) != len(b.HRelations) {
+		return false
+	}
+	for i := range a.HRelations {
+		if a.HRelations[i] != b.HRelations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTCPExchangeMatchesLocal(t *testing.T) {
+	const steps = 5
+	for _, p := range []int{2, 4} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			local := runLocal(t, p, func(ep *LocalEndpoint) error {
+				return trafficPattern(ep, steps)
+			})
+			wantLedger := local.Ledger()
+
+			withMeshes(t, p, func(meshes []*Mesh) {
+				ledgers := make([]Ledger, p)
+				errs := runRanks(p, func(r int) error {
+					sess, err := meshes[r].NewSession(1, allMembers(p))
+					if err != nil {
+						return err
+					}
+					defer sess.Close()
+					root := sess.Root()
+					if err := root.Reset(); err != nil {
+						return err
+					}
+					if err := trafficPattern(root.Endpoint(r), steps); err != nil {
+						return err
+					}
+					if err := root.FinishRun(); err != nil {
+						return err
+					}
+					ledgers[r] = root.Ledger()
+					return nil
+				})
+				for r, err := range errs {
+					if err != nil {
+						t.Fatalf("rank %d: %v", r, err)
+					}
+				}
+				for r := 0; r < p; r++ {
+					if !ledgerEq(ledgers[r], wantLedger) {
+						t.Fatalf("rank %d tcp ledger %+v != local %+v", r, ledgers[r], wantLedger)
+					}
+					if ledgers[r].WireBytes == 0 {
+						t.Fatalf("rank %d: wire bytes not accounted", r)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestTCPRemoteAbortCarriesCancel(t *testing.T) {
+	const p = 3
+	withMeshes(t, p, func(meshes []*Mesh) {
+		cause := fmt.Errorf("deadline blew: %w", ErrCancelled)
+		errs := runRanks(p, func(r int) error {
+			sess, err := meshes[r].NewSession(9, allMembers(p))
+			if err != nil {
+				return err
+			}
+			defer sess.Close()
+			root := sess.Root()
+			if r == 0 {
+				// Give peers time to block in Exchange, then cancel.
+				time.Sleep(30 * time.Millisecond)
+				root.Abort(cause)
+				return nil
+			}
+			return root.Endpoint(r).Exchange()
+		})
+		for r := 1; r < p; r++ {
+			var ra *RemoteAbort
+			if !errors.As(errs[r], &ra) {
+				t.Fatalf("rank %d: %v, want RemoteAbort", r, errs[r])
+			}
+			if !ra.Cancelled || ra.Rank != 0 {
+				t.Fatalf("rank %d: RemoteAbort %+v, want cancelled from rank 0", r, ra)
+			}
+		}
+	})
+}
+
+func TestTCPPeerLossAborts(t *testing.T) {
+	const p = 3
+	withMeshes(t, p, func(meshes []*Mesh) {
+		errs := runRanks(p, func(r int) error {
+			sess, err := meshes[r].NewSession(5, allMembers(p))
+			if err != nil {
+				return err
+			}
+			defer sess.Close()
+			root := sess.Root()
+			if r == 0 {
+				time.Sleep(30 * time.Millisecond)
+				meshes[0].Close() // process death
+				return nil
+			}
+			return root.Endpoint(r).Exchange()
+		})
+		for r := 1; r < p; r++ {
+			if !errors.Is(errs[r], ErrPeerLost) {
+				t.Fatalf("rank %d: %v, want ErrPeerLost", r, errs[r])
+			}
+		}
+	})
+}
+
+func TestTCPDeriveSubgroups(t *testing.T) {
+	const p = 4
+	withMeshes(t, p, func(meshes []*Mesh) {
+		// Split into even/odd groups; run the traffic pattern inside each
+		// group; fold; verify the merged ledger matches the local fabric
+		// doing the same.
+		local := runLocal(t, p, func(ep *LocalEndpoint) error {
+			return trafficPattern(ep, 1)
+		})
+		// Emulate the sub-run on the local side by hand: two size-2 groups
+		// each running 2 steps of the pattern.
+		for color := 0; color < 2; color++ {
+			subT, err := local.Derive(uint64(100+color), []int{0, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := subT.(*Local)
+			var wg sync.WaitGroup
+			serrs := make([]error, 2)
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					serrs[r] = trafficPattern(sub.LocalEndpointAt(r), 2)
+				}(r)
+			}
+			wg.Wait()
+			for _, err := range serrs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			local.FoldChild(sub)
+		}
+		wantLedger := local.Ledger()
+
+		ledgers := make([]Ledger, p)
+		errs := runRanks(p, func(r int) error {
+			sess, err := meshes[r].NewSession(77, allMembers(p))
+			if err != nil {
+				return err
+			}
+			defer sess.Close()
+			root := sess.Root()
+			if err := root.Reset(); err != nil {
+				return err
+			}
+			ep := root.Endpoint(r)
+			if err := trafficPattern(ep, 1); err != nil {
+				return err
+			}
+			color := r % 2
+			var members []int
+			for _, mr := range allMembers(p) {
+				if mr%2 == color {
+					members = append(members, mr)
+				}
+			}
+			sub, err := root.Derive(uint64(100+color), members)
+			if err != nil {
+				return err
+			}
+			subRank := r / 2
+			if err := trafficPattern(sub.Endpoint(subRank), 2); err != nil {
+				return err
+			}
+			if subRank == 0 {
+				root.FoldChild(sub)
+			}
+			if err := root.FinishRun(); err != nil {
+				return err
+			}
+			ledgers[r] = root.Ledger()
+			return nil
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		// H-relation fold order differs across processes; compare as
+		// multisets the way the golden fingerprints do.
+		for r := 0; r < p; r++ {
+			if ledgers[r].Supersteps != wantLedger.Supersteps || ledgers[r].Volume != wantLedger.Volume {
+				t.Fatalf("rank %d ledger %+v != local %+v", r, ledgers[r], wantLedger)
+			}
+			if !sameMultiset(ledgers[r].HRelations, wantLedger.HRelations) {
+				t.Fatalf("rank %d h-relations %v != local %v (as multisets)", r, ledgers[r].HRelations, wantLedger.HRelations)
+			}
+		}
+	})
+}
+
+func sameMultiset(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[uint64]int, len(a))
+	for _, v := range a {
+		counts[v]++
+	}
+	for _, v := range b {
+		counts[v]--
+	}
+	for _, n := range counts {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTCPWireStallHook(t *testing.T) {
+	const p = 2
+	withMeshes(t, p, func(meshes []*Mesh) {
+		const stall = 60 * time.Millisecond
+		start := time.Now()
+		errs := runRanks(p, func(r int) error {
+			sess, err := meshes[r].NewSession(3, allMembers(p))
+			if err != nil {
+				return err
+			}
+			defer sess.Close()
+			if r == 1 {
+				sess.SetWireHook(func(step uint64) (bool, time.Duration) {
+					if step == 0 {
+						return false, stall
+					}
+					return false, 0
+				})
+			}
+			return sess.Root().Endpoint(r).Exchange()
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		if el := time.Since(start); el < stall {
+			t.Fatalf("exchange finished in %v, stall hook (%v) did not bite", el, stall)
+		}
+	})
+}
+
+func TestTCPWireDropHook(t *testing.T) {
+	const p = 2
+	withMeshes(t, p, func(meshes []*Mesh) {
+		errs := runRanks(p, func(r int) error {
+			sess, err := meshes[r].NewSession(4, allMembers(p))
+			if err != nil {
+				return err
+			}
+			defer sess.Close()
+			if r == 1 {
+				sess.SetWireHook(func(step uint64) (bool, time.Duration) {
+					return step == 0, 0
+				})
+			}
+			return sess.Root().Endpoint(r).Exchange()
+		})
+		for r, err := range errs {
+			if !errors.Is(err, ErrPeerLost) {
+				t.Fatalf("rank %d: %v, want ErrPeerLost", r, err)
+			}
+		}
+	})
+}
+
+func TestTCPHandshakeEpochMismatch(t *testing.T) {
+	// Two processes from different machine epochs must refuse to mesh.
+	lnA, err := newLoopbackListeners(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA[0].Addr().String(), lnA[1].Addr().String()}
+	var wg sync.WaitGroup
+	var errA, errB error
+	var meshA, meshB *Mesh
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		meshA, errA = NewMesh(MeshConfig{Rank: 0, Addrs: addrs, MachineEpoch: 1, Listener: lnA[0], DialTimeout: 2 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		meshB, errB = NewMesh(MeshConfig{Rank: 1, Addrs: addrs, MachineEpoch: 2, Listener: lnA[1], DialTimeout: 2 * time.Second})
+	}()
+	wg.Wait()
+	if errA == nil && errB == nil {
+		t.Fatal("meshes with mismatched machine epochs connected")
+	}
+	if meshA != nil {
+		meshA.Close()
+	}
+	if meshB != nil {
+		meshB.Close()
+	}
+}
+
+func TestTCPSingleRun(t *testing.T) {
+	withMeshes(t, 2, func(meshes []*Mesh) {
+		errs := runRanks(2, func(r int) error {
+			sess, err := meshes[r].NewSession(8, allMembers(2))
+			if err != nil {
+				return err
+			}
+			defer sess.Close()
+			root := sess.Root()
+			if err := root.Reset(); err != nil {
+				return err
+			}
+			if err := root.Reset(); err == nil {
+				return errors.New("second Reset on a tcp fabric must fail")
+			}
+			return nil
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire protocol of the TCP fabric (DESIGN.md §4f).
+//
+// A connection opens with a fixed 17-byte preamble — magic "CAMT",
+// protocol version, the dialer's mesh rank, and the dialer's machine
+// epoch — and then carries length-prefixed frames both ways for its
+// lifetime. All integers are little-endian.
+//
+// Frame layout:
+//
+//	u32  length of the remainder (kind..payload)
+//	u8   kind
+//	u64  session epoch
+//	u64  group tag (0 = the session's root group)
+//	u64  superstep within the group
+//	u32  sender's mesh rank
+//	...  kind-specific payload
+//
+// Data frames carry the sender's complete per-destination size vector
+// ahead of the payload words, so every rank of a group reconstructs the
+// same p×p size matrix and accounts the superstep's h-relation
+// identically to the in-process fabric's finalizer.
+
+const (
+	wireMagic   = "CAMT"
+	wireVersion = 1
+
+	// Frame kinds.
+	frameData    = 1 // superstep payload + size vector
+	frameAbort   = 2 // abort propagation (payload: u8 cancelled, error text)
+	frameLedger  = 3 // end-of-run fold-log merge
+	frameControl = 4 // out-of-band job control (payload: opaque bytes)
+
+	frameHeaderLen = 1 + 8 + 8 + 8 + 4 // kind..src, after the length prefix
+
+	// maxFrameLen bounds a frame's self-declared length so a corrupt or
+	// hostile peer cannot make the pump allocate unboundedly.
+	maxFrameLen = 1 << 30
+)
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind    byte
+	epoch   uint64
+	tag     uint64
+	step    uint64
+	src     int
+	payload []byte
+}
+
+// writePreamble emits the connection handshake.
+func writePreamble(w io.Writer, rank int, epoch uint64) error {
+	var b [17]byte
+	copy(b[:4], wireMagic)
+	b[4] = wireVersion
+	binary.LittleEndian.PutUint32(b[5:9], uint32(rank))
+	binary.LittleEndian.PutUint64(b[9:17], epoch)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readPreamble validates the handshake and returns the dialer's rank.
+// The accepter checks magic, protocol version, and machine epoch; a
+// mismatch is a deployment error surfaced as ErrPeerLost.
+func readPreamble(r io.Reader, wantEpoch uint64) (int, error) {
+	var b [17]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: handshake read: %w", ErrPeerLost, err)
+	}
+	if string(b[:4]) != wireMagic {
+		return 0, fmt.Errorf("%w: bad handshake magic %q", ErrPeerLost, b[:4])
+	}
+	if b[4] != wireVersion {
+		return 0, fmt.Errorf("%w: protocol version %d, want %d", ErrPeerLost, b[4], wireVersion)
+	}
+	rank := int(binary.LittleEndian.Uint32(b[5:9]))
+	epoch := binary.LittleEndian.Uint64(b[9:17])
+	if epoch != wantEpoch {
+		return 0, fmt.Errorf("%w: machine epoch %d, want %d", ErrPeerLost, epoch, wantEpoch)
+	}
+	return rank, nil
+}
+
+// appendFrameHeader appends the frame header (with a placeholder length
+// that encodeFrameLen patches) to buf.
+func appendFrameHeader(buf []byte, kind byte, epoch, tag, step uint64, src int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // length, patched later
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, tag)
+	buf = binary.LittleEndian.AppendUint64(buf, step)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(src))
+	return buf
+}
+
+// patchFrameLen writes the final frame length into the prefix.
+func patchFrameLen(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+}
+
+// readFrame reads one frame from r into a freshly allocated payload.
+func readFrame(r io.Reader) (frame, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n < frameHeaderLen || n > maxFrameLen {
+		return frame{}, fmt.Errorf("frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		kind:    body[0],
+		epoch:   binary.LittleEndian.Uint64(body[1:9]),
+		tag:     binary.LittleEndian.Uint64(body[9:17]),
+		step:    binary.LittleEndian.Uint64(body[17:25]),
+		src:     int(binary.LittleEndian.Uint32(body[25:29])),
+		payload: body[frameHeaderLen:],
+	}
+	return f, nil
+}
+
+// appendWords appends words little-endian to buf.
+func appendWords(buf []byte, words []uint64) []byte {
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// decodeDataPayload splits a data frame's payload into the sender's
+// per-destination size vector (group-sized) and the words destined for
+// the receiving rank.
+func decodeDataPayload(payload []byte, groupSize, myRank int) (sizes []uint32, words []uint64, err error) {
+	need := 4 + 4*groupSize
+	if len(payload) < need {
+		return nil, nil, fmt.Errorf("data frame payload %dB, want ≥%dB", len(payload), need)
+	}
+	if gp := int(binary.LittleEndian.Uint32(payload[:4])); gp != groupSize {
+		return nil, nil, fmt.Errorf("data frame for group size %d, want %d", gp, groupSize)
+	}
+	sizes = make([]uint32, groupSize)
+	for i := range sizes {
+		sizes[i] = binary.LittleEndian.Uint32(payload[4+4*i:])
+	}
+	body := payload[need:]
+	n := int(sizes[myRank])
+	if len(body) != 8*n {
+		return nil, nil, fmt.Errorf("data frame body %dB, size vector says %d words", len(body), n)
+	}
+	words = make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(body[8*i:])
+	}
+	return sizes, words, nil
+}
+
+// encodeLedgers serializes a process's fold-log (plus its wire-byte
+// count) for the end-of-run merge.
+func encodeLedgers(wireBytes uint64, ledgers []Ledger) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, wireBytes)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ledgers)))
+	for _, l := range ledgers {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(l.Supersteps))
+		buf = binary.LittleEndian.AppendUint64(buf, l.Volume)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(l.SimComm))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.HRelations)))
+		buf = appendWords(buf, l.HRelations)
+	}
+	return buf
+}
+
+// decodeLedgers parses encodeLedgers' output.
+func decodeLedgers(payload []byte) (wireBytes uint64, ledgers []Ledger, err error) {
+	bad := func() (uint64, []Ledger, error) {
+		return 0, nil, fmt.Errorf("malformed ledger frame (%dB)", len(payload))
+	}
+	if len(payload) < 12 {
+		return bad()
+	}
+	wireBytes = binary.LittleEndian.Uint64(payload[:8])
+	count := int(binary.LittleEndian.Uint32(payload[8:12]))
+	off := 12
+	for i := 0; i < count; i++ {
+		if len(payload) < off+28 {
+			return bad()
+		}
+		var l Ledger
+		l.Supersteps = int(binary.LittleEndian.Uint64(payload[off:]))
+		l.Volume = binary.LittleEndian.Uint64(payload[off+8:])
+		l.SimComm = time.Duration(binary.LittleEndian.Uint64(payload[off+16:]))
+		hlen := int(binary.LittleEndian.Uint32(payload[off+24:]))
+		off += 28
+		if hlen > maxFrameLen/8 || len(payload) < off+8*hlen {
+			return bad()
+		}
+		l.HRelations = make([]uint64, hlen)
+		for j := range l.HRelations {
+			l.HRelations[j] = binary.LittleEndian.Uint64(payload[off+8*j:])
+		}
+		off += 8 * hlen
+		ledgers = append(ledgers, l)
+	}
+	if off != len(payload) {
+		return bad()
+	}
+	return wireBytes, ledgers, nil
+}
+
+// encodeAbort serializes an abort notification.
+func encodeAbort(cancelled bool, msg string) []byte {
+	buf := make([]byte, 0, 1+len(msg))
+	if cancelled {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return append(buf, msg...)
+}
+
+// decodeAbort parses encodeAbort's output.
+func decodeAbort(payload []byte) (cancelled bool, msg string) {
+	if len(payload) == 0 {
+		return false, "unknown cause"
+	}
+	return payload[0] == 1, string(payload[1:])
+}
