@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check chaos lint bench bench-bsp bench-kernels bench-service bench-transport transport camcd
+.PHONY: all build test vet race check chaos lint vuln bench bench-bsp bench-kernels bench-service bench-transport bench-gate load-smoke transport camcd
 
 all: check
 
@@ -42,6 +42,15 @@ lint:
 		echo "golangci-lint not installed; see .golangci.yml (CI runs it)"; \
 	fi
 
+# Known-vulnerability scan. Like lint, degrades to a hint when the tool
+# is absent (CI installs it).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@latest); CI runs it"; \
+	fi
+
 bench:
 	$(GO) run ./cmd/bench -exp all -quick
 
@@ -68,6 +77,18 @@ bench-service:
 # comparison CI archives).
 bench-transport:
 	$(GO) test -run='^$$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem ./internal/transport/
+
+# Regression gate: save the committed BENCH_*.json baselines aside,
+# re-run every bench suite, and fail if a tagged-critical metric
+# (comm volume, supersteps, cut values, allocation counts, speedup
+# ratios) regressed beyond tolerance. BENCHTIME tunes the re-run cost.
+bench-gate:
+	bash scripts/bench_gate.sh
+
+# Loadgen smoke: deterministic mixed traffic against a single-process
+# daemon and a 3-process fleet; writes BENCH_load_{single,fleet}.json.
+load-smoke:
+	bash scripts/load_smoke.sh
 
 # Multi-process tier: the transport fabric, the shard serving tier, and
 # the 3-process fleet e2e (spawns real camcd processes), race-checked.

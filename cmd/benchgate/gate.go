@@ -1,0 +1,427 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Metric is one gated (or informational) comparison between a
+// committed baseline and a freshly measured value.
+//
+// The gate deliberately distinguishes two metric classes:
+//
+//   - deterministic counts (communication volume, supersteps,
+//     allocations, cut values): identical workloads must reproduce
+//     them almost exactly, so they gate at a tight tolerance on any
+//     machine;
+//   - same-machine timing RATIOS (warm/cold cache speedup,
+//     static/dynamic scheduling speedup, radix-vs-stdlib sort
+//     speedup): both sides of a ratio are measured in the same
+//     process, so the machine's absolute speed divides out, and only
+//     a real relative regression — e.g. a 2× slowdown on one side —
+//     moves it.
+//
+// Raw wall-clock numbers are reported but never gated: the committed
+// baselines come from whatever machine last regenerated them, and
+// CI runners are not that machine.
+type Metric struct {
+	File string
+	Name string
+	Base float64
+	Cur  float64
+	// Tol is the tolerated fractional change in the harmful direction;
+	// 0 means exact match required.
+	Tol float64
+	// Better is +1 when higher is better, -1 when lower is better.
+	Better int
+	// Abs, when > 0, is an absolute-change floor: a metric whose raw
+	// change stays within ±Abs never regresses even past Tol. It keeps
+	// tiny counters (4 allocs/op) from failing on a ±1 wobble that a
+	// shorter CI benchtime can cause.
+	Abs float64
+	// Critical metrics gate the build; the rest are informational.
+	Critical bool
+}
+
+// Delta is the fractional change from baseline (positive = increased).
+func (m Metric) Delta() float64 {
+	if m.Base == 0 {
+		if m.Cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (m.Cur - m.Base) / m.Base
+}
+
+// Regressed reports whether a critical metric moved past its tolerance
+// in the harmful direction.
+func (m Metric) Regressed() bool {
+	if !m.Critical {
+		return false
+	}
+	if m.Abs > 0 && math.Abs(m.Cur-m.Base) <= m.Abs {
+		return false
+	}
+	if m.Tol == 0 {
+		return m.Cur != m.Base
+	}
+	d := m.Delta()
+	switch m.Better {
+	case +1:
+		return d < -m.Tol
+	case -1:
+		return d > m.Tol
+	}
+	return math.Abs(d) > m.Tol
+}
+
+// Tolerances for the two metric classes.
+const (
+	tolCount = 0.15 // deterministic counts: >15% drift fails
+	tolRatio = 0.40 // same-machine timing ratios: >40% drop fails
+)
+
+// ---- file schemas (mirrors of the bench writers) ----
+
+type serviceBench struct {
+	Throughput []struct {
+		Algorithm string  `json:"algorithm"`
+		WarmNsOp  int64   `json:"warm_ns_op"`
+		ColdNsOp  int64   `json:"cold_ns_op"`
+		Speedup   float64 `json:"speedup"`
+	} `json:"throughput"`
+	Scheduling []struct {
+		Schedule        string  `json:"schedule"`
+		WallNs          int64   `json:"wall_ns"`
+		IdleFraction    float64 `json:"idle_fraction"`
+		StragglerTrials int     `json:"straggler_trials"`
+		CutValue        uint64  `json:"cut_value"`
+	} `json:"scheduling"`
+}
+
+type bspBench struct {
+	Records []struct {
+		Input      string  `json:"input"`
+		Seed       uint64  `json:"seed"`
+		Trial      int     `json:"trial"`
+		Algorithm  string  `json:"algorithm"`
+		P          int     `json:"p"`
+		TimeSec    float64 `json:"time_sec"`
+		Result     float64 `json:"result"`
+		Supersteps int     `json:"supersteps"`
+		CommVolume float64 `json:"comm_volume"`
+	} `json:"records"`
+}
+
+type kernelsPair struct {
+	NewNsOp      int64   `json:"new_ns_op"`
+	BaseNsOp     int64   `json:"baseline_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	NewAllocsOp  int64   `json:"new_allocs_op"`
+	BaseAllocsOp int64   `json:"baseline_allocs_op"`
+}
+
+type kernelsBench struct {
+	EdgeSort []struct {
+		M         int     `json:"m"`
+		RadixNsOp int64   `json:"radix_ns_op"`
+		StdNsOp   int64   `json:"std_ns_op"`
+		Speedup   float64 `json:"speedup"`
+	} `json:"edge_sort"`
+	Combine kernelsPair `json:"combine"`
+	Remap   kernelsPair `json:"remap"`
+	KSTrial struct {
+		Trials           int     `json:"trials_per_op"`
+		ArenaAllocsTrial float64 `json:"arena_allocs_per_trial"`
+		CloneAllocsTrial float64 `json:"clone_allocs_per_trial"`
+		AllocReduction   float64 `json:"alloc_reduction"`
+	} `json:"ks_trial"`
+}
+
+type transportBench struct {
+	Benchmarks []struct {
+		Transport      string  `json:"transport"`
+		P              int     `json:"p"`
+		WordsPerPeer   int     `json:"words_per_peer"`
+		NsPerSuperstep int64   `json:"ns_per_superstep"`
+		MBPerS         float64 `json:"mb_per_s"`
+	} `json:"benchmarks"`
+}
+
+// benchFiles lists every baseline the gate knows how to read, relative
+// to the repo root.
+var benchFiles = []struct {
+	Path    string
+	Extract func(base, cur []byte) ([]Metric, error)
+}{
+	{"internal/service/BENCH_service.json", extractService},
+	{"internal/bsp/BENCH_bsp.json", extractBSP},
+	{"internal/kernels/BENCH_kernels.json", extractKernels},
+	{"internal/transport/BENCH_transport.json", extractTransport},
+}
+
+func decodePair[T any](base, cur []byte) (T, T, error) {
+	var b, c T
+	if err := json.Unmarshal(base, &b); err != nil {
+		return b, c, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(cur, &c); err != nil {
+		return b, c, fmt.Errorf("current: %w", err)
+	}
+	return b, c, nil
+}
+
+func extractService(base, cur []byte) ([]Metric, error) {
+	b, c, err := decodePair[serviceBench](base, cur)
+	if err != nil {
+		return nil, err
+	}
+	file := "service"
+	var ms []Metric
+	curThroughput := map[string]float64{}
+	curWarm := map[string]float64{}
+	for _, row := range c.Throughput {
+		curThroughput[row.Algorithm] = row.Speedup
+		curWarm[row.Algorithm] = float64(row.WarmNsOp)
+	}
+	for _, row := range b.Throughput {
+		if cs, ok := curThroughput[row.Algorithm]; ok {
+			ms = append(ms,
+				Metric{File: file, Name: "cache_speedup/" + row.Algorithm, Base: row.Speedup, Cur: cs,
+					Tol: tolRatio, Better: +1, Critical: true},
+				Metric{File: file, Name: "warm_ns_op/" + row.Algorithm, Base: float64(row.WarmNsOp), Cur: curWarm[row.Algorithm],
+					Better: -1})
+		}
+	}
+	sched := func(v serviceBench) (staticWall, dynWall float64, cuts map[string]float64) {
+		cuts = map[string]float64{}
+		for _, row := range v.Scheduling {
+			cuts[row.Schedule] = float64(row.CutValue)
+			switch row.Schedule {
+			case "static":
+				staticWall = float64(row.WallNs)
+			case "dynamic":
+				dynWall = float64(row.WallNs)
+			}
+		}
+		return
+	}
+	bs, bd, bcuts := sched(b)
+	cs2, cd, ccuts := sched(c)
+	if bd > 0 && cd > 0 && bs > 0 && cs2 > 0 {
+		ms = append(ms, Metric{File: file, Name: "dynamic_sched_speedup", Base: bs / bd, Cur: cs2 / cd,
+			Tol: tolRatio, Better: +1, Critical: true})
+	}
+	for _, k := range sortedKeys(bcuts) {
+		if cv, ok := ccuts[k]; ok {
+			ms = append(ms, Metric{File: file, Name: "cut_value/" + k, Base: bcuts[k], Cur: cv, Critical: true})
+		}
+	}
+	return ms, nil
+}
+
+func extractBSP(base, cur []byte) ([]Metric, error) {
+	b, c, err := decodePair[bspBench](base, cur)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		Input     string
+		Seed      uint64
+		Trial     int
+		Algorithm string
+		P         int
+	}
+	type agg struct{ comm, steps, time float64 }
+	curRec := map[key]struct {
+		result float64
+		comm   float64
+		steps  int
+		time   float64
+	}{}
+	for _, r := range c.Records {
+		curRec[key{r.Input, r.Seed, r.Trial, r.Algorithm, r.P}] = struct {
+			result float64
+			comm   float64
+			steps  int
+			time   float64
+		}{r.Result, r.CommVolume, r.Supersteps, r.TimeSec}
+	}
+	// Aggregate matched records per (algorithm, p): the counts are
+	// deterministic for a fixed (input, seed), so sums over the matched
+	// intersection gate tightly.
+	baseAgg, curAgg := map[string]agg{}, map[string]agg{}
+	mismatches, matched := 0, 0
+	for _, r := range b.Records {
+		cr, ok := curRec[key{r.Input, r.Seed, r.Trial, r.Algorithm, r.P}]
+		if !ok {
+			continue
+		}
+		matched++
+		if cr.result != r.Result {
+			mismatches++
+		}
+		k := fmt.Sprintf("%s/p=%d", r.Algorithm, r.P)
+		ba := baseAgg[k]
+		ba.comm += r.CommVolume
+		ba.steps += float64(r.Supersteps)
+		ba.time += r.TimeSec
+		baseAgg[k] = ba
+		ca := curAgg[k]
+		ca.comm += cr.comm
+		ca.steps += float64(cr.steps)
+		ca.time += cr.time
+		curAgg[k] = ca
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("bsp: no records match between baseline and current")
+	}
+	ms := []Metric{{File: "bsp", Name: "result_mismatches", Base: 0, Cur: float64(mismatches), Critical: true}}
+	for _, k := range sortedKeys(baseAgg) {
+		ba, ca := baseAgg[k], curAgg[k]
+		ms = append(ms,
+			Metric{File: "bsp", Name: "comm_volume/" + k, Base: ba.comm, Cur: ca.comm, Tol: tolCount, Better: -1, Critical: true},
+			Metric{File: "bsp", Name: "supersteps/" + k, Base: ba.steps, Cur: ca.steps, Tol: tolCount, Better: -1, Critical: true},
+			Metric{File: "bsp", Name: "time_sec/" + k, Base: ba.time, Cur: ca.time, Better: -1})
+	}
+	return ms, nil
+}
+
+func extractKernels(base, cur []byte) ([]Metric, error) {
+	b, c, err := decodePair[kernelsBench](base, cur)
+	if err != nil {
+		return nil, err
+	}
+	file := "kernels"
+	var ms []Metric
+	curSort := map[int]float64{}
+	for _, row := range c.EdgeSort {
+		curSort[row.M] = row.Speedup
+	}
+	for _, row := range b.EdgeSort {
+		if cs, ok := curSort[row.M]; ok {
+			ms = append(ms, Metric{File: file, Name: fmt.Sprintf("edge_sort_speedup/m=%d", row.M),
+				Base: row.Speedup, Cur: cs, Tol: tolRatio, Better: +1, Critical: true})
+		}
+	}
+	pair := func(name string, bp, cp kernelsPair) {
+		ms = append(ms,
+			Metric{File: file, Name: name + "_speedup", Base: bp.Speedup, Cur: cp.Speedup,
+				Tol: tolRatio, Better: +1, Critical: true},
+			Metric{File: file, Name: name + "_allocs_op", Base: float64(bp.NewAllocsOp), Cur: float64(cp.NewAllocsOp),
+				Tol: tolCount, Better: -1, Abs: 2, Critical: true})
+	}
+	pair("combine", b.Combine, c.Combine)
+	pair("remap", b.Remap, c.Remap)
+	ms = append(ms,
+		Metric{File: file, Name: "ks_alloc_reduction", Base: b.KSTrial.AllocReduction, Cur: c.KSTrial.AllocReduction,
+			Tol: tolRatio, Better: +1, Critical: true},
+		// Arena allocs per trial amortize one-time pool growth over b.N,
+		// so the raw figure moves with benchtime — informational only;
+		// the reduction ratio above is the gated claim.
+		Metric{File: file, Name: "ks_arena_allocs_per_trial", Base: b.KSTrial.ArenaAllocsTrial, Cur: c.KSTrial.ArenaAllocsTrial,
+			Better: -1})
+	return ms, nil
+}
+
+func extractTransport(base, cur []byte) ([]Metric, error) {
+	b, c, err := decodePair[transportBench](base, cur)
+	if err != nil {
+		return nil, err
+	}
+	// Transport throughput is raw wire speed — machine-bound, so every
+	// row is informational. The gate still surfaces the deltas so a
+	// collapse is visible in the table.
+	curMB := map[string]float64{}
+	for _, row := range c.Benchmarks {
+		curMB[fmt.Sprintf("%s/p=%d/w=%d", row.Transport, row.P, row.WordsPerPeer)] = row.MBPerS
+	}
+	var ms []Metric
+	for _, row := range b.Benchmarks {
+		k := fmt.Sprintf("%s/p=%d/w=%d", row.Transport, row.P, row.WordsPerPeer)
+		if cv, ok := curMB[k]; ok {
+			ms = append(ms, Metric{File: "transport", Name: "mb_per_s/" + k, Base: row.MBPerS, Cur: cv, Better: +1})
+		}
+	}
+	return ms, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Compare loads every known baseline under baselineDir, its freshly
+// measured counterpart under currentDir, and returns the full metric
+// table. A baseline missing on disk is skipped (reported via skipped);
+// a baseline present but a current measurement missing is an error —
+// the bench run silently didn't happen, which must not pass the gate.
+func Compare(baselineDir, currentDir string) (metrics []Metric, skipped []string, err error) {
+	for _, bf := range benchFiles {
+		base, berr := os.ReadFile(filepath.Join(baselineDir, bf.Path))
+		if os.IsNotExist(berr) {
+			skipped = append(skipped, bf.Path)
+			continue
+		} else if berr != nil {
+			return nil, nil, berr
+		}
+		cur, cerr := os.ReadFile(filepath.Join(currentDir, bf.Path))
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("benchgate: baseline %s exists but current measurement is missing: %w", bf.Path, cerr)
+		}
+		ms, err := bf.Extract(base, cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("benchgate: %s: %w", bf.Path, err)
+		}
+		metrics = append(metrics, ms...)
+	}
+	return metrics, skipped, nil
+}
+
+// RenderTable writes the delta table as GitHub-flavored markdown.
+func RenderTable(w io.Writer, metrics []Metric, skipped []string) {
+	fmt.Fprintln(w, "| metric | baseline | current | delta | gate |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, m := range metrics {
+		status := "info"
+		if m.Critical {
+			status = "ok"
+		}
+		if m.Regressed() {
+			status = "**REGRESSION**"
+		}
+		fmt.Fprintf(w, "| %s/%s | %s | %s | %+.1f%% | %s |\n",
+			m.File, m.Name, fmtVal(m.Base), fmtVal(m.Cur), 100*m.Delta(), status)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(w, "| %s | — | — | — | skipped (no baseline) |\n", s)
+	}
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Regressions filters the table down to the failures.
+func Regressions(metrics []Metric) []Metric {
+	var out []Metric
+	for _, m := range metrics {
+		if m.Regressed() {
+			out = append(out, m)
+		}
+	}
+	return out
+}

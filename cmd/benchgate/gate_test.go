@@ -1,0 +1,244 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const serviceFixture = `{
+  "throughput": [
+    {"algorithm": "mincut", "warm_ns_op": 49000000, "cold_ns_op": 68000000, "speedup": 1.387},
+    {"algorithm": "cc", "warm_ns_op": 21000, "cold_ns_op": 430000, "speedup": 20.476}
+  ],
+  "scheduling": [
+    {"schedule": "static", "wall_ns": 316000000, "idle_fraction": 0.39, "straggler_trials": 4, "cut_value": 2},
+    {"schedule": "dynamic", "wall_ns": 132000000, "idle_fraction": 0.22, "straggler_trials": 2, "cut_value": 2}
+  ]
+}`
+
+const bspFixture = `{
+  "name": "bsp-bench",
+  "records": [
+    {"input": "er_600_3000", "seed": 11, "trial": 0, "algorithm": "cc", "p": 1, "time_sec": 0.00014, "result": 1, "supersteps": 4, "comm_volume": 9003},
+    {"input": "er_600_3000", "seed": 11, "trial": 0, "algorithm": "cc", "p": 4, "time_sec": 0.00018, "result": 1, "supersteps": 13, "comm_volume": 11465}
+  ]
+}`
+
+const kernelsFixture = `{
+  "name": "kernels-bench",
+  "edge_sort": [{"m": 100000, "radix_ns_op": 1200000, "std_ns_op": 5300000, "speedup": 4.4}],
+  "combine": {"new_ns_op": 900, "baseline_ns_op": 2500, "speedup": 2.8, "new_allocs_op": 2, "baseline_allocs_op": 11},
+  "remap": {"new_ns_op": 400, "baseline_ns_op": 900, "speedup": 2.2, "new_allocs_op": 1, "baseline_allocs_op": 6},
+  "ks_trial": {"trials_per_op": 32, "arena_allocs_per_trial": 1.5, "clone_allocs_per_trial": 40, "alloc_reduction": 26.7, "arena_ns_op": 80000, "clone_ns_op": 200000}
+}`
+
+const transportFixture = `{
+  "name": "transport-bench",
+  "benchmarks": [
+    {"transport": "local", "p": 2, "words_per_peer": 1024, "ns_per_superstep": 623, "mb_per_s": 25080},
+    {"transport": "tcp", "p": 2, "words_per_peer": 1024, "ns_per_superstep": 36471, "mb_per_s": 428}
+  ]
+}`
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, body := range files {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func allFixtures() map[string]string {
+	return map[string]string{
+		"internal/service/BENCH_service.json":     serviceFixture,
+		"internal/bsp/BENCH_bsp.json":             bspFixture,
+		"internal/kernels/BENCH_kernels.json":     kernelsFixture,
+		"internal/transport/BENCH_transport.json": transportFixture,
+	}
+}
+
+// TestGatePassesUnchanged: identical measurements never regress.
+func TestGatePassesUnchanged(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	cur := writeTree(t, allFixtures())
+	metrics, skipped, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v with all fixtures present", skipped)
+	}
+	if regs := Regressions(metrics); len(regs) != 0 {
+		t.Fatalf("identical trees regressed: %+v", regs)
+	}
+	if countCritical(metrics) == 0 {
+		t.Fatal("no critical metrics extracted")
+	}
+}
+
+// TestGateCatchesTwoXSlowdown is the acceptance scenario: a synthetic
+// 2× slowdown on the warm service path halves the cache speedup and
+// must fail the gate.
+func TestGateCatchesTwoXSlowdown(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	slow := allFixtures()
+	slow["internal/service/BENCH_service.json"] = strings.Replace(serviceFixture,
+		`"warm_ns_op": 21000, "cold_ns_op": 430000, "speedup": 20.476`,
+		`"warm_ns_op": 42000, "cold_ns_op": 430000, "speedup": 10.238`, 1)
+	cur := writeTree(t, slow)
+	metrics, _, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(metrics)
+	if len(regs) != 1 || regs[0].Name != "cache_speedup/cc" {
+		t.Fatalf("want exactly cache_speedup/cc to regress, got %+v", regs)
+	}
+}
+
+// TestGateIgnoresUniformMachineSpeed: a run on a machine 1.6× slower
+// across the board moves every raw timing but no ratio — the gate must
+// pass.
+func TestGateIgnoresUniformMachineSpeed(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	slow := allFixtures()
+	slow["internal/service/BENCH_service.json"] = strings.NewReplacer(
+		`"warm_ns_op": 21000, "cold_ns_op": 430000`, `"warm_ns_op": 33600, "cold_ns_op": 688000`,
+		`"warm_ns_op": 49000000, "cold_ns_op": 68000000`, `"warm_ns_op": 78400000, "cold_ns_op": 108800000`,
+		`"wall_ns": 316000000`, `"wall_ns": 505600000`,
+		`"wall_ns": 132000000`, `"wall_ns": 211200000`,
+	).Replace(serviceFixture)
+	cur := writeTree(t, slow)
+	metrics, _, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(metrics); len(regs) != 0 {
+		t.Fatalf("uniform slowdown tripped the gate: %+v", regs)
+	}
+}
+
+// TestGateCatchesCommVolumeGrowth: a 30% communication-volume increase
+// on the p=4 cc records violates the paper's core claim and must fail.
+func TestGateCatchesCommVolumeGrowth(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	bloated := allFixtures()
+	bloated["internal/bsp/BENCH_bsp.json"] = strings.Replace(bspFixture, `"comm_volume": 11465`, `"comm_volume": 14905`, 1)
+	cur := writeTree(t, bloated)
+	metrics, _, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(metrics)
+	if len(regs) != 1 || regs[0].Name != "comm_volume/cc/p=4" {
+		t.Fatalf("want comm_volume/cc/p=4 to regress, got %+v", regs)
+	}
+}
+
+// TestGateCatchesWrongResult: any result mismatch is an exact-match
+// failure regardless of tolerance.
+func TestGateCatchesWrongResult(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	wrong := allFixtures()
+	wrong["internal/bsp/BENCH_bsp.json"] = strings.Replace(bspFixture,
+		`"p": 4, "time_sec": 0.00018, "result": 1`, `"p": 4, "time_sec": 0.00018, "result": 3`, 1)
+	cur := writeTree(t, wrong)
+	metrics, _, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range Regressions(metrics) {
+		if m.Name == "result_mismatches" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("result mismatch did not regress")
+	}
+}
+
+// TestGateAllocSlack: tiny alloc counters tolerate a ±1 wobble from a
+// shorter CI benchtime but still fail on a genuine leak.
+func TestGateAllocSlack(t *testing.T) {
+	base := writeTree(t, allFixtures())
+
+	wobble := allFixtures()
+	wobble["internal/kernels/BENCH_kernels.json"] = strings.Replace(kernelsFixture,
+		`"speedup": 2.8, "new_allocs_op": 2`, `"speedup": 2.8, "new_allocs_op": 3`, 1)
+	metrics, _, err := Compare(base, writeTree(t, wobble))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(metrics); len(regs) != 0 {
+		t.Fatalf("+1 alloc wobble tripped the gate: %+v", regs)
+	}
+
+	leak := allFixtures()
+	leak["internal/kernels/BENCH_kernels.json"] = strings.Replace(kernelsFixture,
+		`"speedup": 2.8, "new_allocs_op": 2`, `"speedup": 2.8, "new_allocs_op": 40`, 1)
+	metrics, _, err = Compare(base, writeTree(t, leak))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(metrics)
+	if len(regs) != 1 || regs[0].Name != "combine_allocs_op" {
+		t.Fatalf("alloc leak not caught: %+v", regs)
+	}
+}
+
+// TestGateMissingCurrentFails: a baseline whose fresh measurement is
+// missing means the bench silently didn't run — that's an error, not a
+// pass.
+func TestGateMissingCurrentFails(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	curFiles := allFixtures()
+	delete(curFiles, "internal/kernels/BENCH_kernels.json")
+	cur := writeTree(t, curFiles)
+	if _, _, err := Compare(base, cur); err == nil {
+		t.Fatal("missing current measurement passed")
+	}
+}
+
+// TestGateSkipsMissingBaseline: a baseline not committed yet is
+// skipped, not failed.
+func TestGateSkipsMissingBaseline(t *testing.T) {
+	baseFiles := allFixtures()
+	delete(baseFiles, "internal/transport/BENCH_transport.json")
+	base := writeTree(t, baseFiles)
+	cur := writeTree(t, allFixtures())
+	metrics, skipped, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "internal/transport/BENCH_transport.json" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if len(metrics) == 0 {
+		t.Fatal("no metrics from the remaining baselines")
+	}
+}
+
+// TestRenderTable: the markdown is well-formed and flags the failure.
+func TestRenderTable(t *testing.T) {
+	var sb strings.Builder
+	RenderTable(&sb, []Metric{
+		{File: "service", Name: "cache_speedup/cc", Base: 20, Cur: 10, Tol: tolRatio, Better: +1, Critical: true},
+		{File: "bsp", Name: "time_sec/cc/p=4", Base: 0.1, Cur: 0.2, Better: -1},
+	}, []string{"internal/kernels/BENCH_kernels.json"})
+	out := sb.String()
+	for _, want := range []string{"**REGRESSION**", "| info |", "skipped (no baseline)", "-50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

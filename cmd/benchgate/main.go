@@ -1,0 +1,81 @@
+// Command benchgate compares freshly measured BENCH_*.json files
+// against the committed baselines and fails (exit 1) when a
+// tagged-critical metric regressed beyond its tolerance — the CI gate
+// that keeps the paper's headline numbers (communication volume,
+// superstep counts, cache and scheduling speedups, allocation counts)
+// from silently eroding.
+//
+// Usage:
+//
+//	benchgate -baseline .benchgate/baseline -current .
+//
+// Both directories are repo roots: the tool looks for the same
+// relative BENCH paths under each. Deterministic counts gate at ±15%,
+// same-machine timing ratios at -40%; raw wall-clock values are
+// reported but never gated (CI hardware is not the baseline's
+// hardware). The delta table is printed to stdout and, when
+// -summary or $GITHUB_STEP_SUMMARY names a file, appended there as
+// markdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	var (
+		baseline = flag.String("baseline", "", "repo root holding the committed BENCH_*.json baselines")
+		current  = flag.String("current", ".", "repo root holding the freshly measured BENCH_*.json files")
+		summary  = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "file to append the markdown delta table to (default $GITHUB_STEP_SUMMARY)")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		log.Fatal("need -baseline DIR (copy the committed BENCH files aside before re-running benches)")
+	}
+
+	metrics, skipped, err := Compare(*baseline, *current)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(metrics) == 0 {
+		log.Fatal("no baselines found under -baseline; nothing to gate")
+	}
+
+	var table strings.Builder
+	fmt.Fprintf(&table, "### benchgate: %d metrics (%d gated)\n\n", len(metrics), countCritical(metrics))
+	RenderTable(&table, metrics, skipped)
+	fmt.Print(table.String())
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, table.String())
+		f.Close()
+	}
+
+	if regs := Regressions(metrics); len(regs) > 0 {
+		for _, m := range regs {
+			log.Printf("REGRESSION %s/%s: baseline %s → current %s (%+.1f%%, tolerance %.0f%%)",
+				m.File, m.Name, fmtVal(m.Base), fmtVal(m.Cur), 100*m.Delta(), 100*m.Tol)
+		}
+		log.Fatalf("FAIL: %d critical metric(s) regressed", len(regs))
+	}
+	log.Printf("PASS: no critical regressions across %d metrics", len(metrics))
+}
+
+func countCritical(ms []Metric) int {
+	n := 0
+	for _, m := range ms {
+		if m.Critical {
+			n++
+		}
+	}
+	return n
+}

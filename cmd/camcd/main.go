@@ -22,7 +22,14 @@
 //	POST /v1/graphs?name=NAME&format=edgelist|snap   register a graph
 //	POST /v1/query                                   {"graph":..., "algorithm":"cc|mincut|approxcut", ...}
 //	GET  /v1/stats                                   serving metrics (JSON)
+//	GET  /metrics                                    Prometheus exposition (single-process mode)
 //	GET  /healthz                                    liveness
+//
+// With -tenants=config.json (single-process or frontend mode) every
+// /v1/* request must carry "Authorization: Bearer <token>" for a
+// configured tenant and is admitted against that tenant's quotas:
+// missing or unknown tokens get 401, exhausted quotas get 429 with
+// Retry-After. /healthz and /metrics stay open for probes and scrapers.
 //
 // See the README section "Running camcd" for curl examples, including a
 // 3-process localhost fleet.
@@ -44,6 +51,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/shard"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -59,6 +67,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "largest honored per-query deadline")
 		faultSpec  = flag.String("faults", os.Getenv(faults.EnvVar),
 			"fault-injection spec for chaos testing, e.g. 'panic@1:3;drop@1:5' (default $"+faults.EnvVar+"; empty disables)")
+		tenantsPath = flag.String("tenants", "", "tenant config JSON enabling multi-tenant auth + quotas (single-process and frontend modes)")
 
 		workerMode = flag.Bool("worker", false, "run as one rank of a shard group")
 		rank       = flag.Int("rank", 0, "this worker's rank within the shard group")
@@ -82,6 +91,22 @@ func main() {
 		log.Printf("FAULT INJECTION ENABLED: %s — this process will deliberately fail", *faultSpec)
 	}
 
+	var tenants *tenant.Registry
+	if *tenantsPath != "" {
+		if *workerMode {
+			// Workers sit behind the frontend inside the trust boundary;
+			// tenant enforcement belongs on the public edge only, or the
+			// frontend's own token would be double-charged.
+			log.Fatal("-tenants applies to single-process and frontend modes, not -worker")
+		}
+		cfg, err := tenant.LoadConfig(*tenantsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tenants = tenant.NewRegistry(cfg)
+		log.Printf("multi-tenant mode: %d tenant(s) configured", len(cfg.Tenants))
+	}
+
 	svcCfg := service.Config{
 		Workers:        *workers,
 		QueueBound:     *queueBound,
@@ -103,7 +128,12 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("frontend over %d shard(s)", len(shards))
-		serve(*addr, fe.Handler(), func() {})
+		h := fe.Handler()
+		if tenants != nil {
+			fe.SetTenants(tenants)
+			h = service.TenantMiddleware(tenants, h)
+		}
+		serve(*addr, h, func() {})
 	case *workerMode:
 		addrs := splitNonEmpty(*peers, ",")
 		if len(addrs) == 0 {
@@ -127,7 +157,7 @@ func main() {
 		serve(*addr, w.Handler(), w.Close)
 	default:
 		engine := service.NewEngine(svcCfg)
-		serve(*addr, service.NewHandler(engine), engine.Close)
+		serve(*addr, service.NewHandlerOpts(engine, service.HandlerOptions{Tenants: tenants}), engine.Close)
 	}
 }
 

@@ -1,0 +1,255 @@
+// Command loadgen replays realistic mixed traffic against a live camcd
+// (single process or sharded fleet) and writes a BENCH_load.json
+// report.
+//
+// The workload model:
+//
+//   - open-loop Poisson arrivals at -qps for -duration: requests fire
+//     on schedule whether or not earlier ones have completed, so an
+//     overloaded daemon shows up as queueing latency and 429s instead
+//     of silently slowing the generator down (closed-loop coordinated
+//     omission);
+//   - Zipf-distributed graph popularity over -graphs uploaded graphs
+//     (graph 0 hottest), the shape that exercises the LRU result cache
+//     and plan cache realistically;
+//   - a -mix of cc/mincut/approxcut queries, a -cold-frac of
+//     cache-defeating unique seeds, and per-request deadlines drawn
+//     log-uniformly from [-deadline-min, -deadline-max];
+//   - optionally a -fault-frac of deliberately invalid requests
+//     (unknown graph, unknown algorithm) to keep the error paths hot.
+//
+// Everything random derives from -seed: two runs with the same flags
+// replay identical request schedules (the report carries a schedule
+// fingerprint to prove it) and, against a healthy daemon, produce an
+// identical outcome_mix section. Latencies, throughput, and the
+// executed/cache_hit/coalesced split vary run to run and are reported
+// informationally.
+//
+// Exit status is non-zero when the run saw transport or 5xx failures
+// beyond -max-error-frac, so CI can use a smoke run as a gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		target      = flag.String("target", "http://127.0.0.1:8387", "camcd base URL (single-process daemon or fleet frontend)")
+		token       = flag.String("token", "", "API token for a multi-tenant daemon (sent as Authorization: Bearer)")
+		seed        = flag.Int64("seed", 1, "master seed; fixes the full request schedule")
+		qps         = flag.Float64("qps", 50, "open-loop arrival rate")
+		duration    = flag.Duration("duration", 10*time.Second, "length of the arrival schedule")
+		graphs      = flag.Int("graphs", 8, "number of graphs to upload and draw queries over")
+		graphN      = flag.Int("graph-n", 256, "vertices per generated graph")
+		graphPrefix = flag.String("graph-prefix", "loadgen-", "registry name prefix for uploaded graphs")
+		zipfS       = flag.Float64("zipf", 1.2, "Zipf skew of graph popularity (> 1)")
+		mixSpec     = flag.String("mix", "cc=0.70,mincut=0.15,approxcut=0.15", "algorithm traffic split")
+		coldFrac    = flag.Float64("cold-frac", 0.25, "fraction of queries with a unique cache-defeating seed")
+		dlMin       = flag.Duration("deadline-min", 2*time.Second, "shortest per-request deadline")
+		dlMax       = flag.Duration("deadline-max", 30*time.Second, "longest per-request deadline")
+		faultFrac   = flag.Float64("fault-frac", 0, "fraction of deliberately invalid requests")
+		out         = flag.String("out", "BENCH_load.json", "report path ('-' for stdout)")
+		maxErrFrac  = flag.Float64("max-error-frac", 0, "largest tolerated fraction of transport/5xx failures before exit 1")
+		skipUpload  = flag.Bool("skip-upload", false, "assume the graphs are already registered")
+		quick       = flag.Bool("quick", false, "CI smoke preset: short run, small graphs (explicit flags still win)")
+	)
+	flag.Parse()
+
+	if *quick {
+		applyQuickPreset()
+	}
+	mix, err := ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ScheduleConfig{
+		Seed:        *seed,
+		QPS:         *qps,
+		Duration:    *duration,
+		Graphs:      *graphs,
+		GraphPrefix: *graphPrefix,
+		ZipfS:       *zipfS,
+		Mix:         mix,
+		ColdFrac:    *coldFrac,
+		DeadlineMin: *dlMin,
+		DeadlineMax: *dlMax,
+		FaultFrac:   *faultFrac,
+	}
+	schedule, err := BuildSchedule(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("schedule: %d requests over %s (fingerprint %s)", len(schedule), *duration, Fingerprint(schedule))
+
+	client := &http.Client{
+		Timeout: *dlMax + 15*time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+	runner := &runner{client: client, target: *target, token: *token}
+
+	if !*skipUpload {
+		if err := runner.uploadGraphs(cfg, *graphN); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("uploaded %d graphs of %d vertices", *graphs, *graphN)
+	}
+
+	results, wall := runner.replay(schedule)
+	rep := BuildReport(*target, cfg, schedule, results, wall)
+	rep.Render(os.Stderr)
+	if err := rep.WriteJSON(*out); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "-" {
+		log.Printf("report written to %s", *out)
+	}
+
+	failures := rep.OutcomeMix[string(classTransport)] + rep.OutcomeMix[string(classServerError)]
+	if frac := float64(failures) / float64(max(1, rep.Requests)); frac > *maxErrFrac {
+		log.Fatalf("FAIL: %d/%d requests lost to transport or 5xx errors (%.1f%% > %.1f%% tolerated)",
+			failures, rep.Requests, 100*frac, 100**maxErrFrac)
+	}
+	if rep.OutcomeMix[string(classOK)] == 0 {
+		log.Fatal("FAIL: no request succeeded")
+	}
+}
+
+// applyQuickPreset shrinks the run for CI smoke: flags the user set
+// explicitly keep their values.
+func applyQuickPreset() {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	preset := map[string]string{
+		"qps":      "80",
+		"duration": "3s",
+		"graphs":   "4",
+		"graph-n":  "96",
+	}
+	for name, val := range preset {
+		if !set[name] {
+			if err := flag.Set(name, val); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+type runner struct {
+	client *http.Client
+	target string
+	token  string
+}
+
+func (r *runner) do(req *http.Request) (*http.Response, error) {
+	if r.token != "" {
+		req.Header.Set("Authorization", "Bearer "+r.token)
+	}
+	return r.client.Do(req)
+}
+
+// uploadGraphs registers the query targets: Watts–Strogatz small-world
+// graphs (connected by construction, non-trivial min cuts), weights in
+// [1, 8], one deterministic seed per graph.
+func (r *runner) uploadGraphs(cfg ScheduleConfig, n int) error {
+	for i := 0; i < cfg.Graphs; i++ {
+		g := gen.WattsStrogatz(n, 4, 0.1, uint64(i+1), gen.Config{MaxWeight: 8})
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, g); err != nil {
+			return err
+		}
+		url := fmt.Sprintf("%s/v1/graphs?name=%s", r.target, cfg.GraphName(i))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := r.do(req)
+		if err != nil {
+			return fmt.Errorf("upload %s: %w", cfg.GraphName(i), err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("upload %s: status %d: %s", cfg.GraphName(i), resp.StatusCode, body)
+		}
+	}
+	return nil
+}
+
+// queryBody is the wire form of one scheduled query.
+func queryBody(q Request) []byte {
+	body, _ := json.Marshal(map[string]interface{}{
+		"graph":      q.Graph,
+		"algorithm":  q.Algorithm,
+		"seed":       q.Seed,
+		"timeout_ms": q.TimeoutMS,
+	})
+	return body
+}
+
+// replay fires the schedule open-loop: the dispatcher sleeps to each
+// arrival offset and launches the request in its own goroutine, so a
+// slow daemon never delays later arrivals.
+func (r *runner) replay(schedule []Request) ([]outcomeResult, time.Duration) {
+	results := make([]outcomeResult, len(schedule))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, q := range schedule {
+		if d := q.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, q Request) {
+			defer wg.Done()
+			results[i] = r.one(q)
+		}(i, q)
+	}
+	wg.Wait()
+	return results, time.Since(start)
+}
+
+func (r *runner) one(q Request) outcomeResult {
+	req, err := http.NewRequest(http.MethodPost, r.target+"/v1/query", bytes.NewReader(queryBody(q)))
+	if err != nil {
+		return outcomeResult{Class: classTransport}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := r.do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		return outcomeResult{Class: classTransport, Latency: lat}
+	}
+	defer resp.Body.Close()
+	out := outcomeResult{Class: classify(resp.StatusCode, false), Latency: lat}
+	if resp.StatusCode == http.StatusOK {
+		var qr struct {
+			Outcome  string `json:"outcome"`
+			Degraded bool   `json:"degraded"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&qr) == nil {
+			out.Served = qr.Outcome
+			out.Degraded = qr.Degraded
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return out
+}

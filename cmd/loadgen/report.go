@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// outcomeClass buckets an HTTP exchange for the report's outcome_mix.
+// The buckets are chosen to be DETERMINISTIC for a fixed schedule
+// against a healthy daemon: a cache hit, a coalesced wait, and a fresh
+// execution are all "ok", because which of the three a given request
+// lands on depends on timing and on what earlier runs left in the
+// cache — the served_by section reports that split informationally.
+type outcomeClass string
+
+const (
+	classOK          outcomeClass = "ok"
+	classClientError outcomeClass = "client_error" // 400, 404 — the -fault-frac traffic
+	classThrottled   outcomeClass = "throttled"    // 429 (quota or shed load)
+	classTimeout     outcomeClass = "timeout"      // 408, 504
+	classServerError outcomeClass = "server_error" // 5xx
+	classTransport   outcomeClass = "transport"    // no HTTP response at all
+)
+
+func classify(status int, transportErr bool) outcomeClass {
+	switch {
+	case transportErr:
+		return classTransport
+	case status == 200:
+		return classOK
+	case status == 400 || status == 404:
+		return classClientError
+	case status == 429:
+		return classThrottled
+	case status == 408 || status == 504:
+		return classTimeout
+	case status >= 500:
+		return classServerError
+	default:
+		return classClientError
+	}
+}
+
+// outcomeResult is one request's measured exchange.
+type outcomeResult struct {
+	Class    outcomeClass
+	Served   string // engine outcome of a 200: executed | cache_hit | coalesced
+	Degraded bool
+	Latency  time.Duration
+}
+
+// LatencySummary is the percentile block, in milliseconds.
+type LatencySummary struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Report is the BENCH_load.json schema.
+type Report struct {
+	Name                string         `json:"name"`
+	Target              string         `json:"target"`
+	Seed                int64          `json:"seed"`
+	ScheduleFingerprint string         `json:"schedule_fingerprint"`
+	Requests            int            `json:"requests"`
+	WallSec             float64        `json:"wall_sec"`
+	OfferedQPS          float64        `json:"offered_qps"`
+	ThroughputRPS       float64        `json:"throughput_rps"`
+	Latency             LatencySummary `json:"latency"`
+	// OutcomeMix is the deterministic section: same seed + same flags
+	// against the same daemon → identical mix, run after run.
+	OutcomeMix map[string]int `json:"outcome_mix"`
+	// ServedBy splits the ok bucket by engine outcome. Timing- and
+	// cache-state-dependent, so informational only.
+	ServedBy     map[string]int `json:"served_by"`
+	Degraded     int            `json:"degraded"`
+	CacheHitRate float64        `json:"cache_hit_rate"`
+	// GraphPopularity is queries per graph, hot-first — the realized
+	// Zipf curve.
+	GraphPopularity []int `json:"graph_popularity"`
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1e3
+}
+
+// BuildReport aggregates per-request results into the report.
+func BuildReport(target string, cfg ScheduleConfig, schedule []Request, results []outcomeResult, wall time.Duration) Report {
+	rep := Report{
+		Name:                "load",
+		Target:              target,
+		Seed:                cfg.Seed,
+		ScheduleFingerprint: Fingerprint(schedule),
+		Requests:            len(schedule),
+		WallSec:             wall.Seconds(),
+		OfferedQPS:          cfg.QPS,
+		OutcomeMix:          map[string]int{},
+		ServedBy:            map[string]int{},
+		GraphPopularity:     popularity(schedule),
+	}
+	var okLat []time.Duration
+	for _, r := range results {
+		rep.OutcomeMix[string(r.Class)]++
+		if r.Class == classOK {
+			okLat = append(okLat, r.Latency)
+			if r.Served != "" {
+				rep.ServedBy[r.Served]++
+			}
+			if r.Degraded {
+				rep.Degraded++
+			}
+		}
+	}
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	rep.Latency = LatencySummary{
+		P50: percentile(okLat, 0.50),
+		P90: percentile(okLat, 0.90),
+		P95: percentile(okLat, 0.95),
+		P99: percentile(okLat, 0.99),
+		Max: percentile(okLat, 1.0),
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(len(okLat)) / wall.Seconds()
+	}
+	if n := rep.OutcomeMix[string(classOK)]; n > 0 {
+		rep.CacheHitRate = float64(rep.ServedBy["cache_hit"]) / float64(n)
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path (or stdout for "-").
+func (r Report) WriteJSON(path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints the human summary the CI job tails into its log.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d requests in %.2fs against %s (seed %d, schedule %s)\n",
+		r.Requests, r.WallSec, r.Target, r.Seed, r.ScheduleFingerprint)
+	fmt.Fprintf(w, "  throughput  %.1f ok-responses/s (offered %.1f qps)\n", r.ThroughputRPS, r.OfferedQPS)
+	fmt.Fprintf(w, "  latency     p50 %.2fms  p90 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.Latency.P50, r.Latency.P90, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	fmt.Fprintf(w, "  outcomes   ")
+	for _, k := range sortedKeys(r.OutcomeMix) {
+		fmt.Fprintf(w, " %s=%d", k, r.OutcomeMix[k])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  served_by  ")
+	for _, k := range sortedKeys(r.ServedBy) {
+		fmt.Fprintf(w, " %s=%d", k, r.ServedBy[k])
+	}
+	fmt.Fprintf(w, "  (cache hit rate %.1f%%, degraded %d)\n", 100*r.CacheHitRate, r.Degraded)
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Request is one scheduled query. The whole schedule is a pure function
+// of ScheduleConfig (notably Seed), so two loadgen runs with the same
+// flags replay byte-identical traffic — the property the CI load job
+// and the report's schedule fingerprint lean on.
+type Request struct {
+	// At is the open-loop arrival offset from the run's start. Arrivals
+	// are Poisson: exponential gaps at the configured rate, fired on
+	// schedule regardless of how fast earlier requests complete.
+	At        time.Duration
+	Graph     string
+	Algorithm string
+	// Seed selects the kernel's RNG stream — and, because it is part of
+	// the cache key, whether the request can hit the result cache. Warm
+	// requests draw from a 4-seed pool per (graph, algorithm); cold
+	// requests get a unique seed nothing else shares.
+	Seed      uint64
+	TimeoutMS int64
+	// Fault marks a deliberately invalid request ("unknown_graph" or
+	// "bad_algorithm") exercising the daemon's error paths.
+	Fault string
+}
+
+// ScheduleConfig pins down every randomized choice the generator makes.
+type ScheduleConfig struct {
+	Seed        int64
+	QPS         float64
+	Duration    time.Duration
+	Graphs      int
+	GraphPrefix string
+	// ZipfS is the Zipf skew (> 1) of graph popularity: graph 0 is the
+	// hottest, the tail barely queried — the shape that makes an LRU
+	// result cache worth measuring.
+	ZipfS    float64
+	Mix      Mix
+	ColdFrac float64
+	// Deadlines are drawn log-uniformly from [DeadlineMin, DeadlineMax].
+	DeadlineMin time.Duration
+	DeadlineMax time.Duration
+	FaultFrac   float64
+}
+
+// Mix is the per-algorithm traffic split; the three fractions are
+// normalized at build time.
+type Mix struct {
+	CC        float64
+	MinCut    float64
+	ApproxCut float64
+}
+
+// ParseMix parses "cc=0.7,mincut=0.2,approxcut=0.1".
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: bad mix term %q (want alg=frac)", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return m, fmt.Errorf("loadgen: bad mix fraction %q", v)
+		}
+		switch k {
+		case "cc":
+			m.CC = f
+		case "mincut":
+			m.MinCut = f
+		case "approxcut":
+			m.ApproxCut = f
+		default:
+			return m, fmt.Errorf("loadgen: unknown algorithm %q in mix", k)
+		}
+	}
+	if m.CC+m.MinCut+m.ApproxCut <= 0 {
+		return m, fmt.Errorf("loadgen: mix %q selects no traffic", s)
+	}
+	return m, nil
+}
+
+func (c ScheduleConfig) validate() error {
+	switch {
+	case c.QPS <= 0:
+		return fmt.Errorf("loadgen: qps must be > 0")
+	case c.Duration <= 0:
+		return fmt.Errorf("loadgen: duration must be > 0")
+	case c.Graphs <= 0:
+		return fmt.Errorf("loadgen: graphs must be > 0")
+	case c.ZipfS <= 1:
+		return fmt.Errorf("loadgen: zipf skew must be > 1")
+	case c.ColdFrac < 0 || c.ColdFrac > 1:
+		return fmt.Errorf("loadgen: cold-frac must be in [0,1]")
+	case c.FaultFrac < 0 || c.FaultFrac > 1:
+		return fmt.Errorf("loadgen: fault-frac must be in [0,1]")
+	case c.DeadlineMin <= 0 || c.DeadlineMax < c.DeadlineMin:
+		return fmt.Errorf("loadgen: need 0 < deadline-min <= deadline-max")
+	}
+	return nil
+}
+
+// GraphName is the registry name of the i-th generated graph.
+func (c ScheduleConfig) GraphName(i int) string {
+	return fmt.Sprintf("%s%d", c.GraphPrefix, i)
+}
+
+// BuildSchedule generates the full open-loop arrival schedule. All
+// randomness flows through one seeded source, consumed in a fixed
+// order, so the output is deterministic across runs and platforms.
+func BuildSchedule(c ScheduleConfig) ([]Request, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(r, c.ZipfS, 1, uint64(c.Graphs-1))
+
+	total := c.Mix.CC + c.Mix.MinCut + c.Mix.ApproxCut
+	ccCut := c.Mix.CC / total
+	mcCut := ccCut + c.Mix.MinCut/total
+
+	logSpread := math.Log(float64(c.DeadlineMax) / float64(c.DeadlineMin))
+
+	var reqs []Request
+	coldSeed := uint64(1_000_000)
+	at := time.Duration(0)
+	for {
+		// Exponential inter-arrival gap at rate QPS (open-loop Poisson).
+		gap := time.Duration(-math.Log(1-r.Float64()) / c.QPS * float64(time.Second))
+		at += gap
+		if at > c.Duration {
+			break
+		}
+		req := Request{At: at, Graph: c.GraphName(int(zipf.Uint64()))}
+		switch u := r.Float64(); {
+		case u < ccCut:
+			req.Algorithm = "cc"
+		case u < mcCut:
+			req.Algorithm = "mincut"
+		default:
+			req.Algorithm = "approxcut"
+		}
+		if r.Float64() < c.ColdFrac {
+			coldSeed++
+			req.Seed = coldSeed
+		} else {
+			req.Seed = 1 + uint64(r.Intn(4))
+		}
+		req.TimeoutMS = int64(float64(c.DeadlineMin) * math.Exp(r.Float64()*logSpread) / float64(time.Millisecond))
+		if r.Float64() < c.FaultFrac {
+			if r.Intn(2) == 0 {
+				req.Fault = "unknown_graph"
+				req.Graph = c.GraphPrefix + "no-such-graph"
+			} else {
+				req.Fault = "bad_algorithm"
+				req.Algorithm = "spectral-bisect"
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, nil
+}
+
+// Fingerprint hashes the full schedule — every field of every request —
+// into a short hex token. Two runs reporting the same fingerprint
+// replayed identical traffic.
+func Fingerprint(reqs []Request) string {
+	h := fnv.New64a()
+	for _, q := range reqs {
+		fmt.Fprintf(h, "%d|%s|%s|%d|%d|%s\n", q.At.Nanoseconds(), q.Graph, q.Algorithm, q.Seed, q.TimeoutMS, q.Fault)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// popularity returns queries-per-graph sorted hot-first, for the report.
+func popularity(reqs []Request) []int {
+	counts := map[string]int{}
+	for _, q := range reqs {
+		if q.Fault == "" {
+			counts[q.Graph]++
+		}
+	}
+	out := make([]int, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

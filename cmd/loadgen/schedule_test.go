@@ -1,0 +1,164 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testCfg() ScheduleConfig {
+	return ScheduleConfig{
+		Seed:        7,
+		QPS:         200,
+		Duration:    5 * time.Second,
+		Graphs:      8,
+		GraphPrefix: "loadgen-",
+		ZipfS:       1.2,
+		Mix:         Mix{CC: 0.7, MinCut: 0.15, ApproxCut: 0.15},
+		ColdFrac:    0.25,
+		DeadlineMin: 2 * time.Second,
+		DeadlineMax: 30 * time.Second,
+		FaultFrac:   0.05,
+	}
+}
+
+// TestScheduleDeterminism is the acceptance property: same seed, same
+// flags → byte-identical schedule and fingerprint.
+func TestScheduleDeterminism(t *testing.T) {
+	a, err := BuildSchedule(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two builds from the same config differ")
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprints differ for identical schedules")
+	}
+
+	other := testCfg()
+	other.Seed = 8
+	c, err := BuildSchedule(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+}
+
+// TestScheduleShape sanity-checks the workload model: arrival count
+// near qps*duration, monotone arrival times, mix and fault fractions
+// in the right ballpark, Zipf head heavier than the tail.
+func TestScheduleShape(t *testing.T) {
+	cfg := testCfg()
+	reqs, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.QPS * cfg.Duration.Seconds()
+	if n := float64(len(reqs)); n < 0.8*want || n > 1.2*want {
+		t.Fatalf("got %d requests, want ~%.0f", len(reqs), want)
+	}
+
+	var last time.Duration
+	counts := map[string]int{}
+	faults, cold := 0, 0
+	for _, q := range reqs {
+		if q.At < last {
+			t.Fatal("arrival times not monotone")
+		}
+		last = q.At
+		if q.At > cfg.Duration {
+			t.Fatalf("arrival %s past duration %s", q.At, cfg.Duration)
+		}
+		if q.Fault != "" {
+			faults++
+			continue
+		}
+		counts[q.Algorithm]++
+		if q.Seed >= 1_000_000 {
+			cold++
+		} else if q.Seed < 1 || q.Seed > 4 {
+			t.Fatalf("warm seed %d outside the 4-seed pool", q.Seed)
+		}
+		if q.TimeoutMS < cfg.DeadlineMin.Milliseconds() || q.TimeoutMS > cfg.DeadlineMax.Milliseconds()+1 {
+			t.Fatalf("deadline %dms outside [%s, %s]", q.TimeoutMS, cfg.DeadlineMin, cfg.DeadlineMax)
+		}
+	}
+	n := len(reqs)
+	if f := float64(faults) / float64(n); f < 0.02 || f > 0.10 {
+		t.Fatalf("fault fraction %.3f, want ~0.05", f)
+	}
+	if f := float64(counts["cc"]) / float64(n-faults); f < 0.6 || f > 0.8 {
+		t.Fatalf("cc fraction %.3f, want ~0.7", f)
+	}
+	if f := float64(cold) / float64(n-faults); f < 0.18 || f > 0.32 {
+		t.Fatalf("cold fraction %.3f, want ~0.25", f)
+	}
+
+	pop := popularity(reqs)
+	if len(pop) < 2 || pop[0] <= pop[len(pop)-1] {
+		t.Fatalf("popularity not Zipf-skewed: %v", pop)
+	}
+}
+
+// TestScheduleFaultShapes: fault requests target either a nonexistent
+// graph or a nonexistent algorithm — never a valid pair.
+func TestScheduleFaultShapes(t *testing.T) {
+	cfg := testCfg()
+	cfg.FaultFrac = 1.0
+	reqs, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range reqs {
+		switch q.Fault {
+		case "unknown_graph":
+			if q.Graph != "loadgen-no-such-graph" {
+				t.Fatalf("unknown_graph fault targets %q", q.Graph)
+			}
+		case "bad_algorithm":
+			switch q.Algorithm {
+			case "cc", "mincut", "approxcut":
+				t.Fatalf("bad_algorithm fault uses valid algorithm %q", q.Algorithm)
+			}
+		default:
+			t.Fatalf("request with fault-frac=1 has no fault: %+v", q)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("cc=0.5,mincut=0.5")
+	if err != nil || m.CC != 0.5 || m.MinCut != 0.5 || m.ApproxCut != 0 {
+		t.Fatalf("ParseMix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "cc=0,mincut=0", "laplacian=1", "cc=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	for _, mutate := range []func(*ScheduleConfig){
+		func(c *ScheduleConfig) { c.QPS = 0 },
+		func(c *ScheduleConfig) { c.Duration = 0 },
+		func(c *ScheduleConfig) { c.Graphs = 0 },
+		func(c *ScheduleConfig) { c.ZipfS = 1.0 },
+		func(c *ScheduleConfig) { c.ColdFrac = 1.5 },
+		func(c *ScheduleConfig) { c.DeadlineMin = 0 },
+		func(c *ScheduleConfig) { c.DeadlineMax = time.Millisecond },
+	} {
+		cfg := testCfg()
+		mutate(&cfg)
+		if _, err := BuildSchedule(cfg); err == nil {
+			t.Fatalf("invalid config accepted: %+v", cfg)
+		}
+	}
+}

@@ -409,7 +409,7 @@ func (e cancelError) Is(target error) bool {
 	// its abort frames as cancels rather than failures.
 	return target == ErrCancelled || target == transport.ErrCancelled
 }
-func (e cancelError) Unwrap() error        { return e.cause }
+func (e cancelError) Unwrap() error { return e.cause }
 
 // FaultHook is an injection point called on every processor at Sync
 // entry, before the superstep finalizes, with the caller's rank and

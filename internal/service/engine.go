@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bsp"
 	"repro/internal/faults"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -454,6 +455,10 @@ type EngineStats struct {
 	Plans            int                     `json:"plans"`
 	Cache            CacheStats              `json:"cache"`
 	Queries          trace.CollectorSnapshot `json:"queries"`
+	// Tenants is the per-tenant quota state when multi-tenant auth is
+	// configured; the HTTP layer fills it in (the engine itself is
+	// tenant-agnostic).
+	Tenants []tenant.TenantSnapshot `json:"tenants,omitempty"`
 }
 
 // Stats snapshots the engine.

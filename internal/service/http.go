@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/graph"
+	"repro/internal/tenant"
 )
 
 // NewHandler builds the camcd HTTP API over an engine:
@@ -15,11 +16,14 @@ import (
 //	POST /v1/graphs?name=NAME&format=edgelist|snap  — register a graph (body: text)
 //	POST /v1/query                                  — run cc | mincut | approxcut
 //	GET  /v1/stats                                  — pool, cache, and query metrics
+//	GET  /metrics                                   — Prometheus exposition
 //	GET  /healthz                                   — liveness
 //
-// Error mapping: malformed input and bad parameters → 400, unknown graph
-// → 404, oversized body → 413, shed load → 429 (with Retry-After),
-// cancelled with nothing to show → 408, per-request deadline (queue
+// Error mapping: malformed input and bad parameters → 400, missing or
+// unknown API token (multi-tenant mode) → 401, unknown graph
+// → 404, oversized body → 413, shed load or an exhausted tenant quota
+// → 429 (with Retry-After), cancelled with nothing to show → 408,
+// per-request deadline (queue
 // expiry) → 504, faulted kernel or lost worker connection → 503 (with
 // Retry-After), engine
 // shutdown → 503, anything else → 500. A deadline-cancelled kernel that
@@ -27,6 +31,21 @@ import (
 // "degraded": true, the achieved success probability, and a
 // retry_after_ms hint.
 func NewHandler(e *Engine) http.Handler {
+	return NewHandlerOpts(e, HandlerOptions{})
+}
+
+// HandlerOptions tunes the HTTP layer beyond the engine defaults.
+type HandlerOptions struct {
+	// Tenants, when non-nil, turns on multi-tenant mode: every /v1/*
+	// request must carry a configured API token (Authorization: Bearer)
+	// and is admitted against the tenant's quotas. /healthz and /metrics
+	// stay unauthenticated, and the tenant quota state is embedded in
+	// /v1/stats and exported as camc_tenant_* metrics.
+	Tenants *tenant.Registry
+}
+
+// NewHandlerOpts is NewHandler with options.
+func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/graphs", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -43,12 +62,20 @@ func NewHandler(e *Engine) http.Handler {
 		handleQuery(e, w, r)
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		st := e.Stats()
+		if opts.Tenants != nil {
+			st.Tenants = opts.Tenants.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("/metrics", handleMetrics(e, opts.Tenants))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if opts.Tenants != nil {
+		return TenantMiddleware(opts.Tenants, mux)
+	}
 	return mux
 }
 

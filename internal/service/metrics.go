@@ -1,0 +1,253 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tenant"
+	"repro/internal/trace"
+)
+
+// Prometheus exposition of the serving metrics, rendered straight off
+// the engine's trace.Collector (no third-party client library: the
+// text format is a dozen lines of printf, and the collector already
+// holds every aggregate the scrape needs).
+//
+// Naming scheme (see DESIGN.md §4g):
+//
+//	camc_queries_total{algorithm,outcome}       query resolutions
+//	camc_retries_total{algorithm}               absorbed transient faults
+//	camc_query_latency_seconds{algorithm}       histogram + _sum/_count
+//	camc_supersteps_total{algorithm}            BSP cost counters
+//	camc_comm_volume_words_total{algorithm}
+//	camc_avoided_collectives_total{algorithm}   the warm path's ledger
+//	camc_avoided_comm_volume_words_total{algorithm}
+//	camc_transport_*_total{transport}           per-fabric kernel costs
+//	camc_cache_*                                result-cache counters
+//	camc_queue_depth / camc_workers / ...       pool gauges
+//	camc_tenant_*{tenant}                       quota state and rejections
+//
+// Label sets are emitted in sorted order so the output is deterministic
+// for a given state — the property the golden-file test pins.
+
+// outcomeCounters maps each outcome label to its AlgoStats counter.
+var outcomeCounters = []struct {
+	label string
+	get   func(*trace.AlgoStats) uint64
+}{
+	{trace.OutcomeExecuted, func(a *trace.AlgoStats) uint64 { return a.KernelExecutions }},
+	{trace.OutcomeCacheHit, func(a *trace.AlgoStats) uint64 { return a.CacheHits }},
+	{trace.OutcomeCoalesced, func(a *trace.AlgoStats) uint64 { return a.Coalesced }},
+	{trace.OutcomeRejected, func(a *trace.AlgoStats) uint64 { return a.Rejected }},
+	{trace.OutcomeExpired, func(a *trace.AlgoStats) uint64 { return a.Expired }},
+	{trace.OutcomeError, func(a *trace.AlgoStats) uint64 { return a.Errors }},
+	{trace.OutcomeCancelled, func(a *trace.AlgoStats) uint64 { return a.Cancelled }},
+	{trace.OutcomeDegraded, func(a *trace.AlgoStats) uint64 { return a.Degraded }},
+	{trace.OutcomeFaulted, func(a *trace.AlgoStats) uint64 { return a.Faulted }},
+	{trace.OutcomeTransport, func(a *trace.AlgoStats) uint64 { return a.TransportLost }},
+}
+
+// fmtFloat renders a float the Prometheus way: integral values without
+// an exponent, everything else in Go's shortest form.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type metricsWriter struct {
+	w io.Writer
+}
+
+func (m metricsWriter) header(name, help, typ string) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (m metricsWriter) val(name, labels string, v float64) {
+	if labels != "" {
+		fmt.Fprintf(m.w, "%s{%s} %s\n", name, labels, fmtFloat(v))
+	} else {
+		fmt.Fprintf(m.w, "%s %s\n", name, fmtFloat(v))
+	}
+}
+
+// sortedAlgos returns the snapshot's algorithm names in stable order.
+func sortedAlgos(snap *trace.CollectorSnapshot) []string {
+	names := make([]string, 0, len(snap.Algorithms))
+	for name := range snap.Algorithms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteMetrics renders the engine state as Prometheus exposition text.
+// tenants may be nil (single-tenant deployments).
+func WriteMetrics(w io.Writer, st EngineStats) {
+	m := metricsWriter{w}
+	snap := &st.Queries
+	algos := sortedAlgos(snap)
+
+	m.header("camc_queries_total", "Query resolutions by algorithm and outcome.", "counter")
+	for _, alg := range algos {
+		a := snap.Algorithms[alg]
+		for _, oc := range outcomeCounters {
+			if v := oc.get(&a); v > 0 {
+				m.val("camc_queries_total", fmt.Sprintf("algorithm=%q,outcome=%q", alg, oc.label), float64(v))
+			}
+		}
+	}
+
+	m.header("camc_retries_total", "Transient kernel faults absorbed by the retry policy.", "counter")
+	for _, alg := range algos {
+		a := snap.Algorithms[alg]
+		if a.Retried > 0 {
+			m.val("camc_retries_total", fmt.Sprintf("algorithm=%q", alg), float64(a.Retried))
+		}
+	}
+
+	m.header("camc_query_latency_seconds", "Query latency (rejections excluded).", "histogram")
+	for _, alg := range algos {
+		a := snap.Algorithms[alg]
+		if a.LatencyHistogram == nil {
+			continue
+		}
+		cum := uint64(0)
+		for i, ub := range trace.LatencyBuckets {
+			cum += a.LatencyHistogram[i]
+			m.val("camc_query_latency_seconds_bucket",
+				fmt.Sprintf("algorithm=%q,le=%q", alg, fmtFloat(ub)), float64(cum))
+		}
+		cum += a.LatencyHistogram[len(trace.LatencyBuckets)]
+		m.val("camc_query_latency_seconds_bucket", fmt.Sprintf("algorithm=%q,le=\"+Inf\"", alg), float64(cum))
+		m.val("camc_query_latency_seconds_sum", fmt.Sprintf("algorithm=%q", alg), a.TotalLatencyMs/1e3)
+		m.val("camc_query_latency_seconds_count", fmt.Sprintf("algorithm=%q", alg), float64(cum))
+	}
+
+	for _, c := range []struct {
+		name, help string
+		get        func(*trace.AlgoStats) float64
+	}{
+		{"camc_supersteps_total", "BSP supersteps executed.", func(a *trace.AlgoStats) float64 { return float64(a.Supersteps) }},
+		{"camc_comm_volume_words_total", "BSP words communicated.", func(a *trace.AlgoStats) float64 { return float64(a.CommVolume) }},
+		{"camc_avoided_collectives_total", "Collectives skipped via snapshot-resident plans.", func(a *trace.AlgoStats) float64 { return float64(a.AvoidedCollectives) }},
+		{"camc_avoided_comm_volume_words_total", "Words not communicated thanks to plans.", func(a *trace.AlgoStats) float64 { return float64(a.AvoidedCommVolume) }},
+	} {
+		m.header(c.name, c.help, "counter")
+		for _, alg := range algos {
+			a := snap.Algorithms[alg]
+			if v := c.get(&a); v > 0 {
+				m.val(c.name, fmt.Sprintf("algorithm=%q", alg), v)
+			}
+		}
+	}
+
+	// Per-fabric kernel costs: wire bytes on "tcp" vs zero on "local" is
+	// the communication-avoidance claim, scrapeable.
+	transports := make([]string, 0, len(snap.Transports))
+	for name := range snap.Transports {
+		transports = append(transports, name)
+	}
+	sort.Strings(transports)
+	for _, c := range []struct {
+		name, help string
+		get        func(trace.TransportStats) uint64
+	}{
+		{"camc_transport_kernel_executions_total", "Kernel executions per BSP fabric.", func(t trace.TransportStats) uint64 { return t.KernelExecutions }},
+		{"camc_transport_supersteps_total", "Supersteps per BSP fabric.", func(t trace.TransportStats) uint64 { return t.Supersteps }},
+		{"camc_transport_comm_volume_words_total", "Words communicated per BSP fabric.", func(t trace.TransportStats) uint64 { return t.CommVolume }},
+		{"camc_transport_wire_bytes_total", "Framed socket bytes per BSP fabric (0 for local).", func(t trace.TransportStats) uint64 { return t.WireBytes }},
+	} {
+		m.header(c.name, c.help, "counter")
+		for _, tr := range transports {
+			m.val(c.name, fmt.Sprintf("transport=%q", tr), float64(c.get(snap.Transports[tr])))
+		}
+	}
+
+	m.header("camc_cache_entries", "Result cache entries.", "gauge")
+	m.val("camc_cache_entries", "", float64(st.Cache.Size))
+	m.header("camc_cache_hits_total", "Result cache hits.", "counter")
+	m.val("camc_cache_hits_total", "", float64(st.Cache.Hits))
+	m.header("camc_cache_misses_total", "Result cache misses.", "counter")
+	m.val("camc_cache_misses_total", "", float64(st.Cache.Misses))
+	m.header("camc_cache_evictions_total", "Result cache evictions.", "counter")
+	m.val("camc_cache_evictions_total", "", float64(st.Cache.Evictions))
+
+	m.header("camc_graphs", "Registered graphs.", "gauge")
+	m.val("camc_graphs", "", float64(st.Graphs))
+	m.header("camc_plans", "Snapshot-resident query plans.", "gauge")
+	m.val("camc_plans", "", float64(st.Plans))
+	m.header("camc_workers", "Kernel worker pool size.", "gauge")
+	m.val("camc_workers", "", float64(st.Workers))
+	m.header("camc_queue_depth", "Admission queue depth.", "gauge")
+	m.val("camc_queue_depth", "", float64(st.QueueDepth))
+	m.header("camc_queue_capacity", "Admission queue capacity.", "gauge")
+	m.val("camc_queue_capacity", "", float64(st.QueueCapacity))
+	m.header("camc_queue_depth_max", "High-water admission queue depth.", "gauge")
+	m.val("camc_queue_depth_max", "", float64(snap.MaxQueueDepth))
+	m.header("camc_inflight_calls", "Distinct kernel executions in flight.", "gauge")
+	m.val("camc_inflight_calls", "", float64(st.InflightCalls))
+	m.header("camc_coalesced_waiters", "Followers waiting on in-flight calls.", "gauge")
+	m.val("camc_coalesced_waiters", "", float64(st.CoalescedWaiters))
+	m.header("camc_uptime_seconds", "Process uptime.", "gauge")
+	m.val("camc_uptime_seconds", "", st.UptimeMs/1e3)
+
+	if len(st.Tenants) > 0 {
+		writeTenantMetrics(m, st.Tenants)
+	}
+}
+
+func writeTenantMetrics(m metricsWriter, snaps []tenant.TenantSnapshot) {
+	for _, c := range []struct {
+		name, help, typ string
+		get             func(tenant.TenantSnapshot) float64
+	}{
+		{"camc_tenant_graphs", "Graphs registered by tenant.", "gauge", func(s tenant.TenantSnapshot) float64 { return float64(s.Graphs) }},
+		{"camc_tenant_bytes", "Graph bytes stored by tenant.", "gauge", func(s tenant.TenantSnapshot) float64 { return float64(s.Bytes) }},
+		{"camc_tenant_concurrent_queries", "In-flight queries by tenant.", "gauge", func(s tenant.TenantSnapshot) float64 { return float64(s.Concurrent) }},
+		{"camc_tenant_qps_tokens", "Token-bucket level by tenant.", "gauge", func(s tenant.TenantSnapshot) float64 { return s.QPSTokens }},
+		{"camc_tenant_admitted_total", "Requests admitted by tenant.", "counter", func(s tenant.TenantSnapshot) float64 { return float64(s.Admitted) }},
+	} {
+		m.header(c.name, c.help, c.typ)
+		for _, s := range snaps {
+			m.val(c.name, fmt.Sprintf("tenant=%q", s.Name), c.get(s))
+		}
+	}
+	m.header("camc_tenant_rejected_total", "Requests rejected by tenant and quota dimension.", "counter")
+	for _, s := range snaps {
+		for _, r := range []struct {
+			reason string
+			v      uint64
+		}{
+			{"qps", s.RejectedQPS},
+			{"concurrency", s.RejectedConcurrency},
+			{"graphs", s.RejectedGraphQuota},
+			{"bytes", s.RejectedByteQuota},
+		} {
+			m.val("camc_tenant_rejected_total", fmt.Sprintf("tenant=%q,reason=%q", s.Name, r.reason), float64(r.v))
+		}
+	}
+}
+
+// handleMetrics serves GET /metrics. The endpoint is read-only and
+// unauthenticated (scrapers sit inside the trust boundary, like
+// /healthz); tenant quota state appears under camc_tenant_* when a
+// tenant registry is configured.
+func handleMetrics(e *Engine, tenants *tenant.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+			return
+		}
+		st := e.Stats()
+		if tenants != nil {
+			st.Tenants = tenants.Snapshot()
+		}
+		var b strings.Builder
+		WriteMetrics(&b, st)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = io.WriteString(w, b.String())
+	}
+}

@@ -99,7 +99,6 @@ func TestLRUCache(t *testing.T) {
 	}
 }
 
-
 func TestQueryAlgorithmsAgainstSequentialTruth(t *testing.T) {
 	e := newTestEngine(t, Config{Workers: 2, MaxProcessors: 4})
 	g := testGraph(60, 150)
@@ -399,7 +398,6 @@ func TestDegenerateGraphs(t *testing.T) {
 		t.Errorf("single-vertex mincut: %+v, %v", r, err)
 	}
 }
-
 
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

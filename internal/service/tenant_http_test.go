@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tenant"
+)
+
+func tenantTestRegistry() *tenant.Registry {
+	return tenant.NewRegistry(tenant.Config{Tenants: []tenant.TenantConfig{
+		{Name: "a", Token: "tok-a", Quotas: tenant.Quotas{QPS: 2, Burst: 2, MaxGraphs: 2, MaxBytes: 1 << 16, MaxConcurrent: 1}},
+		{Name: "b", Token: "tok-b"},
+	}})
+}
+
+func newTenantServer(t *testing.T, cfg Config) (*Engine, *tenant.Registry, *httptest.Server) {
+	t.Helper()
+	e := NewEngine(cfg)
+	reg := tenantTestRegistry()
+	srv := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Tenants: reg}))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	return e, reg, srv
+}
+
+func doReq(t *testing.T, method, url, token, contentType string, body []byte) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func edgeListBody(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func engineTotals(t *testing.T, srv *httptest.Server, token string) (queries, kernels uint64, cacheSize int) {
+	t.Helper()
+	resp := doReq(t, "GET", srv.URL+"/v1/stats", token, "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st struct {
+		Cache struct {
+			Size int `json:"size"`
+		} `json:"cache"`
+		Queries struct {
+			Totals struct {
+				Queries          uint64 `json:"queries"`
+				KernelExecutions uint64 `json:"kernel_executions"`
+			} `json:"totals"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Queries.Totals.Queries, st.Queries.Totals.KernelExecutions, st.Cache.Size
+}
+
+// TestTenantAuthRequired: /v1/* without a valid token is 401 and leaves
+// no trace in the engine's query stats or cache; /healthz and /metrics
+// stay open.
+func TestTenantAuthRequired(t *testing.T) {
+	_, _, srv := newTenantServer(t, Config{Workers: 1, MaxProcessors: 1})
+
+	for _, tc := range []struct{ token string }{{""}, {"wrong"}} {
+		resp := doReq(t, "POST", srv.URL+"/v1/query", tc.token, "application/json",
+			[]byte(`{"graph":"g","algorithm":"cc"}`))
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", tc.token, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Fatal("401 must carry WWW-Authenticate")
+		}
+	}
+	if resp := doReq(t, "POST", srv.URL+"/v1/graphs?name=g", "", "text/plain", []byte("0 1 1\n")); resp.StatusCode != 401 {
+		t.Fatalf("unauthenticated upload: %d, want 401", resp.StatusCode)
+	}
+	if resp := doReq(t, "GET", srv.URL+"/healthz", "", "", nil); resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if resp := doReq(t, "GET", srv.URL+"/metrics", "", "", nil); resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+
+	// None of the rejected requests may have reached the engine.
+	queries, kernels, cacheSize := engineTotals(t, srv, "tok-b")
+	if queries != 0 || kernels != 0 || cacheSize != 0 {
+		t.Fatalf("401s leaked into engine stats: queries=%d kernels=%d cache=%d", queries, kernels, cacheSize)
+	}
+}
+
+// TestTenantQPSAnd429: exhausting tenant a's bucket yields 429 with a
+// Retry-After, never reaches the engine, and tenant b is untouched.
+func TestTenantQPSAnd429(t *testing.T) {
+	e, reg, srv := newTenantServer(t, Config{Workers: 1, MaxProcessors: 1})
+	if _, err := e.Registry().Put("g", gen.Cycle(16, 2)); err != nil {
+		t.Fatal(err)
+	}
+	qbody := []byte(`{"graph":"g","algorithm":"cc"}`)
+
+	// Burst of 2, then rejection.
+	var saw429 bool
+	var okCount int
+	for i := 0; i < 3; i++ {
+		resp := doReq(t, "POST", srv.URL+"/v1/query", "tok-a", "application/json", qbody)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			okCount++
+		case http.StatusTooManyRequests:
+			saw429 = true
+			ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil || ra < 1 {
+				t.Fatalf("429 Retry-After = %q, want integer seconds >= 1", resp.Header.Get("Retry-After"))
+			}
+		default:
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if okCount != 2 || !saw429 {
+		t.Fatalf("burst 2: got %d OK, saw429=%t", okCount, saw429)
+	}
+
+	queriesBefore, kernelsBefore, _ := engineTotals(t, srv, "tok-b")
+	// Drain stats' own QPS charge? /v1/stats is not quota-limited (GET).
+	if queriesBefore != 2 {
+		t.Fatalf("engine saw %d queries, want exactly the 2 admitted", queriesBefore)
+	}
+	if kernelsBefore == 0 {
+		t.Fatal("admitted queries should have executed a kernel")
+	}
+
+	// Isolation: tenant b (unlimited) never throttles.
+	for i := 0; i < 20; i++ {
+		resp := doReq(t, "POST", srv.URL+"/v1/query", "tok-b", "application/json", qbody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant b throttled by a's exhaustion: %d at %d", resp.StatusCode, i)
+		}
+	}
+
+	// The 429 shows up in the tenant ledger, not the query ledger.
+	snap := reg.Snapshot()
+	for _, s := range snap {
+		if s.Name == "a" && s.RejectedQPS != 1 {
+			t.Fatalf("tenant a rejected_qps = %d, want 1", s.RejectedQPS)
+		}
+	}
+}
+
+// TestTenantUploadQuotas exercises graph-count and byte quotas over
+// HTTP, the ?name= and Content-Length requirements, and rollback on
+// upstream rejection.
+func TestTenantUploadQuotas(t *testing.T) {
+	_, reg, srv := newTenantServer(t, Config{Workers: 1, MaxProcessors: 1})
+	// A fake clock keeps the QPS bucket out of the way: each advance()
+	// refills tokens without real sleeps.
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	reg.SetNow(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	body := edgeListBody(t, gen.Cycle(16, 2))
+
+	// No name: 400.
+	if resp := doReq(t, "POST", srv.URL+"/v1/graphs", "tok-a", "text/plain", body); resp.StatusCode != 400 {
+		t.Fatalf("nameless upload: %d, want 400", resp.StatusCode)
+	}
+	// Two named uploads fit MaxGraphs=2.
+	for _, name := range []string{"g1", "g2"} {
+		if resp := doReq(t, "POST", srv.URL+"/v1/graphs?name="+name, "tok-a", "text/plain", body); resp.StatusCode != 201 {
+			t.Fatalf("upload %s: %d", name, resp.StatusCode)
+		}
+		advance(time.Second) // refill QPS tokens (2/s)
+	}
+	// Third graph: 429 on the graph quota.
+	resp := doReq(t, "POST", srv.URL+"/v1/graphs?name=g3", "tok-a", "text/plain", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over graph quota: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quota 429 must carry Retry-After")
+	}
+
+	// A malformed upload under a fresh name must roll its reservation
+	// back: the tenant ledger ends where it started.
+	before := snapshotOf(reg, "a")
+	advance(time.Second)
+	resp = doReq(t, "POST", srv.URL+"/v1/graphs?name=g1", "tok-a", "text/plain", []byte("not an edge list"))
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed upload: %d, want 400", resp.StatusCode)
+	}
+	after := snapshotOf(reg, "a")
+	if after.Graphs != before.Graphs || after.Bytes != before.Bytes {
+		t.Fatalf("failed upload leaked quota: before %+v after %+v", before, after)
+	}
+
+	// Byte quota: an upload pushing past MaxBytes is 429 without
+	// consulting the engine.
+	huge := bytes.Repeat([]byte("0 1 1\n"), 1<<14) // ~96 KiB > 64 KiB quota
+	advance(time.Second)
+	resp = doReq(t, "POST", srv.URL+"/v1/graphs?name=g1", "tok-a", "text/plain", huge)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over byte quota: %d, want 429", resp.StatusCode)
+	}
+}
+
+func snapshotOf(reg *tenant.Registry, name string) tenant.TenantSnapshot {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return tenant.TenantSnapshot{}
+}
+
+// TestTenantStatsExposure: /v1/stats embeds the tenant quota state and
+// /metrics renders camc_tenant_* series.
+func TestTenantStatsExposure(t *testing.T) {
+	e, _, srv := newTenantServer(t, Config{Workers: 1, MaxProcessors: 1})
+	if _, err := e.Registry().Put("g", gen.Cycle(16, 2)); err != nil {
+		t.Fatal(err)
+	}
+	doReq(t, "POST", srv.URL+"/v1/query", "tok-b", "application/json", []byte(`{"graph":"g","algorithm":"cc"}`))
+
+	resp := doReq(t, "GET", srv.URL+"/v1/stats", "tok-b", "", nil)
+	var st struct {
+		Tenants []tenant.TenantSnapshot `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tenants) != 2 || st.Tenants[0].Name != "a" || st.Tenants[1].Name != "b" {
+		t.Fatalf("stats tenants = %+v", st.Tenants)
+	}
+	if st.Tenants[1].Admitted == 0 {
+		t.Fatal("tenant b's admitted counter missing from stats")
+	}
+
+	mresp := doReq(t, "GET", srv.URL+"/metrics", "", "", nil)
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	if !strings.Contains(buf.String(), `camc_tenant_admitted_total{tenant="b"}`) {
+		t.Fatalf("metrics lack tenant series:\n%s", buf.String())
+	}
+}
+
+// TestTenantConcurrencyLimitHTTP holds tenant a's single concurrency
+// slot with a slow kernel and checks a second query is 429 while the
+// first is in flight.
+func TestTenantConcurrencyLimitHTTP(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	e := NewEngine(Config{Workers: 2, MaxProcessors: 1, BeforeExec: func(string) {
+		started <- struct{}{}
+		<-gate
+	}})
+	reg := tenantTestRegistry()
+	srv := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Tenants: reg}))
+	t.Cleanup(func() { close(gate); srv.Close(); e.Close() })
+	if _, err := e.Registry().Put("g", gen.Cycle(16, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doReq(t, "POST", srv.URL+"/v1/query", "tok-a", "application/json",
+			[]byte(`{"graph":"g","algorithm":"cc"}`))
+	}()
+	<-started // the first query holds its slot inside the kernel gate
+
+	resp := doReq(t, "POST", srv.URL+"/v1/query", "tok-a", "application/json",
+		[]byte(`{"graph":"g","algorithm":"cc","seed":2}`))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second concurrent query: %d, want 429", resp.StatusCode)
+	}
+	gate <- struct{}{}
+	wg.Wait()
+}
+
+// TestTenantCountersSurviveDrain: quota ledgers live outside the
+// engine, so a graceful engine shutdown (drain) must release every
+// concurrency slot and preserve the admitted/rejected counters.
+func TestTenantCountersSurviveDrain(t *testing.T) {
+	e := NewEngine(Config{Workers: 2, MaxProcessors: 1})
+	reg := tenantTestRegistry()
+	h := NewHandlerOpts(e, HandlerOptions{Tenants: reg})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := e.Registry().Put("g", gen.Cycle(16, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doReq(t, "POST", srv.URL+"/v1/query", "tok-b", "application/json",
+				[]byte(fmt.Sprintf(`{"graph":"g","algorithm":"cc","seed":%d}`, i+1)))
+		}(i)
+	}
+	wg.Wait()
+	before := snapshotOf(reg, "b")
+
+	e.Close() // graceful drain
+
+	after := snapshotOf(reg, "b")
+	if after.Concurrent != 0 {
+		t.Fatalf("drain leaked %d concurrency slots", after.Concurrent)
+	}
+	if after.Admitted != before.Admitted || after.Admitted != 8 {
+		t.Fatalf("admitted counter lost across drain: before %d after %d", before.Admitted, after.Admitted)
+	}
+
+	// Post-drain queries: the engine is closed (503), but the tenant
+	// layer still accounts them.
+	resp := doReq(t, "POST", srv.URL+"/v1/query", "tok-b", "application/json",
+		[]byte(`{"graph":"g","algorithm":"cc"}`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain query: %d, want 503", resp.StatusCode)
+	}
+	final := snapshotOf(reg, "b")
+	if final.Admitted != 9 {
+		t.Fatalf("post-drain admission not counted: %d", final.Admitted)
+	}
+	if final.Concurrent != 0 {
+		t.Fatal("post-drain release missing")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -25,7 +26,14 @@ type Frontend struct {
 	client   *http.Client
 	attempts int
 	backoff  time.Duration
+	tenants  *tenant.Registry
 }
+
+// SetTenants attaches a tenant registry so the merged /v1/stats view
+// carries the fleet-wide quota state. Quota enforcement itself happens
+// in service.TenantMiddleware wrapping Handler(); the frontend only
+// reports.
+func (f *Frontend) SetTenants(reg *tenant.Registry) { f.tenants = reg }
 
 // NewFrontend builds a frontend over the given worker fleet.
 func NewFrontend(shards [][]string) (*Frontend, error) {
@@ -233,10 +241,14 @@ type FrontendStats struct {
 	WireBytes          uint64                          `json:"wire_bytes"`
 	Transports         map[string]trace.TransportStats `json:"transports,omitempty"`
 	UnreachableWorkers int                             `json:"unreachable_workers"`
+	Tenants            []tenant.TenantSnapshot         `json:"tenants,omitempty"`
 }
 
 func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := FrontendStats{Shards: make([]ShardStats, len(f.shards))}
+	if f.tenants != nil {
+		out.Tenants = f.tenants.Snapshot()
+	}
 	for si, workers := range f.shards {
 		ss := ShardStats{Shard: si, Workers: make([]WorkerStats, len(workers))}
 		for wi, worker := range workers {

@@ -8,15 +8,15 @@ import (
 // Query outcomes recorded by the Collector. A query is counted exactly
 // once, under the outcome that resolved it.
 const (
-	OutcomeExecuted  = "executed"  // a kernel ran for this query
-	OutcomeCacheHit  = "cache_hit" // served from the result cache
-	OutcomeCoalesced = "coalesced" // piggybacked on an identical in-flight query
-	OutcomeRejected  = "rejected"  // shed by admission control (queue full)
-	OutcomeExpired   = "expired"   // deadline passed before a result was available
-	OutcomeError     = "error"     // the kernel or the request failed
-	OutcomeCancelled = "cancelled" // the kernel was cancelled mid-run, no partial answer
-	OutcomeDegraded  = "degraded"  // cancelled mid-run but a best-so-far answer was served
-	OutcomeFaulted   = "faulted"   // the kernel faulted and the bounded retry failed too
+	OutcomeExecuted  = "executed"       // a kernel ran for this query
+	OutcomeCacheHit  = "cache_hit"      // served from the result cache
+	OutcomeCoalesced = "coalesced"      // piggybacked on an identical in-flight query
+	OutcomeRejected  = "rejected"       // shed by admission control (queue full)
+	OutcomeExpired   = "expired"        // deadline passed before a result was available
+	OutcomeError     = "error"          // the kernel or the request failed
+	OutcomeCancelled = "cancelled"      // the kernel was cancelled mid-run, no partial answer
+	OutcomeDegraded  = "degraded"       // cancelled mid-run but a best-so-far answer was served
+	OutcomeFaulted   = "faulted"        // the kernel faulted and the bounded retry failed too
 	OutcomeTransport = "transport_lost" // a peer connection died mid-run and the retry failed too
 
 	// OutcomeRetried is an *event*, not a resolution: it marks one
@@ -49,6 +49,16 @@ type QuerySample struct {
 	WireBytes uint64
 }
 
+// LatencyBuckets are the upper bounds, in seconds, of the collector's
+// latency histogram — log-spaced from 0.5ms to 10s, Prometheus-style
+// cumulative ("le") semantics with an implicit +Inf bucket at the end.
+// The bounds are fixed so histograms merge trivially across scrapes,
+// algorithms, and processes.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // AlgoStats aggregates the samples of one algorithm (or, for the
 // collector's totals, of all of them). The struct is JSON-ready, so the
 // service's stats endpoint can serve collector snapshots directly.
@@ -75,6 +85,10 @@ type AlgoStats struct {
 	MaxLatencyMs       float64 `json:"max_latency_ms"`
 	AvgLatencyMs       float64 `json:"avg_latency_ms"`
 	MaxP               int     `json:"max_p"`
+	// LatencyHistogram counts latency samples per LatencyBuckets bound
+	// (non-cumulative; one extra slot for +Inf). Rejections are excluded,
+	// matching the min/max/avg fields above.
+	LatencyHistogram []uint64 `json:"latency_histogram,omitempty"`
 
 	latencySamples uint64
 }
@@ -123,6 +137,18 @@ func (a *AlgoStats) observe(s QuerySample) {
 		return
 	}
 	ms := float64(s.Latency) / float64(time.Millisecond)
+	if a.LatencyHistogram == nil {
+		a.LatencyHistogram = make([]uint64, len(LatencyBuckets)+1)
+	}
+	sec := s.Latency.Seconds()
+	slot := len(LatencyBuckets) // +Inf
+	for i, ub := range LatencyBuckets {
+		if sec <= ub {
+			slot = i
+			break
+		}
+	}
+	a.LatencyHistogram[slot]++
 	a.TotalLatencyMs += ms
 	if a.latencySamples == 0 || ms < a.MinLatencyMs {
 		a.MinLatencyMs = ms
@@ -199,17 +225,26 @@ func (c *Collector) Observe(s QuerySample) {
 	}
 }
 
+// cloneAlgo copies one aggregate, detaching the histogram slice so the
+// snapshot stays immutable while the collector keeps counting.
+func cloneAlgo(a AlgoStats) AlgoStats {
+	if a.LatencyHistogram != nil {
+		a.LatencyHistogram = append([]uint64(nil), a.LatencyHistogram...)
+	}
+	return a
+}
+
 // Snapshot returns a copy of the current aggregates.
 func (c *Collector) Snapshot() CollectorSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := CollectorSnapshot{
-		Totals:        c.totals,
+		Totals:        cloneAlgo(c.totals),
 		Algorithms:    make(map[string]AlgoStats, len(c.algos)),
 		MaxQueueDepth: c.maxQueueDepth,
 	}
 	for name, a := range c.algos {
-		out.Algorithms[name] = *a
+		out.Algorithms[name] = cloneAlgo(*a)
 	}
 	if len(c.transports) > 0 {
 		out.Transports = make(map[string]TransportStats, len(c.transports))

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench_gate.sh — copy the committed BENCH_*.json baselines aside,
+# re-run every benchmark suite (which overwrites those files in place),
+# then let cmd/benchgate compare the fresh measurements against the
+# saved copies. Exit 1 on a critical regression.
+#
+#   BENCHTIME=0.5s scripts/bench_gate.sh
+#
+# Run from the repo root on a clean checkout: the baselines are taken
+# from the working tree, which in CI is the committed state.
+set -euo pipefail
+
+BASE=${BASE:-.benchgate/baseline}
+BENCHTIME=${BENCHTIME:-0.5s}
+
+files=(
+  internal/service/BENCH_service.json
+  internal/bsp/BENCH_bsp.json
+  internal/kernels/BENCH_kernels.json
+  internal/transport/BENCH_transport.json
+)
+
+rm -rf "$BASE"
+found=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  mkdir -p "$BASE/$(dirname "$f")"
+  cp "$f" "$BASE/$f"
+  found=$((found + 1))
+done
+if [ "$found" -eq 0 ]; then
+  echo "bench_gate: no committed BENCH baselines found; nothing to gate" >&2
+  exit 1
+fi
+echo "bench_gate: saved $found baseline(s) under $BASE; re-running benches at -benchtime=$BENCHTIME"
+
+go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/bsp/
+go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/kernels/
+go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/service/
+go test -run='^$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem -benchtime="$BENCHTIME" ./internal/transport/
+
+go run ./cmd/benchgate -baseline "$BASE" -current .

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# load_smoke.sh — the CI load job: build camcd + loadgen, replay the
+# deterministic -quick traffic mix against (1) a single-process daemon
+# and (2) a 3-process fleet (two -worker ranks forming one shard plus a
+# -frontend router), and leave BENCH_load_single.json /
+# BENCH_load_fleet.json behind as artifacts. Any transport or 5xx
+# failure fails the script.
+set -euo pipefail
+
+SEED=${SEED:-42}
+BIN=${BIN:-$(mktemp -d)}
+LOG=${LOG:-$BIN}
+
+go build -o "$BIN/camcd" ./cmd/camcd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "load_smoke: $1 never became healthy" >&2
+  return 1
+}
+
+echo "=== load smoke 1/2: single-process daemon ==="
+"$BIN/camcd" -addr=127.0.0.1:18491 >"$LOG/camcd-single.log" 2>&1 &
+pids+=($!)
+wait_healthy http://127.0.0.1:18491
+"$BIN/loadgen" -target=http://127.0.0.1:18491 -quick -seed="$SEED" \
+  -fault-frac=0.05 -out=BENCH_load_single.json
+kill "${pids[0]}" 2>/dev/null || true
+
+echo "=== load smoke 2/2: 3-process fleet (2 workers + frontend) ==="
+MESH="127.0.0.1:18591,127.0.0.1:18592"
+"$BIN/camcd" -worker -rank=0 -peers="$MESH" -epoch=7 -addr=127.0.0.1:18493 -workers=1 >"$LOG/camcd-w0.log" 2>&1 &
+pids+=($!)
+"$BIN/camcd" -worker -rank=1 -peers="$MESH" -epoch=7 -addr=127.0.0.1:18494 -workers=1 >"$LOG/camcd-w1.log" 2>&1 &
+pids+=($!)
+wait_healthy http://127.0.0.1:18493
+wait_healthy http://127.0.0.1:18494
+"$BIN/camcd" -frontend -shards=127.0.0.1:18493,127.0.0.1:18494 -addr=127.0.0.1:18495 >"$LOG/camcd-fe.log" 2>&1 &
+pids+=($!)
+wait_healthy http://127.0.0.1:18495
+# The fleet executes distributed kernels (real TCP supersteps), so keep
+# the offered load lighter than the single-process smoke.
+"$BIN/loadgen" -target=http://127.0.0.1:18495 -quick -seed="$SEED" \
+  -qps=25 -graphs=3 -graph-n=64 -out=BENCH_load_fleet.json
+
+echo "load smoke: OK (BENCH_load_single.json, BENCH_load_fleet.json)"
