@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check chaos lint vuln bench bench-bsp bench-kernels bench-service bench-transport bench-gate load-smoke transport camcd
+.PHONY: all build test vet race check chaos lint vuln bench bench-bsp bench-kernels bench-service bench-planner bench-transport bench-gate load-smoke transport camcd
 
 all: check
 
@@ -67,8 +67,19 @@ bench-kernels:
 
 # Serving-layer benchmarks: warm-plan vs cold repeated-query throughput
 # and static vs dynamic trial scheduling under an injected straggler
-# (also writes internal/service/BENCH_service.json).
+# (also writes internal/service/BENCH_service.json and
+# internal/service/BENCH_planner.json).
 bench-service:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/service/
+
+# Planner/portfolio benchmarks: planner-selected kernel vs the
+# always-label-propagation baseline on a high-diameter path, the
+# machine-less shared kernel vs the p=1 BSP path on a small warm graph,
+# deterministic lowround counts, and the planner's win-rate/prediction
+# accounting. Shares the service suite's TestMain writer, so it
+# regenerates both internal/service/BENCH_planner.json and
+# internal/service/BENCH_service.json.
+bench-planner:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/service/
 
 # Cross-fabric benchmarks: the same all-to-all superstep through the

@@ -144,6 +144,32 @@ type kernelsBench struct {
 	} `json:"ks_trial"`
 }
 
+type plannerBench struct {
+	HighDiameter struct {
+		LabelPropNsOp int64   `json:"labelprop_ns_op"`
+		PlannerNsOp   int64   `json:"planner_ns_op"`
+		Speedup       float64 `json:"speedup"`
+		ChosenKernel  string  `json:"chosen_kernel"`
+		PredictedMs   float64 `json:"predicted_ms"`
+		ActualMs      float64 `json:"actual_ms"`
+	} `json:"high_diameter"`
+	SmallGraph struct {
+		BSPNsOp    int64   `json:"bsp_ns_op"`
+		SharedNsOp int64   `json:"shared_ns_op"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"small_graph"`
+	LowRound struct {
+		Supersteps int     `json:"supersteps"`
+		CommVolume float64 `json:"comm_volume"`
+		Components int     `json:"components"`
+	} `json:"lowround"`
+	Prediction struct {
+		WinRate    float64 `json:"win_rate"`
+		MeanAbsErr float64 `json:"mean_abs_err"`
+		Fallbacks  float64 `json:"fallbacks"`
+	} `json:"prediction"`
+}
+
 type transportBench struct {
 	Benchmarks []struct {
 		Transport      string  `json:"transport"`
@@ -161,6 +187,7 @@ var benchFiles = []struct {
 	Extract func(base, cur []byte) ([]Metric, error)
 }{
 	{"internal/service/BENCH_service.json", extractService},
+	{"internal/service/BENCH_planner.json", extractPlanner},
 	{"internal/bsp/BENCH_bsp.json", extractBSP},
 	{"internal/kernels/BENCH_kernels.json", extractKernels},
 	{"internal/transport/BENCH_transport.json", extractTransport},
@@ -328,6 +355,44 @@ func extractKernels(base, cur []byte) ([]Metric, error) {
 		Metric{File: file, Name: "ks_arena_allocs_per_trial", Base: b.KSTrial.ArenaAllocsTrial, Cur: c.KSTrial.ArenaAllocsTrial,
 			Better: -1})
 	return ms, nil
+}
+
+func extractPlanner(base, cur []byte) ([]Metric, error) {
+	b, c, err := decodePair[plannerBench](base, cur)
+	if err != nil {
+		return nil, err
+	}
+	file := "planner"
+	return []Metric{
+		// Same-machine timing ratios: planner-vs-labelprop on the
+		// high-diameter path and shared-vs-BSP on the small graph. Both
+		// sides of each ratio come from one process, so only a genuine
+		// relative regression (the planner picking a slow kernel, the
+		// shared path growing a machine-sized overhead) moves them.
+		{File: file, Name: "high_diameter_speedup", Base: b.HighDiameter.Speedup, Cur: c.HighDiameter.Speedup,
+			Tol: tolRatio, Better: +1, Critical: true},
+		{File: file, Name: "small_graph_speedup", Base: b.SmallGraph.Speedup, Cur: c.SmallGraph.Speedup,
+			Tol: tolRatio, Better: +1, Critical: true},
+		// Deterministic counts of the pinned lowround execution: fixed
+		// input, seed-free kernel, fixed p — identical on any machine.
+		{File: file, Name: "lowround_supersteps", Base: float64(b.LowRound.Supersteps), Cur: float64(c.LowRound.Supersteps),
+			Tol: tolCount, Better: -1, Critical: true},
+		{File: file, Name: "lowround_comm_volume", Base: b.LowRound.CommVolume, Cur: c.LowRound.CommVolume,
+			Tol: tolCount, Better: -1, Critical: true},
+		{File: file, Name: "lowround_components", Base: float64(b.LowRound.Components), Cur: float64(c.LowRound.Components),
+			Critical: true},
+		// Win rate over the divergent decisions. The Abs slack forgives
+		// one or two lost coin-flip wins out of the batch; a collapse
+		// (the model no longer beating the default it displaced) fails.
+		{File: file, Name: "win_rate", Base: b.Prediction.WinRate, Cur: c.Prediction.WinRate,
+			Tol: tolRatio, Better: +1, Abs: 0.25, Critical: true},
+		// Prediction error and fallback count are machine- and
+		// calibration-dependent: reported so drift is visible, not gated.
+		{File: file, Name: "prediction_mean_abs_err", Base: b.Prediction.MeanAbsErr, Cur: c.Prediction.MeanAbsErr,
+			Better: -1},
+		{File: file, Name: "calibration_fallbacks", Base: b.Prediction.Fallbacks, Cur: c.Prediction.Fallbacks,
+			Better: -1},
+	}, nil
 }
 
 func extractTransport(base, cur []byte) ([]Metric, error) {

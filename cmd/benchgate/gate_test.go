@@ -34,6 +34,17 @@ const kernelsFixture = `{
   "ks_trial": {"trials_per_op": 32, "arena_allocs_per_trial": 1.5, "clone_allocs_per_trial": 40, "alloc_reduction": 26.7, "arena_ns_op": 80000, "clone_ns_op": 200000}
 }`
 
+const plannerFixture = `{
+  "high_diameter": {
+    "graph": "path", "n": 100001, "m": 100000, "p": 16,
+    "labelprop_ns_op": 199000000, "planner_ns_op": 12000000, "speedup": 16.58,
+    "chosen_kernel": "sampling", "predicted_ms": 36.3, "actual_ms": 39.9
+  },
+  "small_graph": {"n": 1024, "m": 9216, "bsp_ns_op": 514000, "shared_ns_op": 155000, "speedup": 3.32},
+  "lowround": {"p": 4, "supersteps": 8, "comm_volume": 6180, "components": 1},
+  "prediction": {"decisions": 37, "executed": 37, "diverged": 8, "wins": 8, "win_rate": 1, "mean_abs_err": 1.37, "fallbacks": 0}
+}`
+
 const transportFixture = `{
   "name": "transport-bench",
   "benchmarks": [
@@ -60,6 +71,7 @@ func writeTree(t *testing.T, files map[string]string) string {
 func allFixtures() map[string]string {
 	return map[string]string{
 		"internal/service/BENCH_service.json":     serviceFixture,
+		"internal/service/BENCH_planner.json":     plannerFixture,
 		"internal/bsp/BENCH_bsp.json":             bspFixture,
 		"internal/kernels/BENCH_kernels.json":     kernelsFixture,
 		"internal/transport/BENCH_transport.json": transportFixture,
@@ -193,6 +205,44 @@ func TestGateAllocSlack(t *testing.T) {
 	regs := Regressions(metrics)
 	if len(regs) != 1 || regs[0].Name != "combine_allocs_op" {
 		t.Fatalf("alloc leak not caught: %+v", regs)
+	}
+}
+
+// TestGateCatchesPlannerRegressions: a planner that stops beating the
+// labelprop baseline (speedup collapse), a lowround kernel that grows
+// extra communication, and a win-rate collapse must each fail; losing
+// one coin-flip win out of the batch must not.
+func TestGateCatchesPlannerRegressions(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	for _, tc := range []struct {
+		name     string
+		from, to string
+		want     string // regressed metric name; "" = must pass
+	}{
+		{"speedup collapse", `"speedup": 16.58`, `"speedup": 1.05`, "high_diameter_speedup"},
+		{"shared path regressed", `"speedup": 3.32`, `"speedup": 0.9`, "small_graph_speedup"},
+		{"comm volume growth", `"comm_volume": 6180`, `"comm_volume": 9000`, "lowround_comm_volume"},
+		{"wrong component count", `"components": 1`, `"components": 2`, "lowround_components"},
+		{"win rate collapse", `"win_rate": 1`, `"win_rate": 0.3`, "win_rate"},
+		{"one lost win", `"win_rate": 1`, `"win_rate": 0.875`, ""},
+		{"error drift is informational", `"mean_abs_err": 1.37`, `"mean_abs_err": 4.2`, ""},
+	} {
+		files := allFixtures()
+		files["internal/service/BENCH_planner.json"] = strings.Replace(plannerFixture, tc.from, tc.to, 1)
+		metrics, _, err := Compare(base, writeTree(t, files))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		regs := Regressions(metrics)
+		if tc.want == "" {
+			if len(regs) != 0 {
+				t.Fatalf("%s: unexpected regressions %+v", tc.name, regs)
+			}
+			continue
+		}
+		if len(regs) != 1 || regs[0].Name != tc.want {
+			t.Fatalf("%s: want exactly %s to regress, got %+v", tc.name, tc.want, regs)
+		}
 	}
 }
 

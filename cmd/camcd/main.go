@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/planner"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/tenant"
@@ -58,11 +59,13 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("camcd: ")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8387", "HTTP listen address")
-		workers    = flag.Int("workers", 0, "kernel worker pool size (0 = CPUs, max 4)")
-		queueBound = flag.Int("queue", 64, "admission-control queue bound")
-		cacheCap   = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
-		maxP       = flag.Int("maxp", 0, "largest per-query BSP machine (0 = CPUs, max 16; single-process mode only)")
+		addr        = flag.String("addr", "127.0.0.1:8387", "HTTP listen address")
+		workers     = flag.Int("workers", 0, "kernel worker pool size (0 = CPUs, max 4)")
+		queueBound  = flag.Int("queue", 64, "admission-control queue bound")
+		cacheCap    = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
+		maxP        = flag.Int("maxp", 0, "largest per-query BSP machine (0 = CPUs, max 16; single-process mode only)")
+		plannerMode = flag.String("planner", "static",
+			"query planner mode: off (default kernel + heuristic p), static (cost models fitted at startup), adaptive (also refit from live samples); single-process mode only")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-query deadline")
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "largest honored per-query deadline")
 		faultSpec  = flag.String("faults", os.Getenv(faults.EnvVar),
@@ -107,6 +110,15 @@ func main() {
 		log.Printf("multi-tenant mode: %d tenant(s) configured", len(cfg.Tenants))
 	}
 
+	if _, err := planner.ParseMode(*plannerMode); err != nil {
+		log.Fatal(err)
+	}
+	if *workerMode || *frontendMode {
+		// A shard group's machine size and kernel are fixed by its worker
+		// group; per-query planning only applies to in-process execution.
+		*plannerMode = "off"
+	}
+
 	svcCfg := service.Config{
 		Workers:        *workers,
 		QueueBound:     *queueBound,
@@ -115,6 +127,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Faults:         freg,
+		Planner:        *plannerMode,
 	}
 
 	switch {
@@ -157,6 +170,9 @@ func main() {
 		serve(*addr, w.Handler(), w.Close)
 	default:
 		engine := service.NewEngine(svcCfg)
+		if pl := engine.Planner(); pl != nil {
+			log.Printf("planner %s: calibrated kernels %v", pl.Mode(), pl.Calibrated())
+		}
 		serve(*addr, service.NewHandlerOpts(engine, service.HandlerOptions{Tenants: tenants}), engine.Close)
 	}
 }

@@ -48,6 +48,11 @@ type Plan struct {
 	Labels     []int32
 	Components int
 
+	// Probe is the snapshot's statistics probe (estimated diameter,
+	// weight skew) — the planner's cost-model inputs, cached here so a
+	// plan hit never recomputes the BFS sweeps.
+	Probe *Probe
+
 	// Measured cold-path costs of the collectives a warm query skips.
 	CCCost     CollectiveCost // connectivity check (cc.Parallel)
 	CountCost  CollectiveCost // edge-count AllReduce
@@ -97,5 +102,6 @@ func (s *Snapshot) PlanFacts() *Plan {
 	}
 	pl.Labels, pl.Components = s.Graph().ConnectedComponents()
 	pl.Connected = pl.Components <= 1
+	pl.Probe = s.Probe()
 	return pl
 }

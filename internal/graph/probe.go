@@ -1,0 +1,89 @@
+package graph
+
+// ProbeLevelCap bounds the BFS depth of the statistics probe. A sweep
+// that is still expanding when it hits the cap reports the cap itself:
+// "the diameter is at least this" is all the planner needs to classify
+// a graph as high-diameter, and the cap keeps the probe O(n + m) with a
+// small constant even on pathological inputs.
+const ProbeLevelCap = 4096
+
+// Probe holds the cheap snapshot statistics the query planner feeds to
+// its cost models: an estimated diameter from a capped double-sweep BFS
+// and the weight skew of the edge distribution. It is computed lazily,
+// exactly once per snapshot, and cached both on the snapshot and on any
+// Plan built from it.
+type Probe struct {
+	// EstDiameter is a lower-bound diameter estimate: a BFS from vertex 0
+	// finds the farthest reachable vertex u, and a second BFS from u
+	// measures its eccentricity (the classic double-sweep heuristic, exact
+	// on trees and within 2x in general). On a disconnected graph it
+	// probes the component of vertex 0 only. Both sweeps stop at
+	// ProbeLevelCap levels.
+	EstDiameter int
+
+	// MaxWeight, MeanWeight, and WeightSkew (= max/mean, >= 1, or 1 for
+	// the empty graph) summarize the edge-weight distribution; a skew near
+	// 1 means near-uniform weights.
+	MaxWeight  uint64
+	MeanWeight float64
+	WeightSkew float64
+}
+
+// Probe returns the snapshot's statistics probe, computing it on first
+// use. Safe for concurrent callers; the result is shared and read-only.
+func (s *Snapshot) Probe() *Probe {
+	s.probeOnce.Do(func() { s.probe = computeProbe(s) })
+	return s.probe
+}
+
+func computeProbe(s *Snapshot) *Probe {
+	pr := &Probe{WeightSkew: 1}
+	if len(s.edges) > 0 {
+		var max uint64
+		for _, e := range s.edges {
+			if e.W > max {
+				max = e.W
+			}
+		}
+		pr.MaxWeight = max
+		pr.MeanWeight = float64(s.totalWeight) / float64(len(s.edges))
+		if pr.MeanWeight > 0 {
+			pr.WeightSkew = float64(max) / pr.MeanWeight
+		}
+	}
+	if s.n == 0 {
+		return pr
+	}
+	c := BuildCSR(s.Graph())
+	far, _ := bfsEccentricity(c, 0)
+	_, ecc := bfsEccentricity(c, far)
+	pr.EstDiameter = ecc
+	return pr
+}
+
+// bfsEccentricity runs a BFS from src capped at ProbeLevelCap levels and
+// returns the last-discovered vertex and the level it was found at.
+func bfsEccentricity(c *CSR, src int32) (far int32, ecc int) {
+	seen := make([]bool, c.N)
+	seen[src] = true
+	frontier := []int32{src}
+	next := make([]int32, 0, 64)
+	far = src
+	for level := 0; len(frontier) > 0 && level < ProbeLevelCap; level++ {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, w := range c.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) > 0 {
+			ecc = level + 1
+			far = next[len(next)-1]
+		}
+		frontier, next = next, frontier
+	}
+	return far, ecc
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // Snapshot is an immutable, cheaply shareable view of a graph. The edge
 // array is copied exactly once when the snapshot is taken; afterwards any
 // number of concurrent readers (HTTP handlers, BSP workers, cache
@@ -18,6 +20,11 @@ type Snapshot struct {
 	edges       []Edge
 	totalWeight uint64
 	fingerprint uint64
+
+	// probe caches the lazily computed statistics probe (see probe.go).
+	// sync.Once keeps the snapshot safe for concurrent readers.
+	probeOnce sync.Once
+	probe     *Probe
 }
 
 // Snapshot freezes the current state of g into an immutable view.

@@ -1,0 +1,42 @@
+package perfmodel
+
+// Window is a bounded FIFO of measured samples, the buffer a live
+// planner refits its per-kernel model from: new executions overwrite the
+// oldest once the window is full, so the fit tracks the current machine
+// and workload rather than startup conditions.
+type Window struct {
+	buf  []Sample
+	next int
+	full bool
+}
+
+// NewWindow returns a window holding at most capacity samples
+// (minimum 4 — below that no model can be fitted at all).
+func NewWindow(capacity int) *Window {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &Window{buf: make([]Sample, 0, capacity)}
+}
+
+// Add appends a sample, evicting the oldest when full.
+func (w *Window) Add(s Sample) {
+	if !w.full && len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, s)
+		if len(w.buf) == cap(w.buf) {
+			w.full = true
+		}
+		return
+	}
+	w.buf[w.next] = s
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// Len reports the number of held samples.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Samples returns a copy of the held samples (order is not meaningful;
+// the fitters are order-invariant).
+func (w *Window) Samples() []Sample {
+	return append([]Sample(nil), w.buf...)
+}

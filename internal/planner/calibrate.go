@@ -1,0 +1,170 @@
+package planner
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+	"repro/internal/perfmodel"
+)
+
+// calGraph is one calibration workload: a small deterministic graph plus
+// the stats and params its cost formulas see.
+type calGraph struct {
+	alg string
+	g   *graph.Graph
+	st  GraphStats
+	par Params
+}
+
+func calPath(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(int32(i), int32(i+1), 1)
+	}
+	return g
+}
+
+// calibrationSuite spans the regimes the formulas must discriminate:
+// high-diameter paths, low-diameter random graphs, and several sizes of
+// each, so the least-squares system sees independent variation in comp,
+// volume, and supersteps. The two larger CC graphs anchor the slopes —
+// without them the fit extrapolates serving-size queries from a cluster
+// of near-identical small samples and the per-kernel ordering becomes a
+// coin flip. All graphs are deterministic (fixed seeds).
+func calibrationSuite() []calGraph {
+	ccPar := Params{Epsilon: 0.5}
+	var suite []calGraph
+	for _, g := range []*graph.Graph{
+		calPath(512),
+		calPath(2048),
+		calPath(8192),
+		gen.ErdosRenyiM(256, 2048, 7, gen.Config{}),
+		gen.ErdosRenyiM(1024, 8192, 7, gen.Config{}),
+		gen.ErdosRenyiM(4096, 32768, 7, gen.Config{}),
+		gen.WattsStrogatz(512, 8, 0.2, 7, gen.Config{}),
+	} {
+		suite = append(suite, calGraph{alg: "cc", g: g, st: StatsOf(g.Snapshot()), par: ccPar})
+	}
+	for _, g := range []*graph.Graph{
+		gen.WattsStrogatz(128, 6, 0.2, 7, gen.Config{}),
+		gen.WattsStrogatz(256, 6, 0.2, 7, gen.Config{}),
+		gen.ErdosRenyiM(192, 768, 7, gen.Config{}),
+		gen.ErdosRenyiM(384, 1536, 7, gen.Config{}),
+	} {
+		t := mincut.Trials(g.N, len(g.Edges), 0.9)
+		if t > 12 {
+			t = 12 // bound startup cost; the fit only needs the slope
+		}
+		suite = append(suite, calGraph{alg: "mincut", g: g, st: StatsOf(g.Snapshot()), par: Params{Trials: t}})
+	}
+	return suite
+}
+
+// calReps is how many times each calibration point runs; the fastest
+// rep is kept. One-shot timings carry GC pauses and scheduler noise
+// that a least-squares fit over a few dozen points cannot average out,
+// and a single outlier can flip the fitted per-kernel ordering.
+const calReps = 2
+
+// CalibrateBuiltins measures every registered kernel over the built-in
+// suite and fits its model: BSP kernels run on real machines at p in
+// {1,2,4,8,16} (clamped to maxP — the spread in log₂p is what separates
+// the volume constant from the intercept) with measured ledger
+// features; shared kernels run on the calling goroutine with formula
+// features, so their fit maps the same features Choose later predicts
+// with. A kernel whose fit fails stays uncalibrated — decisions needing
+// it fall back to the default kernel and count as planner fallbacks —
+// and the joined error reports every such kernel rather than silently
+// defaulting.
+func (pl *Planner) CalibrateBuiltins(maxP int) error {
+	if maxP < 1 {
+		maxP = 1
+	}
+	suite := calibrationSuite()
+	samples := make(map[string][]perfmodel.Sample)
+
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		if p > maxP && p > 1 {
+			break
+		}
+		mach, err := bsp.NewMachine(p)
+		if err != nil {
+			return err
+		}
+		// One throwaway run so first-use machine setup does not pollute
+		// the first kernel's sample.
+		if _, err := mach.Run(func(c *bsp.Comm) {
+			c.AllReduce([]uint64{1}, bsp.OpSum)
+		}); err != nil {
+			return err
+		}
+		for _, cg := range suite {
+			for _, k := range KernelsFor(cg.alg) {
+				if k.bspBody == nil {
+					continue
+				}
+				body, par := k.bspBody, cg.par
+				n, edges := cg.g.N, cg.g.Edges
+				var st *bsp.Stats
+				best := math.MaxFloat64
+				for rep := 0; rep < calReps; rep++ {
+					start := time.Now()
+					st, err = mach.Run(func(c *bsp.Comm) {
+						body(c, n, blockLocal(edges, c), par)
+					})
+					if err != nil {
+						return err
+					}
+					if t := time.Since(start).Seconds(); t < best {
+						best = t
+					}
+				}
+				samples[k.Name] = append(samples[k.Name], perfmodel.Sample{
+					Comp:       float64(st.MaxOps),
+					Volume:     float64(st.CommVolume),
+					Supersteps: float64(st.Supersteps),
+					P:          float64(p),
+					Time:       best,
+				})
+			}
+		}
+	}
+	for _, cg := range suite {
+		for _, k := range KernelsFor(cg.alg) {
+			if k.sharedRun == nil {
+				continue
+			}
+			if k.MaxN > 0 && cg.g.N > k.MaxN {
+				continue
+			}
+			best := math.MaxFloat64
+			for rep := 0; rep < calReps; rep++ {
+				start := time.Now()
+				k.sharedRun(cg.g)
+				if t := time.Since(start).Seconds(); t < best {
+					best = t
+				}
+			}
+			s := k.Cost(cg.st, 1, cg.par)
+			s.Time = best
+			samples[k.Name] = append(samples[k.Name], s)
+		}
+	}
+
+	var errs []error
+	for _, k := range Kernels() {
+		ss := samples[k.Name]
+		if len(ss) == 0 {
+			continue
+		}
+		if err := pl.Fit(k.Name, ss); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

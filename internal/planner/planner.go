@@ -1,0 +1,408 @@
+// Package planner implements the cost-model query planner: per
+// (snapshot, algorithm, params) it scores every registered kernel × p
+// candidate with §5's fitted performance model T = A·Comp +
+// B·Volume·log₂p + C·Supersteps + D and dispatches the winner. Model
+// constants are fitted per kernel from a startup calibration suite
+// (calibrate.go) and, in adaptive mode, refitted from live execution
+// samples, so predicted-vs-actual error self-corrects toward the
+// machine the daemon actually runs on.
+//
+// The planner never affects results — every portfolio kernel is
+// result-equivalent (bit-identical CC labels, identical cut values; see
+// the equivalence tests in internal/cc and internal/service) — only
+// which machine shape computes them.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/perfmodel"
+)
+
+// Mode selects the planner behavior.
+type Mode string
+
+const (
+	// ModeOff disables planning: every query runs the default kernel at
+	// the heuristic p (the pre-portfolio behavior).
+	ModeOff Mode = "off"
+	// ModeStatic plans from the startup calibration only.
+	ModeStatic Mode = "static"
+	// ModeAdaptive additionally refits each kernel's model from live
+	// execution samples.
+	ModeAdaptive Mode = "adaptive"
+)
+
+// ParseMode parses a -planner flag value. The empty string is ModeOff.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeOff:
+		return ModeOff, nil
+	case ModeStatic:
+		return ModeStatic, nil
+	case ModeAdaptive:
+		return ModeAdaptive, nil
+	}
+	return ModeOff, fmt.Errorf("planner: unknown mode %q (want off|static|adaptive)", s)
+}
+
+// Decision is the planner's answer for one query: which kernel at which
+// p, with the prediction that justified it and the default choice it
+// displaced (the win-rate baseline).
+type Decision struct {
+	Kernel      string
+	P           int
+	PredictedMs float64
+	// DefaultKernel/DefaultP/DefaultPredictedMs describe what the engine
+	// would have run with the planner off: the default kernel at the
+	// heuristic p.
+	DefaultKernel      string
+	DefaultP           int
+	DefaultPredictedMs float64
+	// Diverged marks a decision that differs from the default choice —
+	// the denominator of the win rate.
+	Diverged bool
+	// Fallback marks a decision made without a calibrated model for the
+	// default kernel (e.g. perfmodel.Fit failed on the calibration
+	// samples): the default kernel runs and the planner_fallback counter
+	// increments, never a silent default.
+	Fallback bool
+}
+
+const (
+	windowCap  = 256 // live samples retained per kernel
+	refitEvery = 32  // adaptive refit cadence, in observations
+	refitMin   = 8   // minimum window before any refit
+)
+
+type kernelState struct {
+	model      *perfmodel.Model
+	window     *perfmodel.Window
+	sinceRefit int
+}
+
+// Planner scores kernel×p candidates and tracks its own accuracy.
+type Planner struct {
+	mode Mode
+
+	mu      sync.Mutex
+	state   map[string]*kernelState
+	choices map[string]uint64
+	// decisions counts Choose calls; fallbacks those without a usable
+	// model. executed/diverged/wins track observed executions of planned
+	// queries; refits counts adaptive model refreshes.
+	decisions uint64
+	fallbacks uint64
+	executed  uint64
+	diverged  uint64
+	wins      uint64
+	refits    uint64
+	absErrSum float64 // Σ |predicted-actual|/actual over executed
+	errCount  uint64
+	calErr    string // startup calibration failure, surfaced in Snapshot
+}
+
+// New returns a planner in the given mode with no calibrated models;
+// until Fit or SetModel installs one for a default kernel, every
+// decision is a fallback.
+func New(mode Mode) *Planner {
+	return &Planner{
+		mode:    mode,
+		state:   make(map[string]*kernelState),
+		choices: make(map[string]uint64),
+	}
+}
+
+// Mode reports the planner's mode.
+func (pl *Planner) Mode() Mode { return pl.mode }
+
+func (pl *Planner) stateFor(kernel string) *kernelState {
+	ks := pl.state[kernel]
+	if ks == nil {
+		ks = &kernelState{window: perfmodel.NewWindow(windowCap)}
+		pl.state[kernel] = ks
+	}
+	return ks
+}
+
+// SetModel installs a fitted model for kernel, replacing any previous
+// one. Tests use it to pin deterministic decisions.
+func (pl *Planner) SetModel(kernel string, m *perfmodel.Model) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.stateFor(kernel).model = m
+}
+
+// Fit fits a model for kernel from measured samples, surfacing the
+// perfmodel error instead of leaving a silent default: a kernel whose
+// fit fails stays uncalibrated, and decisions needing it fall back
+// (counted in Snapshot().Fallbacks). Successful samples also seed the
+// kernel's live refit window.
+func (pl *Planner) Fit(kernel string, samples []perfmodel.Sample) error {
+	m, err := perfmodel.FitRobust(samples)
+	if err != nil {
+		return fmt.Errorf("planner: calibrating %q (%d samples): %w", kernel, len(samples), err)
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	ks := pl.stateFor(kernel)
+	ks.model = m
+	for _, s := range samples {
+		ks.window.Add(s)
+	}
+	return nil
+}
+
+// SetCalibrationError records a startup calibration failure so the stats
+// snapshot surfaces it — the kernels whose fits failed stay uncalibrated
+// and show up as fallbacks, never as silent defaults.
+func (pl *Planner) SetCalibrationError(err error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if err != nil {
+		pl.calErr = err.Error()
+	} else {
+		pl.calErr = ""
+	}
+}
+
+// Calibrated returns the sorted names of kernels holding a fitted model.
+func (pl *Planner) Calibrated() []string {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	var out []string
+	for name, ks := range pl.state {
+		if ks.model != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HeuristicP is the planner-off machine sizing: an explicit request is
+// honored (clamped to maxP); otherwise p doubles while each processor
+// would still hold more than 2·edgesPerProc edges. It is also the
+// baseline the win rate measures against.
+func HeuristicP(m, explicit, maxP int) int {
+	if maxP < 1 {
+		maxP = 1
+	}
+	if explicit > 0 {
+		if explicit > maxP {
+			return maxP
+		}
+		return explicit
+	}
+	const edgesPerProc = 4096
+	p := 1
+	for p < maxP && m/p > 2*edgesPerProc {
+		p *= 2
+	}
+	if p > maxP {
+		p = maxP
+	}
+	return p
+}
+
+// candidatePs enumerates the machine sizes scored for a BSP kernel:
+// the pinned p when the request sets one, else powers of two up to and
+// including maxP.
+func candidatePs(explicit, maxP int) []int {
+	if explicit > 0 {
+		if explicit > maxP {
+			explicit = maxP
+		}
+		return []int{explicit}
+	}
+	var ps []int
+	for p := 1; p <= maxP; p *= 2 {
+		ps = append(ps, p)
+	}
+	if ps[len(ps)-1] != maxP {
+		ps = append(ps, maxP)
+	}
+	return ps
+}
+
+// Choose picks the kernel×p candidate with the lowest predicted time
+// for alg on a graph with the given statistics. Ties and the
+// no-usable-model case resolve to the default kernel at the heuristic
+// p; candidates without a calibrated model, shared kernels under an
+// explicit p>1, and kernels whose MaxN excludes the graph are skipped.
+// Deterministic: registration order breaks kernel ties, ascending order
+// breaks p ties.
+func (pl *Planner) Choose(alg string, st GraphStats, par Params, explicitP, maxP int) Decision {
+	if maxP < 1 {
+		maxP = 1
+	}
+	hp := HeuristicP(st.M, explicitP, maxP)
+	def := DefaultKernel(alg)
+
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.decisions++
+
+	if def == nil {
+		pl.fallbacks++
+		return Decision{P: hp, DefaultP: hp, Fallback: true}
+	}
+	defKS := pl.state[def.Name]
+	if defKS == nil || defKS.model == nil {
+		pl.fallbacks++
+		pl.choices[def.Name]++
+		return Decision{
+			Kernel: def.Name, P: hp,
+			DefaultKernel: def.Name, DefaultP: hp,
+			Fallback: true,
+		}
+	}
+	defPred := defKS.model.Predict(def.Cost(st, hp, par))
+
+	bestK, bestP, bestPred := def.Name, hp, defPred
+	for _, k := range KernelsFor(alg) {
+		ks := pl.state[k.Name]
+		if ks == nil || ks.model == nil {
+			continue
+		}
+		if k.MaxN > 0 && st.N > k.MaxN {
+			continue
+		}
+		var ps []int
+		if k.Shared {
+			if explicitP > 1 {
+				continue
+			}
+			ps = []int{1}
+		} else {
+			ps = candidatePs(explicitP, maxP)
+		}
+		for _, p := range ps {
+			if pred := ks.model.Predict(k.Cost(st, p, par)); pred < bestPred {
+				bestK, bestP, bestPred = k.Name, p, pred
+			}
+		}
+	}
+	pl.choices[bestK]++
+	return Decision{
+		Kernel: bestK, P: bestP, PredictedMs: bestPred * 1000,
+		DefaultKernel: def.Name, DefaultP: hp, DefaultPredictedMs: defPred * 1000,
+		Diverged: bestK != def.Name || bestP != hp,
+	}
+}
+
+// Observe feeds one completed execution back: s carries the measured
+// cost profile and wall time (seconds), dec the decision that scheduled
+// it (nil for unplanned executions, which still feed adaptive refits).
+// Wins are divergent decisions whose measured time beat the predicted
+// default-path time.
+func (pl *Planner) Observe(kernel string, s perfmodel.Sample, dec *Decision) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if dec != nil && !dec.Fallback {
+		pl.executed++
+		actualMs := s.Time * 1000
+		if dec.PredictedMs > 0 && actualMs > 0 {
+			pl.absErrSum += math.Abs(dec.PredictedMs-actualMs) / actualMs
+			pl.errCount++
+		}
+		if dec.Diverged {
+			pl.diverged++
+			if actualMs <= dec.DefaultPredictedMs {
+				pl.wins++
+			}
+		}
+	}
+	if pl.mode != ModeAdaptive {
+		return
+	}
+	ks := pl.stateFor(kernel)
+	ks.window.Add(s)
+	ks.sinceRefit++
+	if ks.sinceRefit >= refitEvery && ks.window.Len() >= refitMin {
+		ks.sinceRefit = 0
+		if m, err := perfmodel.FitRobust(ks.window.Samples()); err == nil {
+			ks.model = m
+			pl.refits++
+		}
+	}
+}
+
+// ModelConstants is the JSON-ready form of a fitted model.
+type ModelConstants struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	C float64 `json:"c"`
+	D float64 `json:"d"`
+}
+
+// Snapshot is the planner block served under /v1/stats and exported to
+// /metrics.
+type Snapshot struct {
+	Mode       string   `json:"mode"`
+	Calibrated []string `json:"calibrated,omitempty"`
+	// Decisions counts Choose calls; Fallbacks the subset decided without
+	// a calibrated default model. Executed counts observed runs of
+	// planned queries; Diverged those where the planner overrode the
+	// default choice; Wins the overrides whose measured time beat the
+	// predicted default path. Refits counts adaptive model refreshes.
+	Decisions uint64 `json:"decisions"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Executed  uint64 `json:"executed"`
+	Diverged  uint64 `json:"diverged"`
+	Wins      uint64 `json:"wins"`
+	Refits    uint64 `json:"refits"`
+	// WinRate is Wins/Diverged; MeanAbsErr is the mean of
+	// |predicted-actual|/actual over executed planned queries.
+	WinRate    float64                   `json:"win_rate"`
+	MeanAbsErr float64                   `json:"mean_abs_err"`
+	Choices    map[string]uint64         `json:"choices,omitempty"`
+	Models     map[string]ModelConstants `json:"models,omitempty"`
+	// CalibrationError is the startup calibration failure, if any; the
+	// kernels it names stay uncalibrated and decisions needing them fall
+	// back.
+	CalibrationError string `json:"calibration_error,omitempty"`
+}
+
+// Snapshot captures the planner's counters and fitted constants.
+func (pl *Planner) Snapshot() *Snapshot {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	sn := &Snapshot{
+		Mode:             string(pl.mode),
+		CalibrationError: pl.calErr,
+		Decisions:        pl.decisions,
+		Fallbacks:        pl.fallbacks,
+		Executed:         pl.executed,
+		Diverged:         pl.diverged,
+		Wins:             pl.wins,
+		Refits:           pl.refits,
+	}
+	if pl.diverged > 0 {
+		sn.WinRate = float64(pl.wins) / float64(pl.diverged)
+	}
+	if pl.errCount > 0 {
+		sn.MeanAbsErr = pl.absErrSum / float64(pl.errCount)
+	}
+	if len(pl.choices) > 0 {
+		sn.Choices = make(map[string]uint64, len(pl.choices))
+		for k, v := range pl.choices {
+			sn.Choices[k] = v
+		}
+	}
+	for name, ks := range pl.state {
+		if ks.model == nil {
+			continue
+		}
+		if sn.Models == nil {
+			sn.Models = make(map[string]ModelConstants)
+		}
+		sn.Models[name] = ModelConstants{A: ks.model.A, B: ks.model.B, C: ks.model.C, D: ks.model.D}
+		sn.Calibrated = append(sn.Calibrated, name)
+	}
+	sort.Strings(sn.Calibrated)
+	return sn
+}

@@ -1,0 +1,194 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// bspModel/sharedModel are the fixed constants the deterministic tests
+// pin decisions with: 1ns/op, 2ns/word (scaled by log2 p), 1µs/superstep,
+// 50µs of machine overhead for BSP kernels; no overhead for shared ones.
+func bspModel() *perfmodel.Model    { return &perfmodel.Model{A: 1e-9, B: 2e-9, C: 1e-6, D: 5e-5} }
+func sharedModel() *perfmodel.Model { return &perfmodel.Model{A: 1e-9, D: 1e-6} }
+
+func calibratedCC(mode Mode) *Planner {
+	pl := New(mode)
+	pl.SetModel(KernelCCSampling, bspModel())
+	pl.SetModel(KernelCCLowRound, bspModel())
+	pl.SetModel(KernelCCLabelProp, bspModel())
+	pl.SetModel(KernelCCShared, sharedModel())
+	return pl
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"": ModeOff, "off": ModeOff, "static": ModeStatic, "adaptive": ModeAdaptive} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted bogus mode")
+	}
+}
+
+func TestHeuristicP(t *testing.T) {
+	cases := []struct{ m, explicit, maxP, want int }{
+		{5000, 0, 16, 1},
+		{10000, 0, 16, 2},
+		{20000, 0, 16, 4},
+		{40000, 0, 8, 8},
+		{1 << 20, 0, 16, 16},
+		{100, 9, 16, 9},
+		{100, 99, 16, 16},
+	}
+	for _, c := range cases {
+		if got := HeuristicP(c.m, c.explicit, c.maxP); got != c.want {
+			t.Errorf("HeuristicP(%d,%d,%d) = %d, want %d", c.m, c.explicit, c.maxP, got, c.want)
+		}
+	}
+}
+
+func TestChooseFallbackWithoutModels(t *testing.T) {
+	pl := New(ModeStatic)
+	d := pl.Choose("cc", GraphStats{N: 1000, M: 20000}, Params{}, 0, 16)
+	if !d.Fallback {
+		t.Fatal("uncalibrated planner did not fall back")
+	}
+	if d.Kernel != KernelCCSampling {
+		t.Fatalf("fallback kernel = %q, want default %q", d.Kernel, KernelCCSampling)
+	}
+	if d.P != HeuristicP(20000, 0, 16) {
+		t.Fatalf("fallback p = %d, want heuristic %d", d.P, HeuristicP(20000, 0, 16))
+	}
+	if sn := pl.Snapshot(); sn.Fallbacks != 1 || sn.Decisions != 1 {
+		t.Fatalf("fallback counters = %+v", sn)
+	}
+}
+
+func TestChooseSharedForSmallGraphs(t *testing.T) {
+	pl := calibratedCC(ModeStatic)
+	d := pl.Choose("cc", GraphStats{N: 500, M: 2000, EstDiameter: 6, WeightSkew: 1}, Params{Epsilon: 0.5}, 0, 16)
+	if d.Kernel != KernelCCShared || d.P != 1 {
+		t.Fatalf("small graph decision = %+v, want shared at p=1", d)
+	}
+	if !d.Diverged && d.DefaultP == 1 && d.DefaultKernel == KernelCCSampling {
+		// shared at p=1 vs sampling at p=1 — still a kernel divergence.
+		t.Fatalf("shared pick not marked diverged: %+v", d)
+	}
+}
+
+func TestChooseRespectsExplicitP(t *testing.T) {
+	pl := calibratedCC(ModeStatic)
+	st := GraphStats{N: 100001, M: 100000, EstDiameter: 100000, WeightSkew: 1}
+	d := pl.Choose("cc", st, Params{Epsilon: 0.5}, 16, 16)
+	if d.P != 16 {
+		t.Fatalf("explicit p=16 not honored: %+v", d)
+	}
+	if d.Kernel == KernelCCShared {
+		t.Fatalf("shared kernel chosen despite explicit p=16: %+v", d)
+	}
+	if d.Kernel == KernelCCLabelProp {
+		t.Fatalf("label propagation chosen on a high-diameter path: %+v", d)
+	}
+}
+
+func TestChooseMincutRouting(t *testing.T) {
+	pl := New(ModeStatic)
+	// Represent a regime where contraction trials can't win: heavy BSP
+	// overhead vs a cheap deterministic scan.
+	pl.SetModel(KernelMCKargerSt, &perfmodel.Model{A: 1e-9, B: 2e-9, C: 1e-6, D: 5e-3})
+	pl.SetModel(KernelMCStoerWagnr, sharedModel())
+	small := GraphStats{N: 150, M: 500, WeightSkew: 1}
+	if d := pl.Choose("mincut", small, Params{Trials: 40}, 0, 8); d.Kernel != KernelMCStoerWagnr {
+		t.Fatalf("small-n mincut = %+v, want stoerwagner", d)
+	}
+	big := GraphStats{N: 5000, M: 40000, WeightSkew: 1}
+	if d := pl.Choose("mincut", big, Params{Trials: 40}, 0, 8); d.Kernel != KernelMCKargerSt {
+		t.Fatalf("large-n mincut = %+v, want kargerstein (stoerwagner is MaxN-gated)", d)
+	}
+}
+
+func TestObserveWinRateAndError(t *testing.T) {
+	pl := calibratedCC(ModeStatic)
+	st := GraphStats{N: 500, M: 2000, EstDiameter: 6, WeightSkew: 1}
+	d := pl.Choose("cc", st, Params{Epsilon: 0.5}, 0, 16)
+	if !d.Diverged {
+		t.Fatalf("expected divergent decision, got %+v", d)
+	}
+	// Measured twice as fast as predicted for the default path: a win.
+	s := perfmodel.Sample{Comp: 5000, P: 1, Time: d.DefaultPredictedMs / 2 / 1000}
+	pl.Observe(d.Kernel, s, &d)
+	sn := pl.Snapshot()
+	if sn.Executed != 1 || sn.Diverged != 1 || sn.Wins != 1 {
+		t.Fatalf("win counters = %+v", sn)
+	}
+	if sn.WinRate != 1 {
+		t.Fatalf("win rate = %v, want 1", sn.WinRate)
+	}
+	if sn.MeanAbsErr <= 0 {
+		t.Fatalf("mean abs err = %v, want > 0", sn.MeanAbsErr)
+	}
+}
+
+func TestObserveAdaptiveRefit(t *testing.T) {
+	pl := calibratedCC(ModeAdaptive)
+	s := perfmodel.Sample{Comp: 1e6, Volume: 1e4, Supersteps: 10, P: 2, Time: 1e-3}
+	for i := 0; i < refitEvery; i++ {
+		s.Comp += 1000 // vary so the window is not degenerate
+		s.Time += 1e-6
+		pl.Observe(KernelCCSampling, s, nil)
+	}
+	if sn := pl.Snapshot(); sn.Refits == 0 {
+		t.Fatalf("adaptive planner never refitted: %+v", sn)
+	}
+}
+
+func TestStaticModeNeverRefits(t *testing.T) {
+	pl := calibratedCC(ModeStatic)
+	s := perfmodel.Sample{Comp: 1e6, P: 1, Time: 1e-3}
+	for i := 0; i < 3*refitEvery; i++ {
+		pl.Observe(KernelCCSampling, s, nil)
+	}
+	if sn := pl.Snapshot(); sn.Refits != 0 {
+		t.Fatalf("static planner refitted: %+v", sn)
+	}
+}
+
+func TestFitSurfacesError(t *testing.T) {
+	pl := New(ModeStatic)
+	err := pl.Fit(KernelCCSampling, []perfmodel.Sample{{Comp: 1, Time: 1}})
+	if err == nil {
+		t.Fatal("Fit with 1 sample did not error")
+	}
+	if got := pl.Calibrated(); len(got) != 0 {
+		t.Fatalf("failed fit left a model: %v", got)
+	}
+	// The planner stays usable: decisions fall back, counted.
+	d := pl.Choose("cc", GraphStats{N: 10, M: 10}, Params{}, 0, 4)
+	if !d.Fallback {
+		t.Fatal("expected fallback after failed fit")
+	}
+}
+
+func TestCalibrateBuiltins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs real kernels")
+	}
+	pl := New(ModeStatic)
+	if err := pl.CalibrateBuiltins(4); err != nil {
+		t.Fatalf("calibration error: %v", err)
+	}
+	want := []string{KernelCCLabelProp, KernelCCLowRound, KernelCCSampling, KernelCCShared,
+		KernelMCKargerSt, KernelMCStoerWagnr}
+	got := pl.Calibrated()
+	if len(got) != len(want) {
+		t.Fatalf("calibrated kernels = %v, want %v", got, want)
+	}
+	// A calibrated planner must never fall back.
+	d := pl.Choose("cc", GraphStats{N: 1000, M: 5000, EstDiameter: 10, WeightSkew: 1}, Params{Epsilon: 0.5}, 0, 4)
+	if d.Fallback || d.Kernel == "" {
+		t.Fatalf("calibrated planner fell back: %+v", d)
+	}
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/planner"
+)
+
+// ---------------------------------------------------------------------------
+// BENCH_planner.json — the portfolio/planner evidence CI archives and
+// cmd/benchgate gates:
+//
+//   - high_diameter: on a 100k-edge path at p=16, the planner-selected
+//     CC kernel vs always-label-propagation (the O(d)-superstep baseline
+//     the portfolio exists to displace) — the speedup is a same-machine
+//     ratio, gated;
+//   - small_graph: on a small warm graph, the machine-less shared kernel
+//     vs the default BSP kernel at p=1 — the fixed machine spin-up tax
+//     the p=1 fast path avoids, gated as a ratio;
+//   - lowround: supersteps and communication volume of one pinned
+//     lowround execution — deterministic counts, gated tightly;
+//   - prediction: the planner's own accounting (win rate, mean
+//     |predicted−actual|/actual) after the runs above.
+// ---------------------------------------------------------------------------
+
+type highDiameterRow struct {
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	P     int    `json:"p"`
+	// LabelPropNsOp is the pinned always-labelprop baseline;
+	// PlannerNsOp the planner-scheduled run of the same query.
+	LabelPropNsOp int64   `json:"labelprop_ns_op"`
+	PlannerNsOp   int64   `json:"planner_ns_op"`
+	Speedup       float64 `json:"speedup"`
+	ChosenKernel  string  `json:"chosen_kernel"`
+	// PredictedMs vs ActualMs is the cost model's accuracy on one
+	// planner-scheduled execution of this query.
+	PredictedMs float64 `json:"predicted_ms"`
+	ActualMs    float64 `json:"actual_ms"`
+}
+
+type smallGraphRow struct {
+	N int `json:"n"`
+	M int `json:"m"`
+	// BSPNsOp pins the default kernel on a p=1 BSP machine; SharedNsOp
+	// pins the machine-less shared kernel. Both sides are pinned so the
+	// ratio measures execution shape, not a planner choice.
+	BSPNsOp    int64   `json:"bsp_ns_op"`
+	SharedNsOp int64   `json:"shared_ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type lowRoundRow struct {
+	P          int    `json:"p"`
+	Supersteps int    `json:"supersteps"`
+	CommVolume uint64 `json:"comm_volume"`
+	Components int    `json:"components"`
+}
+
+type predictionRow struct {
+	Decisions  uint64  `json:"decisions"`
+	Executed   uint64  `json:"executed"`
+	Diverged   uint64  `json:"diverged"`
+	Wins       uint64  `json:"wins"`
+	WinRate    float64 `json:"win_rate"`
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	Fallbacks  uint64  `json:"fallbacks"`
+}
+
+type plannerSnapshot struct {
+	HighDiameter highDiameterRow `json:"high_diameter"`
+	SmallGraph   smallGraphRow   `json:"small_graph"`
+	LowRound     lowRoundRow     `json:"lowround"`
+	Prediction   predictionRow   `json:"prediction"`
+}
+
+// plannerPathGraph is the high-diameter workload: a 100001-vertex path,
+// the worst case for diameter-bound label propagation (the statistics
+// probe caps its estimate at graph.ProbeLevelCap, still firmly in the
+// high-diameter regime).
+func plannerPathGraph() *graph.Graph {
+	const n = 100001
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(int32(v), int32(v+1), 1)
+	}
+	return g
+}
+
+// plannerSmallGraph is the small warm workload: connected, a few
+// thousand edges — the regime where even a p=1 BSP machine's spin-up
+// and ledger dominate the labelling work.
+func plannerSmallGraph() *graph.Graph {
+	g := gen.ErdosRenyiM(1024, 8192, 7, gen.Config{MaxWeight: 4})
+	for v := 1; v < g.N; v++ {
+		g.AddEdge(int32(v-1), int32(v), 1)
+	}
+	g.AddEdge(int32(g.N-1), 0, 1)
+	return g
+}
+
+// plannerMincutGraph is the small-n exact-cut workload: well under
+// mincut.StoerWagnerMaxN, where the planner routes away from
+// Karger–Stein's trial bill to the deterministic O(n³) kernel.
+func plannerMincutGraph() *graph.Graph {
+	g := gen.ErdosRenyiM(150, 600, 7, gen.Config{MaxWeight: 4})
+	for v := 1; v < g.N; v++ {
+		g.AddEdge(int32(v-1), int32(v), 1)
+	}
+	g.AddEdge(int32(g.N-1), 0, 1)
+	return g
+}
+
+// benchQuery measures one repeated query against a live engine: a first
+// run off the clock (plan/probe/machine-pool warmup — the steady state
+// every later query sees), then ns/op over the benchmark loop.
+func benchQuery(e *Engine, req QueryRequest) (testing.BenchmarkResult, error) {
+	req.NoCache = true
+	if _, err := e.Query(context.Background(), req); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	return bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runQuery(b, e, req)
+		}
+	}), nil
+}
+
+func writePlannerSnapshot(path string) error {
+	var snap plannerSnapshot
+
+	// Plans stay disabled throughout: a warm plan shortcuts every CC
+	// kernel identically (that effect is BENCH_service.json's claim), and
+	// this file compares the kernels themselves.
+	base := NewEngine(Config{Workers: 1, MaxProcessors: 16, CacheCapacity: -1, DisablePlans: true})
+	defer base.Close()
+	// The planner engine calibrates its cost models at startup — the same
+	// live CalibrateBuiltins path camcd runs, so the chosen kernel below
+	// is a real planning decision, not an injected constant.
+	pe := NewEngine(Config{
+		Workers: 1, MaxProcessors: 16, CacheCapacity: -1, DisablePlans: true,
+		Planner: "static",
+	})
+	defer pe.Close()
+
+	pathG, smallG, mcG := plannerPathGraph(), plannerSmallGraph(), plannerMincutGraph()
+	for _, e := range []*Engine{base, pe} {
+		if _, err := e.Registry().Put("path", pathG); err != nil {
+			return err
+		}
+		if _, err := e.Registry().Put("small", smallG); err != nil {
+			return err
+		}
+		if _, err := e.Registry().Put("mc", mcG); err != nil {
+			return err
+		}
+	}
+
+	// --- high_diameter: pinned labelprop@16 vs the planner's pick@16 ---
+	lpReq := QueryRequest{Graph: "path", Algorithm: AlgCC, Kernel: planner.KernelCCLabelProp, Processors: 16, NoCache: true}
+	plReq := QueryRequest{Graph: "path", Algorithm: AlgCC, Processors: 16, NoCache: true}
+	probe, err := pe.Query(context.Background(), plReq)
+	if err != nil {
+		return err
+	}
+	lp, err := benchQuery(base, lpReq)
+	if err != nil {
+		return err
+	}
+	pl, err := benchQuery(pe, plReq)
+	if err != nil {
+		return err
+	}
+	snap.HighDiameter = highDiameterRow{
+		Graph: "path", N: pathG.N, M: len(pathG.Edges), P: 16,
+		LabelPropNsOp: lp.NsPerOp(),
+		PlannerNsOp:   pl.NsPerOp(),
+		ChosenKernel:  probe.Result.Kernel.Kernel,
+		PredictedMs:   probe.Result.Kernel.PredictedMs,
+		ActualMs:      probe.Result.Kernel.TimeMs,
+	}
+	if pl.NsPerOp() > 0 {
+		snap.HighDiameter.Speedup = float64(lp.NsPerOp()) / float64(pl.NsPerOp())
+	}
+
+	// --- small_graph: pinned default-BSP@p=1 vs pinned shared ---
+	bspRes, err := benchQuery(base, QueryRequest{Graph: "small", Algorithm: AlgCC, Kernel: planner.KernelCCSampling, Processors: 1})
+	if err != nil {
+		return err
+	}
+	shRes, err := benchQuery(base, QueryRequest{Graph: "small", Algorithm: AlgCC, Kernel: planner.KernelCCShared})
+	if err != nil {
+		return err
+	}
+	snap.SmallGraph = smallGraphRow{
+		N: smallG.N, M: len(smallG.Edges),
+		BSPNsOp:    bspRes.NsPerOp(),
+		SharedNsOp: shRes.NsPerOp(),
+	}
+	if shRes.NsPerOp() > 0 {
+		snap.SmallGraph.Speedup = float64(bspRes.NsPerOp()) / float64(shRes.NsPerOp())
+	}
+
+	// --- lowround: deterministic counts of one pinned execution ---
+	lr, err := base.Query(context.Background(), QueryRequest{
+		Graph: "small", Algorithm: AlgCC, Kernel: planner.KernelCCLowRound, Processors: 4, NoCache: true,
+	})
+	if err != nil {
+		return err
+	}
+	snap.LowRound = lowRoundRow{
+		P:          lr.Result.Kernel.P,
+		Supersteps: lr.Result.Kernel.Supersteps,
+		CommVolume: lr.Result.Kernel.CommVolume,
+		Components: lr.Result.Components,
+	}
+
+	// --- prediction: feed the planner a batch of small unpinned mincut
+	// queries — the divergence with the widest predicted margin (exact
+	// cut on n ≪ StoerWagnerMaxN routes to Stoer–Wagner, displacing
+	// Karger–Stein's trial bill), so the win-rate baseline is robust —
+	// and snapshot the accounting over everything above.
+	for i := 0; i < 8; i++ {
+		if _, err := pe.Query(context.Background(), QueryRequest{Graph: "mc", Algorithm: AlgMinCut, NoCache: true}); err != nil {
+			return err
+		}
+	}
+	ps := pe.Planner().Snapshot()
+	snap.Prediction = predictionRow{
+		Decisions:  ps.Decisions,
+		Executed:   ps.Executed,
+		Diverged:   ps.Diverged,
+		Wins:       ps.Wins,
+		WinRate:    ps.WinRate,
+		MeanAbsErr: ps.MeanAbsErr,
+		Fallbacks:  ps.Fallbacks,
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

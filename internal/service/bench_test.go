@@ -247,14 +247,20 @@ func writeServiceSnapshot(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// TestMain writes BENCH_service.json whenever benchmarks were requested,
-// mirroring the BSP and kernel suites, so CI's bench-smoke job archives
-// the warm/cold throughput and static/dynamic scheduling comparison.
+// TestMain writes BENCH_service.json and BENCH_planner.json whenever
+// benchmarks were requested, mirroring the BSP and kernel suites, so
+// CI's bench-smoke job archives the warm/cold throughput, the
+// static/dynamic scheduling comparison, and the planner's portfolio
+// evidence (kernel speedups, deterministic counts, prediction error).
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
 		if err := writeServiceSnapshot("BENCH_service.json"); err != nil {
 			fmt.Fprintln(os.Stderr, "service bench snapshot:", err)
+			code = 1
+		}
+		if err := writePlannerSnapshot("BENCH_planner.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "planner bench snapshot:", err)
 			code = 1
 		}
 	}

@@ -11,6 +11,9 @@ import (
 
 	"repro/internal/bsp"
 	"repro/internal/faults"
+	"repro/internal/mincut"
+	"repro/internal/perfmodel"
+	"repro/internal/planner"
 	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -58,6 +61,18 @@ type Config struct {
 	// plugs its distributed TCP machine in here). Cache, coalescing,
 	// admission control, and the retry policy are unchanged.
 	Executor Executor
+	// Planner selects the cost-model query planner mode: "off" (default
+	// and any unparseable value) runs every query on the default kernel
+	// at the heuristic p; "static" scores the kernel portfolio with
+	// models fitted once at startup; "adaptive" additionally refits them
+	// from live execution samples. Ignored when Executor is set (a
+	// distributed machine's kernel and size are fixed by its worker
+	// group).
+	Planner string
+	// PlannerModels, when non-nil, installs these fitted model constants
+	// instead of running the startup calibration suite — deterministic
+	// tests and benchmarks pin decisions with it.
+	PlannerModels map[string]*perfmodel.Model
 }
 
 func (cfg *Config) defaults() {
@@ -92,11 +107,19 @@ func (cfg *Config) defaults() {
 // call is one scheduled kernel execution plus everyone waiting on it:
 // the leader that enqueued it and any coalesced followers.
 type call struct {
-	key string
-	alg string
-	sg  *StoredGraph
-	p   int
-	pr  params
+	key  string
+	alg  string
+	kern string // resolved portfolio kernel ("" = default path)
+	sg   *StoredGraph
+	p    int
+	pr   params
+	// dec is the planner decision that scheduled this call (nil when the
+	// planner is off or the kernel was pinned by the request); pst/ppar
+	// are the stats and params its prediction used, reused by the
+	// post-execution Observe feedback.
+	dec  *planner.Decision
+	pst  planner.GraphStats
+	ppar planner.Params
 
 	// ctx carries the leader's deadline but not the leader's cancellation:
 	// the call outlives any single waiter until either the deadline fires
@@ -129,6 +152,7 @@ type Engine struct {
 	reg       *Registry
 	cache     *lruCache
 	collector *trace.Collector
+	planner   *planner.Planner // nil when planning is off
 	started   time.Time
 
 	mu       sync.Mutex
@@ -151,6 +175,21 @@ func NewEngine(cfg Config) *Engine {
 		inflight:  make(map[string]*call),
 		jobs:      make(chan *call, cfg.QueueBound),
 	}
+	if mode, err := planner.ParseMode(cfg.Planner); err == nil && mode != planner.ModeOff && cfg.Executor == nil {
+		pl := planner.New(mode)
+		if cfg.PlannerModels != nil {
+			for name, m := range cfg.PlannerModels {
+				pl.SetModel(name, m)
+			}
+		} else if err := pl.CalibrateBuiltins(cfg.MaxProcessors); err != nil {
+			// Partial calibration is usable: uncalibrated kernels are
+			// skipped as candidates and decisions missing the default
+			// model fall back (counted); the error itself is surfaced in
+			// the stats snapshot, never swallowed.
+			pl.SetCalibrationError(err)
+		}
+		e.planner = pl
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -163,6 +202,9 @@ func (e *Engine) Registry() *Registry { return e.reg }
 
 // Collector exposes the engine's metrics collector.
 func (e *Engine) Collector() *trace.Collector { return e.collector }
+
+// Planner exposes the engine's query planner (nil when planning is off).
+func (e *Engine) Planner() *planner.Planner { return e.planner }
 
 // Close shuts the engine down: new queries fail with ErrClosed, queued
 // jobs drain, workers exit. It blocks until the pool is idle.
@@ -226,6 +268,12 @@ func (e *Engine) serve(c *call) {
 			}
 		}
 	}
+	if c.err == nil && c.dec != nil {
+		c.res.Kernel.PredictedMs = c.dec.PredictedMs
+		if e.planner != nil && !c.res.Degraded {
+			e.observePlanned(c)
+		}
+	}
 	if c.err == nil && !c.res.Degraded {
 		e.cache.put(c.key, c.res)
 	}
@@ -244,7 +292,107 @@ func (e *Engine) attempt(c *call) (*QueryResult, error) {
 	if e.cfg.Executor != nil {
 		return e.cfg.Executor.Execute(c.ctx, c.sg, c.alg, c.pr.export())
 	}
-	return executeKernel(c.ctx, c.sg, c.alg, c.p, c.pr, e.planFor(c.sg, c.p), e.cfg.Faults)
+	return executeKernel(c.ctx, c.sg, c.alg, c.kern, c.p, c.pr, e.planFor(c.sg, c.p), e.cfg.Faults)
+}
+
+// resolved is a query's execution shape after planning: which kernel at
+// which machine size, plus the decision context the feedback loop needs.
+type resolved struct {
+	kern string
+	p    int
+	dec  *planner.Decision
+	pst  planner.GraphStats
+	ppar planner.Params
+}
+
+// decide resolves a query's kernel and machine size: an Executor's fixed
+// worker group, a request-pinned kernel (validated), a planner decision,
+// or the pre-portfolio default path — in that order.
+func (e *Engine) decide(req *QueryRequest, sg *StoredGraph, pr params) (resolved, error) {
+	rs := resolved{p: chooseP(sg.Snap.M(), req.Processors, e.cfg.MaxProcessors)}
+	if e.cfg.Executor != nil {
+		// A distributed machine's size is its worker-group size and its
+		// kernel the default SPMD body every worker process runs;
+		// per-query shapes don't apply.
+		if req.Kernel != "" {
+			return rs, fmt.Errorf("%w: kernel pinning is not supported on a distributed executor", ErrBadRequest)
+		}
+		rs.p = e.cfg.Executor.MachineP()
+		return rs, nil
+	}
+	if req.Kernel != "" {
+		k := planner.Lookup(req.Algorithm, req.Kernel)
+		if k == nil {
+			return rs, fmt.Errorf("%w: unknown kernel %q for algorithm %q", ErrBadRequest, req.Kernel, req.Algorithm)
+		}
+		if k.Shared {
+			if req.Processors > 1 {
+				return rs, fmt.Errorf("%w: kernel %q is shared-memory (p=1), processors=%d conflicts", ErrBadRequest, k.Name, req.Processors)
+			}
+			rs.p = 1
+		}
+		if k.MaxN > 0 && sg.Snap.N() > k.MaxN {
+			return rs, fmt.Errorf("%w: kernel %q is bounded to n ≤ %d (graph has %d vertices)", ErrBadRequest, k.Name, k.MaxN, sg.Snap.N())
+		}
+		rs.kern = k.Name
+		return rs, nil
+	}
+	if e.planner == nil || req.Algorithm == AlgApproxCut {
+		return rs, nil // approxcut has no portfolio: always the default path
+	}
+	rs.pst = planner.StatsOf(sg.Snap)
+	rs.ppar = plannerParams(req.Algorithm, sg, pr)
+	dec := e.planner.Choose(req.Algorithm, rs.pst, rs.ppar, req.Processors, e.cfg.MaxProcessors)
+	rs.dec = &dec
+	if dec.Kernel != "" {
+		rs.kern = dec.Kernel
+	}
+	if dec.P > 0 {
+		rs.p = dec.P
+	}
+	return rs, nil
+}
+
+// observePlanned feeds one successful planned execution back into the
+// planner: win/error accounting against the decision, and (in adaptive
+// mode) a live sample for the chosen kernel's refit window. BSP kernels
+// report their measured ledger features; shared kernels have no ledger,
+// so they report the same formula features Choose predicts with — each
+// model stays self-consistent with how it is queried.
+func (e *Engine) observePlanned(c *call) {
+	k := planner.Lookup(c.alg, c.kern)
+	if k == nil {
+		return
+	}
+	var s perfmodel.Sample
+	if k.Shared {
+		s = k.Cost(c.pst, 1, c.ppar)
+	} else {
+		s = perfmodel.Sample{
+			Comp:       float64(c.res.Kernel.MaxOps),
+			Volume:     float64(c.res.Kernel.CommVolume),
+			Supersteps: float64(c.res.Kernel.Supersteps),
+			P:          float64(c.res.Kernel.P),
+		}
+	}
+	s.Time = c.res.Kernel.TimeMs / 1000
+	e.planner.Observe(c.kern, s, c.dec)
+}
+
+// plannerParams resolves the per-query knobs the cost formulas consume:
+// epsilon as normalized, and — for mincut — the trial count derived from
+// (n, m, success probability) capped by the request, matching what
+// mincut.Parallel will actually run.
+func plannerParams(alg string, sg *StoredGraph, pr params) planner.Params {
+	par := planner.Params{Epsilon: pr.epsilon}
+	if alg == AlgMinCut {
+		t := mincut.Trials(sg.Snap.N(), sg.Snap.M(), pr.successProb)
+		if pr.maxTrials > 0 && t > pr.maxTrials {
+			t = pr.maxTrials
+		}
+		par.Trials = t
+	}
+	return par
 }
 
 // Query answers one analytics request: cache lookup, coalescing with an
@@ -262,13 +410,12 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 		e.observeFailure(req.Algorithm, trace.OutcomeError, start)
 		return nil, err
 	}
-	p := chooseP(sg.Snap.M(), req.Processors, e.cfg.MaxProcessors)
-	if e.cfg.Executor != nil {
-		// A distributed machine's size is its worker-group size; per-query
-		// sizing doesn't apply.
-		p = e.cfg.Executor.MachineP()
+	rs, err := e.decide(&req, sg, pr)
+	if err != nil {
+		e.observeFailure(req.Algorithm, trace.OutcomeError, start)
+		return nil, err
 	}
-	key := cacheKey(sg, req.Algorithm, p, pr)
+	key := cacheKey(sg, req.Algorithm, rs.kern, rs.p, pr)
 
 	timeout := e.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
@@ -315,7 +462,8 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*Reply, error) {
 	// waiting after the leader gives up); refs hitting zero cancels it.
 	callCtx, callCancel := context.WithDeadline(context.WithoutCancel(ctx), deadline)
 	c := &call{
-		key: key, alg: req.Algorithm, sg: sg, p: p, pr: pr,
+		key: key, alg: req.Algorithm, kern: rs.kern, sg: sg, p: rs.p, pr: pr,
+		dec: rs.dec, pst: rs.pst, ppar: rs.ppar,
 		ctx: callCtx, cancel: callCancel,
 		done: make(chan struct{}), refs: 1,
 	}
@@ -428,6 +576,10 @@ func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome str
 		sample.AvoidedCommVolume = c.res.Kernel.AvoidedCommVolume
 		sample.Transport = c.res.Kernel.Transport
 		sample.WireBytes = c.res.Kernel.WireBytes
+		sample.Kernel = c.res.Kernel.Kernel
+		sample.PredictedMs = c.res.Kernel.PredictedMs
+		sample.KernelTimeMs = c.res.Kernel.TimeMs
+		sample.PlannerFallback = c.dec != nil && c.dec.Fallback
 	}
 	e.collector.Observe(sample)
 	return &Reply{Outcome: outcome, Result: c.res, Latency: lat}, nil
@@ -455,6 +607,9 @@ type EngineStats struct {
 	Plans            int                     `json:"plans"`
 	Cache            CacheStats              `json:"cache"`
 	Queries          trace.CollectorSnapshot `json:"queries"`
+	// Planner is the query planner's counters and fitted model constants;
+	// absent when planning is off.
+	Planner *planner.Snapshot `json:"planner,omitempty"`
 	// Tenants is the per-tenant quota state when multi-tenant auth is
 	// configured; the HTTP layer fills it in (the engine itself is
 	// tenant-agnostic).
@@ -470,6 +625,10 @@ func (e *Engine) Stats() EngineStats {
 		waiters += c.waiters
 	}
 	e.mu.Unlock()
+	var plSnap *planner.Snapshot
+	if e.planner != nil {
+		plSnap = e.planner.Snapshot()
+	}
 	return EngineStats{
 		UptimeMs:         float64(time.Since(e.started)) / float64(time.Millisecond),
 		Graphs:           e.reg.Len(),
@@ -482,5 +641,6 @@ func (e *Engine) Stats() EngineStats {
 		Plans:            e.reg.PlanCount(),
 		Cache:            e.cache.stats(),
 		Queries:          e.collector.Snapshot(),
+		Planner:          plSnap,
 	}
 }

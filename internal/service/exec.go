@@ -14,6 +14,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/mincut"
+	"repro/internal/planner"
 	"repro/internal/rng"
 )
 
@@ -36,6 +37,12 @@ type QueryRequest struct {
 	// Processors pins the BSP machine size; 0 lets the scheduler size it
 	// from the graph (clamped to the engine's MaxProcessors either way).
 	Processors int `json:"processors,omitempty"`
+	// Kernel pins a specific portfolio kernel ("sampling", "lowround",
+	// "labelprop", "shared" for cc; "kargerstein", "stoerwagner" for
+	// mincut), bypassing the planner. Empty lets the planner (or, with the
+	// planner off, the default kernel) decide. Shared-memory kernels
+	// reject Processors > 1.
+	Kernel string `json:"kernel,omitempty"`
 	// SuccessProb targets the exact min cut success probability
 	// (default 0.9).
 	SuccessProb float64 `json:"success_prob,omitempty"`
@@ -148,10 +155,18 @@ type KernelStats struct {
 	AvoidedCollectives int    `json:"avoided_collectives"`
 	AvoidedCommVolume  uint64 `json:"avoided_comm_volume"`
 	// Transport labels the BSP fabric that carried the run ("local",
-	// "tcp"); WireBytes is the framed socket traffic it cost — zero for
-	// the in-process fabric.
+	// "tcp", "shared" for the machine-less shared-memory kernels);
+	// WireBytes is the framed socket traffic it cost — zero for the
+	// in-process fabric.
 	Transport string `json:"transport,omitempty"`
 	WireBytes uint64 `json:"wire_bytes,omitempty"`
+	// Kernel names the portfolio kernel that produced the result; empty
+	// when the planner is off and no kernel was pinned (the default
+	// kernel ran). PredictedMs is the planner's predicted wall time for
+	// this execution (0 when unplanned) — compare with TimeMs for the
+	// model's accuracy on this query.
+	Kernel      string  `json:"kernel,omitempty"`
+	PredictedMs float64 `json:"predicted_ms,omitempty"`
 }
 
 // QueryResult is the full outcome of one kernel execution; it is the
@@ -243,7 +258,14 @@ func releaseMachine(m *bsp.Machine) {
 // kernels consume its precomputed facts instead of running the matching
 // cold collectives, recording each skip on the BSP ledger. nil runs the
 // full cold path.
-func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr params, pl *graph.Plan, freg *faults.Registry) (*QueryResult, error) {
+//
+// kern selects the portfolio kernel ("" = the algorithm's default);
+// shared-memory kernels run on the calling goroutine with no machine at
+// all — the planner's cheapest shape for small warm graphs.
+func executeKernel(ctx context.Context, sg *StoredGraph, alg, kern string, p int, pr params, pl *graph.Plan, freg *faults.Registry) (*QueryResult, error) {
+	if k := planner.Lookup(alg, kern); k != nil && k.Shared {
+		return executeShared(ctx, sg, alg, kern)
+	}
 	var out kernelOut
 	switch alg {
 	case AlgMinCut:
@@ -259,7 +281,7 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 		mach.SetFaultHook(freg.Hook(mach))
 	}
 	start := time.Now()
-	st, err := mach.RunCtx(ctx, kernelBody(sg.Snap, alg, pr, pl, &out))
+	st, err := mach.RunCtx(ctx, kernelBody(sg.Snap, alg, kern, pr, pl, &out))
 	if err != nil {
 		// A failed run may leave mailboxes mid-superstep; drop the machine
 		// rather than returning it to the pool — but detach the fault hook
@@ -275,7 +297,45 @@ func executeKernel(ctx context.Context, sg *StoredGraph, alg string, p int, pr p
 	}
 	mach.SetFaultHook(nil)
 	releaseMachine(mach)
-	return assembleResult(sg, alg, st, &out), nil
+	res := assembleResult(sg, alg, st, &out)
+	res.Kernel.Kernel = kern
+	return res, nil
+}
+
+// executeShared runs a shared-memory portfolio kernel on the calling
+// goroutine: no BSP machine, no mailboxes, no superstep ledger — the
+// zero-communication execution shape. The planner only routes small
+// graphs here (Stoer–Wagner is additionally MaxN-gated), so runs are
+// short; cancellation is checked at entry but not mid-kernel, and fault
+// injection (a BSP-machine hook) does not apply.
+func executeShared(ctx context.Context, sg *StoredGraph, alg, kern string) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", bsp.ErrCancelled, err)
+	}
+	res := &QueryResult{Graph: sg.Name, Version: sg.Version, Algorithm: alg}
+	g := sg.Snap.Graph()
+	start := time.Now()
+	switch {
+	case alg == AlgCC && kern == planner.KernelCCShared:
+		r := cc.SharedAdaptive(g)
+		res.Components = r.Count
+		res.Iterations = r.Iterations
+		res.Labels = r.Labels
+	case alg == AlgMinCut && kern == planner.KernelMCStoerWagnr:
+		r := mincut.StoerWagner(g)
+		res.Value = r.Value
+		res.Trials = r.Trials
+		res.Side = r.Side
+	default:
+		return nil, fmt.Errorf("%w: kernel %q does not answer %q", ErrBadRequest, kern, alg)
+	}
+	res.Kernel = KernelStats{
+		P:         1,
+		TimeMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		Transport: "shared",
+		Kernel:    kern,
+	}
+	return res, nil
 }
 
 // kernelOut receives rank 0's results; on a machine that hosts no rank 0
@@ -293,8 +353,9 @@ type kernelOut struct {
 // block distribution over c.Size() global ranks, so the same closure
 // runs on an in-process machine or on each worker process of a TCP
 // machine (every process holds the full snapshot; each rank touches only
-// its block).
-func kernelBody(snap *graph.Snapshot, alg string, pr params, pl *graph.Plan, out *kernelOut) func(c *bsp.Comm) {
+// its block). kern selects among the algorithm's BSP portfolio members
+// ("" and the default name run the pre-portfolio kernel).
+func kernelBody(snap *graph.Snapshot, alg, kern string, pr params, pl *graph.Plan, out *kernelOut) func(c *bsp.Comm) {
 	n := snap.N()
 	edges := snap.Edges()
 	return func(c *bsp.Comm) {
@@ -303,7 +364,15 @@ func kernelBody(snap *graph.Snapshot, alg string, pr params, pl *graph.Plan, out
 		stream := rng.New(pr.seed, uint32(c.Rank()), 0)
 		switch alg {
 		case AlgCC:
-			r := cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon, Plan: pl})
+			var r *cc.Result
+			switch kern {
+			case planner.KernelCCLowRound:
+				r = cc.LowRound(c, n, local, cc.Options{Plan: pl})
+			case planner.KernelCCLabelProp:
+				r = cc.LabelPropagation(c, n, local)
+			default:
+				r = cc.Parallel(c, n, local, stream, cc.Options{Epsilon: pr.epsilon, Plan: pl})
+			}
 			if c.Rank() == 0 {
 				out.cc = r
 			}
@@ -419,7 +488,7 @@ type Executor interface {
 // degrade: a cancelled run surfaces its error on every process.
 func ExecuteOnMachine(ctx context.Context, m *bsp.Machine, sg *StoredGraph, alg string, pr ExecParams) (*QueryResult, error) {
 	var out kernelOut
-	st, err := m.RunCtx(ctx, kernelBody(sg.Snap, alg, pr.internal(), nil, &out))
+	st, err := m.RunCtx(ctx, kernelBody(sg.Snap, alg, "", pr.internal(), nil, &out))
 	if err != nil {
 		return nil, err
 	}
@@ -481,12 +550,15 @@ func retryHint(elapsed time.Duration, done, planned int) int64 {
 }
 
 // cacheKey builds the canonical identity of a query: graph name, version
-// and content fingerprint, algorithm, machine size, and every normalized
-// tuning parameter. Two requests with equal keys are the same
-// computation — safe to coalesce and to serve from cache.
-func cacheKey(sg *StoredGraph, alg string, p int, pr params) string {
-	return fmt.Sprintf("%s@%d#%016x|%s|p%d|s%d|e%g|sp%g|mt%d|t%d|pl%t",
-		sg.Name, sg.Version, sg.Snap.Fingerprint(), alg, p,
+// and content fingerprint, algorithm, resolved kernel, machine size, and
+// every normalized tuning parameter. Two requests with equal keys are
+// the same computation — safe to coalesce and to serve from cache. The
+// kernel is part of the identity because the planner resolves it per
+// query: an adaptive refit may route the next identical request to a
+// different (result-equivalent) kernel, which must not collide.
+func cacheKey(sg *StoredGraph, alg, kern string, p int, pr params) string {
+	return fmt.Sprintf("%s@%d#%016x|%s|k%s|p%d|s%d|e%g|sp%g|mt%d|t%d|pl%t",
+		sg.Name, sg.Version, sg.Snap.Fingerprint(), alg, kern, p,
 		pr.seed, pr.epsilon, pr.successProb, pr.maxTrials, pr.trials, pr.pipelined)
 }
 

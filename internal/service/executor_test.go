@@ -138,7 +138,7 @@ func TestExecuteOnMachineMatchesLocalPath(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		want, err := executeKernel(context.Background(), sg, alg, 2, pr.internal(), nil, nil)
+		want, err := executeKernel(context.Background(), sg, alg, "", 2, pr.internal(), nil, nil)
 		if err != nil {
 			t.Fatalf("%s reference: %v", alg, err)
 		}

@@ -194,6 +194,63 @@ func WriteMetrics(w io.Writer, st EngineStats) {
 	m.header("camc_uptime_seconds", "Process uptime.", "gauge")
 	m.val("camc_uptime_seconds", "", st.UptimeMs/1e3)
 
+	// Per-kernel execution aggregates appear once any named portfolio
+	// kernel has run (planner on, or a request-pinned kernel); absent
+	// otherwise, so pre-portfolio scrapes are byte-identical.
+	if len(snap.Kernels) > 0 {
+		kernels := make([]string, 0, len(snap.Kernels))
+		for name := range snap.Kernels {
+			kernels = append(kernels, name)
+		}
+		sort.Strings(kernels)
+		for _, c := range []struct {
+			name, help string
+			get        func(trace.KernelAgg) float64
+		}{
+			{"camc_kernel_executions_total", "Kernel executions per portfolio kernel.", func(k trace.KernelAgg) float64 { return float64(k.Executions) }},
+			{"camc_kernel_time_seconds_total", "Measured kernel time per portfolio kernel.", func(k trace.KernelAgg) float64 { return k.TotalKernelMs / 1e3 }},
+			{"camc_kernel_predicted_seconds_total", "Planner-predicted time per portfolio kernel.", func(k trace.KernelAgg) float64 { return k.TotalPredictedMs / 1e3 }},
+		} {
+			m.header(c.name, c.help, "counter")
+			for _, name := range kernels {
+				m.val(c.name, fmt.Sprintf("kernel=%q", name), c.get(snap.Kernels[name]))
+			}
+		}
+	}
+
+	// Planner counters appear only when planning is enabled, keeping the
+	// planner-off exposition unchanged.
+	if st.Planner != nil {
+		pl := st.Planner
+		for _, c := range []struct {
+			name, help, typ string
+			v               float64
+		}{
+			{"camc_planner_decisions_total", "Planner decisions made.", "counter", float64(pl.Decisions)},
+			{"camc_planner_fallbacks_total", "Decisions without a calibrated default model.", "counter", float64(pl.Fallbacks)},
+			{"camc_planner_executed_total", "Planned queries observed after execution.", "counter", float64(pl.Executed)},
+			{"camc_planner_diverged_total", "Executions where the planner overrode the default choice.", "counter", float64(pl.Diverged)},
+			{"camc_planner_wins_total", "Overrides whose measured time beat the predicted default path.", "counter", float64(pl.Wins)},
+			{"camc_planner_refits_total", "Adaptive model refits from live samples.", "counter", float64(pl.Refits)},
+			{"camc_planner_win_rate", "Wins over diverged decisions.", "gauge", pl.WinRate},
+			{"camc_planner_prediction_mean_abs_err", "Mean |predicted-actual|/actual over planned executions.", "gauge", pl.MeanAbsErr},
+		} {
+			m.header(c.name, c.help, c.typ)
+			m.val(c.name, "", c.v)
+		}
+		if len(pl.Choices) > 0 {
+			names := make([]string, 0, len(pl.Choices))
+			for name := range pl.Choices {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			m.header("camc_planner_choices_total", "Planner decisions per chosen kernel.", "counter")
+			for _, name := range names {
+				m.val("camc_planner_choices_total", fmt.Sprintf("kernel=%q", name), float64(pl.Choices[name]))
+			}
+		}
+	}
+
 	if len(st.Tenants) > 0 {
 		writeTenantMetrics(m, st.Tenants)
 	}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/planner"
+)
+
+// testModels are fixed model constants that make decisions deterministic
+// in tests: BSP kernels pay 50µs of machine overhead, shared kernels
+// 1µs, so small graphs route to the shared path and pinned-p requests
+// stay on the cheapest BSP kernel.
+func testModels() map[string]*perfmodel.Model {
+	bsp := &perfmodel.Model{A: 1e-9, B: 2e-9, C: 1e-6, D: 5e-5}
+	shared := &perfmodel.Model{A: 1e-9, D: 1e-6}
+	return map[string]*perfmodel.Model{
+		planner.KernelCCSampling:   bsp,
+		planner.KernelCCLowRound:   bsp,
+		planner.KernelCCLabelProp:  bsp,
+		planner.KernelCCShared:     shared,
+		planner.KernelMCKargerSt:   {A: 1e-9, B: 2e-9, C: 1e-6, D: 5e-3},
+		planner.KernelMCStoerWagnr: shared,
+	}
+}
+
+// Regression for the machine-sizing path: with the planner on, decide()
+// consults the calibrated cost model instead of chooseP's hard-coded
+// edges-per-processor thresholds — the heuristic survives only as the
+// planner-off fallback and the win-rate baseline.
+func TestDecideConsultsPlannerNotThresholds(t *testing.T) {
+	g := testGraph(1000, 20000)
+	heuristic := chooseP(len(g.Edges), 0, 16)
+	if heuristic < 4 {
+		t.Fatalf("test premise: heuristic p = %d, want >= 4", heuristic)
+	}
+
+	off := newTestEngine(t, Config{MaxProcessors: 16})
+	sgOff, err := off.Registry().Put("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := normalize(&QueryRequest{Graph: "g", Algorithm: AlgCC})
+	rsOff, err := off.decide(&QueryRequest{Graph: "g", Algorithm: AlgCC}, sgOff, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsOff.kern != "" || rsOff.p != heuristic || rsOff.dec != nil {
+		t.Fatalf("planner off: decide = %+v, want default kernel at heuristic p=%d", rsOff, heuristic)
+	}
+
+	on := newTestEngine(t, Config{MaxProcessors: 16, Planner: "static", PlannerModels: testModels()})
+	sgOn, err := on.Registry().Put("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsOn, err := on.decide(&QueryRequest{Graph: "g", Algorithm: AlgCC}, sgOn, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the injected constants a 21k-edge graph is far cheaper on the
+	// machine-less shared kernel than on a 4-processor BSP machine: the
+	// planner must override both the kernel and the thresholds' p.
+	if rsOn.kern != planner.KernelCCShared || rsOn.p != 1 {
+		t.Fatalf("planner on: decide = kern=%q p=%d, want shared at p=1", rsOn.kern, rsOn.p)
+	}
+	if rsOn.dec == nil || !rsOn.dec.Diverged || rsOn.dec.Fallback {
+		t.Fatalf("planner on: decision = %+v, want diverged non-fallback", rsOn.dec)
+	}
+	// An explicit processor pin is still honored — the planner only picks
+	// among BSP kernels at that p.
+	rsPin, err := on.decide(&QueryRequest{Graph: "g", Algorithm: AlgCC, Processors: 8}, sgOn, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsPin.p != 8 || rsPin.kern == planner.KernelCCShared {
+		t.Fatalf("explicit p: decide = kern=%q p=%d, want BSP kernel at p=8", rsPin.kern, rsPin.p)
+	}
+}
+
+// The planner must never change answers: identical queries against a
+// planner-off and a planner-on engine return bit-identical CC labellings
+// and identical cut values.
+func TestPlannerResultEquivalence(t *testing.T) {
+	ccGraph := testGraph(1000, 20000)
+	mcGraph := testGraph(60, 150)
+
+	off := newTestEngine(t, Config{MaxProcessors: 8})
+	on := newTestEngine(t, Config{MaxProcessors: 8, Planner: "static", PlannerModels: testModels()})
+	for _, e := range []*Engine{off, on} {
+		if _, err := e.Registry().Put("cc", ccGraph); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Registry().Put("mc", mcGraph); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	ccOff, err := off.Query(ctx, QueryRequest{Graph: "cc", Algorithm: AlgCC, IncludeLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccOn, err := on.Query(ctx, QueryRequest{Graph: "cc", Algorithm: AlgCC, IncludeLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccOn.Result.Kernel.Kernel != planner.KernelCCShared {
+		t.Fatalf("planner-on cc kernel = %q, want shared (injected models)", ccOn.Result.Kernel.Kernel)
+	}
+	if ccOff.Result.Components != ccOn.Result.Components {
+		t.Fatalf("component count diverged: off %d, on %d", ccOff.Result.Components, ccOn.Result.Components)
+	}
+	if len(ccOff.Result.Labels) != len(ccOn.Result.Labels) {
+		t.Fatalf("label lengths diverged: off %d, on %d", len(ccOff.Result.Labels), len(ccOn.Result.Labels))
+	}
+	for v := range ccOff.Result.Labels {
+		if ccOff.Result.Labels[v] != ccOn.Result.Labels[v] {
+			t.Fatalf("labels diverged at v=%d: off %d, on %d", v, ccOff.Result.Labels[v], ccOn.Result.Labels[v])
+		}
+	}
+
+	mcOff, err := off.Query(ctx, QueryRequest{Graph: "mc", Algorithm: AlgMinCut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcOn, err := on.Query(ctx, QueryRequest{Graph: "mc", Algorithm: AlgMinCut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcOn.Result.Kernel.Kernel != planner.KernelMCStoerWagnr {
+		t.Fatalf("planner-on mincut kernel = %q, want stoerwagner (injected models)", mcOn.Result.Kernel.Kernel)
+	}
+	if mcOff.Result.Value != mcOn.Result.Value {
+		t.Fatalf("cut value diverged: off %d, on %d", mcOff.Result.Value, mcOn.Result.Value)
+	}
+}
+
+// A planner without a calibrated model for the default kernel runs the
+// default path and surfaces the event: Decision.Fallback, the planner's
+// fallback counter, and the collector's planner_fallbacks counter all
+// fire — never a silent default.
+func TestPlannerFallbackSurfaced(t *testing.T) {
+	// lowround is calibrated but the default (sampling) is not — as after
+	// a partial calibration failure.
+	models := map[string]*perfmodel.Model{
+		planner.KernelCCLowRound: {A: 1e-9, B: 2e-9, C: 1e-6, D: 5e-5},
+	}
+	e := newTestEngine(t, Config{MaxProcessors: 4, Planner: "static", PlannerModels: models})
+	if _, err := e.Registry().Put("g", testGraph(200, 600)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Query(context.Background(), QueryRequest{Graph: "g", Algorithm: AlgCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Kernel.Kernel != planner.KernelCCSampling {
+		t.Fatalf("fallback ran kernel %q, want default %q", rep.Result.Kernel.Kernel, planner.KernelCCSampling)
+	}
+	st := e.Stats()
+	if st.Planner == nil {
+		t.Fatal("planner stats block missing")
+	}
+	if st.Planner.Fallbacks == 0 {
+		t.Fatalf("planner fallbacks = 0, want > 0: %+v", st.Planner)
+	}
+	if st.Queries.PlannerFallbacks == 0 {
+		t.Fatalf("collector planner_fallbacks = 0, want > 0")
+	}
+}
+
+// Request-pinned kernels bypass the planner but are validated.
+func TestKernelPinning(t *testing.T) {
+	e := newTestEngine(t, Config{MaxProcessors: 4})
+	if _, err := e.Registry().Put("g", testGraph(300, 900)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	base, err := e.Query(ctx, QueryRequest{Graph: "g", Algorithm: AlgCC, IncludeLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range []string{
+		planner.KernelCCLowRound,
+		planner.KernelCCLabelProp,
+		planner.KernelCCShared,
+	} {
+		rep, err := e.Query(ctx, QueryRequest{Graph: "g", Algorithm: AlgCC, Kernel: kern, IncludeLabels: true})
+		if err != nil {
+			t.Fatalf("%s: %v", kern, err)
+		}
+		if rep.Result.Kernel.Kernel != kern {
+			t.Fatalf("pinned %q but ran %q", kern, rep.Result.Kernel.Kernel)
+		}
+		if rep.Result.Components != base.Result.Components {
+			t.Fatalf("%s: components %d != default %d", kern, rep.Result.Components, base.Result.Components)
+		}
+		for v := range base.Result.Labels {
+			if rep.Result.Labels[v] != base.Result.Labels[v] {
+				t.Fatalf("%s: label diverged at v=%d", kern, v)
+			}
+		}
+	}
+	if _, err := e.Query(ctx, QueryRequest{Graph: "g", Algorithm: AlgCC, Kernel: "bogus"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown kernel error = %v, want ErrBadRequest", err)
+	}
+	if _, err := e.Query(ctx, QueryRequest{Graph: "g", Algorithm: AlgCC, Kernel: planner.KernelCCShared, Processors: 4}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("shared kernel with p=4 error = %v, want ErrBadRequest", err)
+	}
+	if _, err := e.Query(ctx, QueryRequest{Graph: "g", Algorithm: AlgMinCut, Kernel: planner.KernelCCShared}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("cc kernel on mincut error = %v, want ErrBadRequest", err)
+	}
+	// The shared pin ran with no machine: transport says so.
+	rep, err := e.Query(ctx, QueryRequest{Graph: "g", Algorithm: AlgCC, Kernel: planner.KernelCCShared, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Kernel.Transport != "shared" || rep.Result.Kernel.P != 1 {
+		t.Fatalf("shared pin kernel stats = %+v", rep.Result.Kernel)
+	}
+}
+
+// A planner-scheduled execution feeds win-rate and prediction-error
+// accounting visible in the stats snapshot.
+func TestPlannerStatsAccounting(t *testing.T) {
+	e := newTestEngine(t, Config{MaxProcessors: 8, Planner: "static", PlannerModels: testModels()})
+	if _, err := e.Registry().Put("g", testGraph(1000, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(context.Background(), QueryRequest{Graph: "g", Algorithm: AlgCC}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Planner == nil || st.Planner.Mode != "static" {
+		t.Fatalf("planner block = %+v", st.Planner)
+	}
+	if st.Planner.Decisions == 0 || st.Planner.Executed == 0 || st.Planner.Diverged == 0 {
+		t.Fatalf("planner counters not fed: %+v", st.Planner)
+	}
+	if st.Planner.MeanAbsErr <= 0 {
+		t.Fatalf("prediction error not recorded: %+v", st.Planner)
+	}
+	if len(st.Queries.Kernels) == 0 {
+		t.Fatal("collector kernel aggregates missing")
+	}
+	agg, ok := st.Queries.Kernels[planner.KernelCCShared]
+	if !ok || agg.Executions == 0 {
+		t.Fatalf("kernel aggregate missing for shared: %+v", st.Queries.Kernels)
+	}
+	if agg.TotalPredictedMs <= 0 {
+		t.Fatalf("predicted time not aggregated: %+v", agg)
+	}
+}

@@ -422,19 +422,20 @@ func TestCacheKeyDistinct(t *testing.T) {
 		}
 		keys[k] = desc
 	}
-	add("base", cacheKey(sg, AlgCC, 2, base))
-	add("other alg", cacheKey(sg, AlgMinCut, 2, base))
-	add("other p", cacheKey(sg, AlgCC, 4, base))
+	add("base", cacheKey(sg, AlgCC, "", 2, base))
+	add("other alg", cacheKey(sg, AlgMinCut, "", 2, base))
+	add("other p", cacheKey(sg, AlgCC, "", 4, base))
 	seeded := base
 	seeded.seed = 99
-	add("other seed", cacheKey(sg, AlgCC, 2, seeded))
+	add("other seed", cacheKey(sg, AlgCC, "", 2, seeded))
 	eps := base
 	eps.epsilon = 1.0
-	add("other epsilon", cacheKey(sg, AlgCC, 2, eps))
+	add("other epsilon", cacheKey(sg, AlgCC, "", 2, eps))
 	sg2 := &StoredGraph{Name: sg.Name, Version: sg.Version + 1, Snap: sg.Snap}
-	add("other version", cacheKey(sg2, AlgCC, 2, base))
-	if len(keys) != 6 {
-		t.Errorf("expected 6 distinct keys, got %d", len(keys))
+	add("other version", cacheKey(sg2, AlgCC, "", 2, base))
+	add("other kernel", cacheKey(sg, AlgCC, "lowround", 2, base))
+	if len(keys) != 7 {
+		t.Errorf("expected 7 distinct keys, got %d", len(keys))
 	}
 	for k := range keys {
 		if !strings.Contains(k, "cc") && !strings.Contains(k, "mincut") {

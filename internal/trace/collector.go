@@ -47,6 +47,18 @@ type QuerySample struct {
 	// sockets — always 0 for the in-process fabric.
 	Transport string
 	WireBytes uint64
+	// Kernel names the portfolio kernel that computed the result
+	// ("sampling", "lowround", ...); empty when the planner is off and no
+	// kernel was pinned. PredictedMs is the planner's predicted time for
+	// the chosen kernel (0 for unplanned runs); KernelTimeMs the measured
+	// kernel wall time — together they feed the per-kernel
+	// prediction-vs-actual aggregates. PlannerFallback marks a query the
+	// planner could not score (no calibrated model for the default
+	// kernel) and handed to the default path.
+	Kernel          string
+	PredictedMs     float64
+	KernelTimeMs    float64
+	PlannerFallback bool
 }
 
 // LatencyBuckets are the upper bounds, in seconds, of the collector's
@@ -160,6 +172,15 @@ func (a *AlgoStats) observe(s QuerySample) {
 	a.AvgLatencyMs = a.TotalLatencyMs / float64(a.latencySamples)
 }
 
+// KernelAgg aggregates the executions of one portfolio kernel: how often
+// it ran, its measured kernel time, and the planner's predictions for it
+// — the raw material of the planner's observable accuracy.
+type KernelAgg struct {
+	Executions       uint64  `json:"executions"`
+	TotalKernelMs    float64 `json:"total_kernel_ms"`
+	TotalPredictedMs float64 `json:"total_predicted_ms"`
+}
+
 // TransportStats aggregates the kernel executions carried by one BSP
 // fabric ("local", "tcp"). WireBytes stays zero for the in-process
 // fabric, which is precisely the communication-avoidance claim the
@@ -176,18 +197,24 @@ type CollectorSnapshot struct {
 	Totals        AlgoStats                 `json:"totals"`
 	Algorithms    map[string]AlgoStats      `json:"algorithms"`
 	Transports    map[string]TransportStats `json:"transports,omitempty"`
+	Kernels       map[string]KernelAgg      `json:"kernels,omitempty"`
 	MaxQueueDepth int                       `json:"max_queue_depth"`
+	// PlannerFallbacks counts executed queries the planner handed to the
+	// default kernel because it had no calibrated model to score with.
+	PlannerFallbacks uint64 `json:"planner_fallbacks,omitempty"`
 }
 
 // Collector aggregates per-query metrics for a serving process. It is
 // safe for concurrent use; Observe is cheap enough for the query hot
 // path (a mutex and a dozen adds).
 type Collector struct {
-	mu            sync.Mutex
-	totals        AlgoStats
-	algos         map[string]*AlgoStats
-	transports    map[string]*TransportStats
-	maxQueueDepth int
+	mu               sync.Mutex
+	totals           AlgoStats
+	algos            map[string]*AlgoStats
+	transports       map[string]*TransportStats
+	kernels          map[string]*KernelAgg
+	maxQueueDepth    int
+	plannerFallbacks uint64
 }
 
 // NewCollector returns an empty collector.
@@ -195,6 +222,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		algos:      make(map[string]*AlgoStats),
 		transports: make(map[string]*TransportStats),
+		kernels:    make(map[string]*KernelAgg),
 	}
 }
 
@@ -220,6 +248,19 @@ func (c *Collector) Observe(s QuerySample) {
 		tr.CommVolume += s.CommVolume
 		tr.WireBytes += s.WireBytes
 	}
+	if s.Kernel != "" {
+		k := c.kernels[s.Kernel]
+		if k == nil {
+			k = &KernelAgg{}
+			c.kernels[s.Kernel] = k
+		}
+		k.Executions++
+		k.TotalKernelMs += s.KernelTimeMs
+		k.TotalPredictedMs += s.PredictedMs
+	}
+	if s.PlannerFallback {
+		c.plannerFallbacks++
+	}
 	if s.QueueDepth > c.maxQueueDepth {
 		c.maxQueueDepth = s.QueueDepth
 	}
@@ -239,9 +280,10 @@ func (c *Collector) Snapshot() CollectorSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := CollectorSnapshot{
-		Totals:        cloneAlgo(c.totals),
-		Algorithms:    make(map[string]AlgoStats, len(c.algos)),
-		MaxQueueDepth: c.maxQueueDepth,
+		Totals:           cloneAlgo(c.totals),
+		Algorithms:       make(map[string]AlgoStats, len(c.algos)),
+		MaxQueueDepth:    c.maxQueueDepth,
+		PlannerFallbacks: c.plannerFallbacks,
 	}
 	for name, a := range c.algos {
 		out.Algorithms[name] = cloneAlgo(*a)
@@ -250,6 +292,12 @@ func (c *Collector) Snapshot() CollectorSnapshot {
 		out.Transports = make(map[string]TransportStats, len(c.transports))
 		for name, tr := range c.transports {
 			out.Transports[name] = *tr
+		}
+	}
+	if len(c.kernels) > 0 {
+		out.Kernels = make(map[string]KernelAgg, len(c.kernels))
+		for name, k := range c.kernels {
+			out.Kernels[name] = *k
 		}
 	}
 	return out
@@ -262,5 +310,7 @@ func (c *Collector) Reset() {
 	c.totals = AlgoStats{}
 	c.algos = make(map[string]*AlgoStats)
 	c.transports = make(map[string]*TransportStats)
+	c.kernels = make(map[string]*KernelAgg)
 	c.maxQueueDepth = 0
+	c.plannerFallbacks = 0
 }

@@ -15,6 +15,7 @@ BENCHTIME=${BENCHTIME:-0.5s}
 
 files=(
   internal/service/BENCH_service.json
+  internal/service/BENCH_planner.json
   internal/bsp/BENCH_bsp.json
   internal/kernels/BENCH_kernels.json
   internal/transport/BENCH_transport.json
