@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check chaos lint vuln bench bench-bsp bench-kernels bench-service bench-planner bench-transport bench-gate load-smoke transport camcd
+.PHONY: all build test vet race check chaos chaos-fleet lint vuln bench bench-bsp bench-kernels bench-service bench-planner bench-transport bench-fleet bench-gate load-smoke transport camcd
 
 all: check
 
@@ -32,6 +32,13 @@ chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Abort|Cancel|Fault|RunCtx|Reuse' \
 		./internal/service/ ./internal/bsp/
 	$(GO) test -race -count=2 ./internal/faults/
+
+# Fleet self-healing drill: kill -9 one worker of a live 3-process
+# fleet under loadgen traffic and assert the degraded 503 + Retry-After
+# contract, the supervised respawn with a bumped incarnation, and
+# byte-identical graph re-replication.
+chaos-fleet:
+	bash scripts/chaos_fleet.sh
 
 # Static analysis beyond vet. Uses golangci-lint when installed (CI
 # always has it); locally it degrades to a hint rather than failing.
@@ -88,6 +95,12 @@ bench-planner:
 # comparison CI archives).
 bench-transport:
 	$(GO) test -run='^$$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem ./internal/transport/
+
+# Fleet self-healing scorecard: run the scripted kill/failover/respawn
+# scenario in-process and write internal/shard/BENCH_fleet.json (the
+# detection/recovery counts the bench gate checks deterministically).
+bench-fleet:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/shard/
 
 # Regression gate: save the committed BENCH_*.json baselines aside,
 # re-run every bench suite, and fail if a tagged-critical metric

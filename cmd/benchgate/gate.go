@@ -180,6 +180,17 @@ type transportBench struct {
 	} `json:"benchmarks"`
 }
 
+type fleetBench struct {
+	Scenario struct {
+		SuperstepsAborted int     `json:"supersteps_aborted"`
+		QueriesFailedOver int     `json:"queries_failed_over"`
+		CatchupGraphs     int     `json:"catchup_graphs"`
+		FingerprintMatch  int     `json:"fingerprint_match"`
+		DetectionMs       float64 `json:"detection_ms"`
+		RecoveryMs        float64 `json:"recovery_ms"`
+	} `json:"scenario"`
+}
+
 // benchFiles lists every baseline the gate knows how to read, relative
 // to the repo root.
 var benchFiles = []struct {
@@ -191,6 +202,7 @@ var benchFiles = []struct {
 	{"internal/bsp/BENCH_bsp.json", extractBSP},
 	{"internal/kernels/BENCH_kernels.json", extractKernels},
 	{"internal/transport/BENCH_transport.json", extractTransport},
+	{"internal/shard/BENCH_fleet.json", extractFleet},
 }
 
 func decodePair[T any](base, cur []byte) (T, T, error) {
@@ -415,6 +427,32 @@ func extractTransport(base, cur []byte) ([]Metric, error) {
 		}
 	}
 	return ms, nil
+}
+
+func extractFleet(base, cur []byte) ([]Metric, error) {
+	b, c, err := decodePair[fleetBench](base, cur)
+	if err != nil {
+		return nil, err
+	}
+	file := "fleet"
+	return []Metric{
+		// The self-healing scenario is fully scripted (one peer killed,
+		// one failover query, two graphs behind), so its counts are
+		// exact-match deterministic on any machine: a drift means the
+		// detection, failover, or catch-up machinery changed behavior.
+		{File: file, Name: "supersteps_aborted", Base: float64(b.Scenario.SuperstepsAborted), Cur: float64(c.Scenario.SuperstepsAborted),
+			Critical: true},
+		{File: file, Name: "queries_failed_over", Base: float64(b.Scenario.QueriesFailedOver), Cur: float64(c.Scenario.QueriesFailedOver),
+			Critical: true},
+		{File: file, Name: "catchup_graphs", Base: float64(b.Scenario.CatchupGraphs), Cur: float64(c.Scenario.CatchupGraphs),
+			Critical: true},
+		{File: file, Name: "fingerprint_match", Base: float64(b.Scenario.FingerprintMatch), Cur: float64(c.Scenario.FingerprintMatch),
+			Critical: true},
+		// Wall-clock detection/recovery latencies are machine-bound:
+		// reported for visibility, never gated.
+		{File: file, Name: "detection_ms", Base: b.Scenario.DetectionMs, Cur: c.Scenario.DetectionMs, Better: -1},
+		{File: file, Name: "recovery_ms", Base: b.Scenario.RecoveryMs, Cur: c.Scenario.RecoveryMs, Better: -1},
+	}, nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

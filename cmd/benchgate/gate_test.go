@@ -53,6 +53,15 @@ const transportFixture = `{
   ]
 }`
 
+const fleetFixture = `{
+  "name": "fleet-selfheal",
+  "scenario": {
+    "supersteps_aborted": 1, "queries_failed_over": 1,
+    "catchup_graphs": 2, "fingerprint_match": 1,
+    "detection_ms": 9.86, "recovery_ms": 2.37
+  }
+}`
+
 func writeTree(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -75,6 +84,7 @@ func allFixtures() map[string]string {
 		"internal/bsp/BENCH_bsp.json":             bspFixture,
 		"internal/kernels/BENCH_kernels.json":     kernelsFixture,
 		"internal/transport/BENCH_transport.json": transportFixture,
+		"internal/shard/BENCH_fleet.json":         fleetFixture,
 	}
 }
 
@@ -256,6 +266,25 @@ func TestGateMissingCurrentFails(t *testing.T) {
 	cur := writeTree(t, curFiles)
 	if _, _, err := Compare(base, cur); err == nil {
 		t.Fatal("missing current measurement passed")
+	}
+}
+
+// TestGateCatchesFleetCountDrift: the self-heal scenario counts are
+// deterministic, so any drift (here a second failover) is an exact-match
+// failure — no tolerance band.
+func TestGateCatchesFleetCountDrift(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	drift := allFixtures()
+	drift["internal/shard/BENCH_fleet.json"] = strings.Replace(fleetFixture,
+		`"queries_failed_over": 1`, `"queries_failed_over": 2`, 1)
+	cur := writeTree(t, drift)
+	metrics, _, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(metrics)
+	if len(regs) != 1 || regs[0].File != "fleet" || regs[0].Name != "queries_failed_over" {
+		t.Fatalf("regressions = %+v, want exactly fleet/queries_failed_over", regs)
 	}
 }
 

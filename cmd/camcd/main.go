@@ -17,13 +17,22 @@
 //	                               shards by consistent hashing, sends
 //	                               queries to shard leaders, merges stats
 //
+// Adding -supervise to worker mode wraps the worker in a supervisor
+// that respawns it after a crash under the same rank with a bumped
+// -incarnation, so the surviving ranks admit the replacement and
+// re-replicate its shard graphs. A crash with exit status 86
+// (transport.CrashExitCode — a fault-injected crash) respawns without
+// the fault spec so chaos drills recover instead of crash-looping.
+//
 // API (identical in every mode):
 //
 //	POST /v1/graphs?name=NAME&format=edgelist|snap   register a graph
+//	GET  /v1/graphs                                  list graphs with versions + fingerprints
 //	POST /v1/query                                   {"graph":..., "algorithm":"cc|mincut|approxcut", ...}
 //	GET  /v1/stats                                   serving metrics (JSON)
-//	GET  /metrics                                    Prometheus exposition (single-process mode)
-//	GET  /healthz                                    liveness
+//	GET  /metrics                                    Prometheus exposition
+//	GET  /healthz                                    liveness (worker mode: some mesh peer reachable)
+//	GET  /readyz                                     readiness (worker mode: every peer up + graph catch-up done)
 //
 // With -tenants=config.json (single-process or frontend mode) every
 // /v1/* request must carry "Authorization: Bearer <token>" for a
@@ -72,10 +81,13 @@ func main() {
 			"fault-injection spec for chaos testing, e.g. 'panic@1:3;drop@1:5' (default $"+faults.EnvVar+"; empty disables)")
 		tenantsPath = flag.String("tenants", "", "tenant config JSON enabling multi-tenant auth + quotas (single-process and frontend modes)")
 
-		workerMode = flag.Bool("worker", false, "run as one rank of a shard group")
-		rank       = flag.Int("rank", 0, "this worker's rank within the shard group")
-		peers      = flag.String("peers", "", "comma-separated mesh addresses of every rank in the group, index = rank (worker mode)")
-		epoch      = flag.Uint64("epoch", 1, "deployment generation; mesh handshakes reject mismatched epochs (worker mode)")
+		workerMode  = flag.Bool("worker", false, "run as one rank of a shard group")
+		rank        = flag.Int("rank", 0, "this worker's rank within the shard group")
+		peers       = flag.String("peers", "", "comma-separated mesh addresses of every rank in the group, index = rank (worker mode)")
+		epoch       = flag.Uint64("epoch", 1, "deployment generation; mesh handshakes reject mismatched epochs (worker mode)")
+		incarnation = flag.Uint64("incarnation", 1, "this worker process's mesh incarnation; a respawned rank must present a higher value than its predecessor (worker mode)")
+		supervise   = flag.Bool("supervise", false, "run a supervisor that respawns this worker on crash with a bumped -incarnation (worker mode)")
+		_           = flag.Bool("supervised", false, "internal: marks a process spawned by a -supervise parent")
 
 		frontendMode = flag.Bool("frontend", false, "run as the sharding frontend")
 		shardSpec    = flag.String("shards", "", "worker base URLs: shards separated by '/', ranks by ',' — first URL of each shard is its leader (frontend mode)")
@@ -84,6 +96,12 @@ func main() {
 
 	if *workerMode && *frontendMode {
 		log.Fatal("-worker and -frontend are mutually exclusive")
+	}
+	if *supervise {
+		if !*workerMode {
+			log.Fatal("-supervise applies to -worker mode (the other modes are stateless; use your init system)")
+		}
+		runSupervisor(*incarnation)
 	}
 
 	freg, err := faults.Parse(*faultSpec)
@@ -155,13 +173,15 @@ func main() {
 		if *rank < 0 || *rank >= len(addrs) {
 			log.Fatalf("-rank=%d out of range for %d peers", *rank, len(addrs))
 		}
-		log.Printf("rank %d/%d joining mesh (epoch %d), listening for peers on %s", *rank, len(addrs), *epoch, addrs[*rank])
+		log.Printf("rank %d/%d joining mesh (epoch %d, incarnation %d), listening for peers on %s",
+			*rank, len(addrs), *epoch, *incarnation, addrs[*rank])
 		w, err := shard.NewWorker(shard.WorkerConfig{
-			Rank:    *rank,
-			Addrs:   addrs,
-			Epoch:   *epoch,
-			Faults:  freg,
-			Service: svcCfg,
+			Rank:        *rank,
+			Addrs:       addrs,
+			Epoch:       *epoch,
+			Incarnation: *incarnation,
+			Faults:      freg,
+			Service:     svcCfg,
 		})
 		if err != nil {
 			log.Fatal(err)

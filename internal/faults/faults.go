@@ -20,16 +20,17 @@
 //
 //	spec  := [ "seed=" uint ";" ] rule { ";" rule }
 //	rule  := kind "@" rank ":" superstep { ":" opt }
-//	kind  := "panic" | "stall" | "cancel" | "drop" | "stall-conn"
+//	kind  := "panic" | "stall" | "cancel" | "drop" | "stall-conn" |
+//	         "crash" | "partition"
 //	rank  := "*" | uint            (virtual processor, per machine)
 //	superstep := "*" | uint        (0-based Sync index, per machine)
-//	opt   := duration              (stall length, e.g. "50ms"; stall and
-//	                                stall-conn only)
+//	opt   := duration              (stall length, e.g. "50ms"; stall,
+//	                                stall-conn, and partition only)
 //	       | "p" float             (firing probability at matching points)
 //	       | "x" uint | "x*"       (max fires; default 1, "x*" unlimited)
 //
 // The first three kinds fire inside Sync through the bsp.FaultHook; the
-// two transport kinds fire inside the TCP fabric's Exchange through a
+// transport kinds fire inside the TCP fabric's Exchange through a
 // wire hook (see WireHook) and are inert on the in-process transport,
 // which has no connections to kill or stall.
 //
@@ -40,6 +41,8 @@
 //	cancel@*:4                whichever processor reaches superstep 4 first cancels
 //	drop@1:5                  rank 1's process severs all peer connections at superstep 5
 //	stall-conn@2:3:80ms       rank 2's process delays its superstep-3 frames by 80ms
+//	crash@1:2                 rank 1's process hard-exits at superstep 2 (kill -9 equivalent)
+//	partition@2:1:300ms       rank 2's process is partitioned off the mesh for 300ms
 //	seed=7;panic@*:*:p0.001:x*  every (rank, superstep) panics w.p. 0.1%, seeded
 package faults
 
@@ -76,7 +79,22 @@ const (
 	// StallConn delays the matched rank's outgoing frames for the matched
 	// superstep — a congested or half-dead link. Transport kind.
 	StallConn
+	// Crash hard-exits the matched rank's process at the matched
+	// superstep (the in-protocol kill -9): the survivors see ErrPeerLost
+	// and a supervisor sees transport.CrashExitCode. Transport kind.
+	Crash
+	// Partition cuts the matched rank's process off the mesh for the
+	// rule's duration: every connection severed and reconnects refused
+	// until the deadline, after which the mesh self-heals. Transport
+	// kind; the duration option is required.
+	Partition
 )
+
+// transport reports whether the kind fires through WireHook (inside
+// the TCP fabric) rather than the Sync hook.
+func (k Kind) transport() bool {
+	return k == Drop || k == StallConn || k == Crash || k == Partition
+}
 
 func (k Kind) String() string {
 	switch k {
@@ -90,6 +108,10 @@ func (k Kind) String() string {
 		return "drop"
 	case StallConn:
 		return "stall-conn"
+	case Crash:
+		return "crash"
+	case Partition:
+		return "partition"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -201,7 +223,7 @@ func (r *Registry) Hook(target Canceller) func(rank int, superstep uint64) {
 			return
 		}
 		for i, ru := range r.rules {
-			if ru.Kind == Drop || ru.Kind == StallConn {
+			if ru.Kind.transport() {
 				continue // transport kinds fire through WireHook
 			}
 			if !ru.matches(rank, superstep) {
@@ -227,19 +249,21 @@ func (r *Registry) Hook(target Canceller) func(rank int, superstep uint64) {
 	}
 }
 
-// WireHook compiles the registry's transport rules (Drop, StallConn)
-// into the TCP fabric's per-superstep hook for one rank. It returns nil
-// when no transport rule could ever match that rank, so the fabric's
-// fast path stays hook-free. The hook runs at the top of every Exchange:
-// drop=true makes the process sever all peer connections (the surviving
-// ranks see ErrPeerLost), stall delays the rank's outgoing frames.
-func (r *Registry) WireHook(rank int) func(superstep uint64) (drop bool, stall time.Duration) {
+// WireHook compiles the registry's transport rules (Drop, StallConn,
+// Crash, Partition) into the TCP fabric's per-superstep hook for one
+// rank. It returns nil when no transport rule could ever match that
+// rank, so the fabric's fast path stays hook-free. The hook runs at
+// the top of every Exchange: drop=true makes the process sever all
+// peer connections (the surviving ranks see ErrPeerLost), stall delays
+// the rank's outgoing frames, crash=true hard-exits the process, and
+// partition > 0 cuts the process off the mesh for that duration.
+func (r *Registry) WireHook(rank int) func(superstep uint64) (drop bool, stall time.Duration, crash bool, partition time.Duration) {
 	if !r.Enabled() {
 		return nil
 	}
 	any := false
 	for _, ru := range r.rules {
-		if (ru.Kind == Drop || ru.Kind == StallConn) && (ru.Rank == AnyRank || ru.Rank == rank) {
+		if ru.Kind.transport() && (ru.Rank == AnyRank || ru.Rank == rank) {
 			any = true
 			break
 		}
@@ -247,12 +271,12 @@ func (r *Registry) WireHook(rank int) func(superstep uint64) (drop bool, stall t
 	if !any {
 		return nil
 	}
-	return func(superstep uint64) (drop bool, stall time.Duration) {
+	return func(superstep uint64) (drop bool, stall time.Duration, crash bool, partition time.Duration) {
 		if !r.enabled.Load() {
-			return false, 0
+			return false, 0, false, 0
 		}
 		for i, ru := range r.rules {
-			if ru.Kind != Drop && ru.Kind != StallConn {
+			if !ru.Kind.transport() {
 				continue
 			}
 			if !ru.matches(rank, superstep) {
@@ -271,9 +295,15 @@ func (r *Registry) WireHook(rank int) func(superstep uint64) (drop bool, stall t
 				if ru.Delay > stall {
 					stall = ru.Delay
 				}
+			case Crash:
+				crash = true
+			case Partition:
+				if ru.Delay > partition {
+					partition = ru.Delay
+				}
 			}
 		}
-		return drop, stall
+		return drop, stall, crash, partition
 	}
 }
 
@@ -381,8 +411,12 @@ func parseRule(s string) (Rule, error) {
 		ru.Kind = Drop
 	case "stall-conn":
 		ru.Kind = StallConn
+	case "crash":
+		ru.Kind = Crash
+	case "partition":
+		ru.Kind = Partition
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|stall|cancel|drop|stall-conn)", s, kindStr)
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown kind %q (want panic|stall|cancel|drop|stall-conn|crash|partition)", s, kindStr)
 	}
 	fields := strings.Split(rest, ":")
 	if len(fields) < 2 {
@@ -421,7 +455,7 @@ func parseRule(s string) (Rule, error) {
 			ru.Delay = d
 		}
 	}
-	if (ru.Kind == Stall || ru.Kind == StallConn) && ru.Delay == 0 {
+	if (ru.Kind == Stall || ru.Kind == StallConn || ru.Kind == Partition) && ru.Delay == 0 {
 		return Rule{}, fmt.Errorf("faults: rule %q: %s needs a duration option", s, ru.Kind)
 	}
 	return ru, nil

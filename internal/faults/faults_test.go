@@ -55,12 +55,53 @@ func TestParse(t *testing.T) {
 			t.Errorf("x* rule remaining = %d, want -1", got)
 		}
 	})
+	t.Run("self-healing-kinds", func(t *testing.T) {
+		r, err := Parse("crash@1:2;partition@2:1:300ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Rule{
+			{Kind: Crash, Rank: 1, Superstep: 2},
+			{Kind: Partition, Rank: 2, Superstep: 1, Delay: 300 * time.Millisecond},
+		}
+		for i, w := range want {
+			if got := r.rules[i].Rule; got != w {
+				t.Errorf("rule %d = %+v, want %+v", i, got, w)
+			}
+		}
+		if Crash.String() != "crash" || Partition.String() != "partition" {
+			t.Errorf("kind strings: %q, %q", Crash.String(), Partition.String())
+		}
+		// Both are transport kinds: the Sync hook skips them, the wire
+		// hook fires them.
+		hook := r.Hook(nil)
+		hook(1, 2)
+		hook(2, 1)
+		if n := r.TotalFired(); n != 0 {
+			t.Fatalf("Sync hook consumed %d transport firings", n)
+		}
+		wh1 := r.WireHook(1)
+		if _, _, crash, _ := wh1(2); !crash {
+			t.Fatal("crash@1:2 did not fire through the wire hook")
+		}
+		if _, _, crash, _ := wh1(2); crash {
+			t.Fatal("crash@1:2 fired twice")
+		}
+		wh2 := r.WireHook(2)
+		if _, _, _, part := wh2(1); part != 300*time.Millisecond {
+			t.Fatalf("partition@2:1:300ms gave %v", part)
+		}
+		if r.Fired()["crash"] != 1 || r.Fired()["partition"] != 1 {
+			t.Fatalf("fired = %v", r.Fired())
+		}
+	})
 	t.Run("rejects", func(t *testing.T) {
 		for _, spec := range []string{
 			"bogus@0:1",      // unknown kind
 			"panic@0",        // missing superstep
 			"panic",          // no @
 			"stall@0:1",      // stall without duration
+			"partition@0:1",  // partition without duration
 			"panic@-1:0",     // negative rank
 			"panic@0:1:p1.5", // probability out of range
 			"panic@0:1:x0",   // zero fire count
@@ -248,19 +289,19 @@ func TestWireHookFiring(t *testing.T) {
 	if h1 == nil {
 		t.Fatal("rank 1 needs a wire hook")
 	}
-	if drop, stall := h1(4); drop || stall != 0 {
+	if drop, stall, _, _ := h1(4); drop || stall != 0 {
 		t.Fatalf("superstep 4 fired: drop=%v stall=%v", drop, stall)
 	}
-	if drop, _ := h1(5); !drop {
+	if drop, _, _, _ := h1(5); !drop {
 		t.Fatal("drop@1:5 did not fire at superstep 5")
 	}
 	// Point rules fire once.
-	if drop, _ := h1(5); drop {
+	if drop, _, _, _ := h1(5); drop {
 		t.Fatal("drop@1:5 fired twice")
 	}
 
 	h2 := r.WireHook(2)
-	if _, stall := h2(3); stall != 80*time.Millisecond {
+	if _, stall, _, _ := h2(3); stall != 80*time.Millisecond {
 		t.Fatalf("stall-conn@2:3:80ms gave %v", stall)
 	}
 	if r.Fired()["drop"] != 1 || r.Fired()["stall-conn"] != 1 {
@@ -283,10 +324,10 @@ func TestSyncHookSkipsTransportKinds(t *testing.T) {
 		t.Fatalf("Sync hook consumed %d drop firings", got)
 	}
 	wh := r.WireHook(0)
-	if _, stall := wh(1); stall != 0 {
+	if _, stall, _, _ := wh(1); stall != 0 {
 		t.Fatal("wire hook fired the Sync-side stall rule")
 	}
-	if drop, _ := wh(1); !drop {
+	if drop, _, _, _ := wh(1); !drop {
 		t.Fatal("wildcard drop rule did not fire through the wire hook")
 	}
 }

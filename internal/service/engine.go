@@ -614,6 +614,10 @@ type EngineStats struct {
 	// configured; the HTTP layer fills it in (the engine itself is
 	// tenant-agnostic).
 	Tenants []tenant.TenantSnapshot `json:"tenants,omitempty"`
+	// Fleet is the shard worker's mesh liveness and catch-up state when
+	// the process is part of a worker group; the HTTP layer fills it in
+	// (the engine itself is fleet-agnostic).
+	Fleet interface{} `json:"fleet,omitempty"`
 }
 
 // Stats snapshots the engine.

@@ -62,6 +62,15 @@ type QueryRequest struct {
 	IncludeSide   bool `json:"include_side,omitempty"`
 	// NoCache skips the cache lookup (the result is still stored).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Hedged opts a cc query into hedged reads at the shard frontend:
+	// when the shard leader's circuit breaker is open (or the leader is
+	// slow past the hedge delay), the frontend races a second copy of the
+	// query against a replica rank holding the same graph. A routing
+	// hint only — it never changes the computation's identity, so it is
+	// excluded from cache keys and coalescing. Ignored by single-process
+	// engines and by algorithms other than cc (exact/approx cut runs are
+	// too expensive to duplicate speculatively).
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // params is the normalized, defaulted form of the tuning fields — the
@@ -495,6 +504,27 @@ func ExecuteOnMachine(ctx context.Context, m *bsp.Machine, sg *StoredGraph, alg 
 	if out.cc == nil && out.mc == nil && out.ac == nil {
 		return nil, nil
 	}
+	return assembleResult(sg, alg, st, &out), nil
+}
+
+// ExecuteLocal runs one algorithm over the snapshot entirely inside the
+// calling process on a pooled single-processor machine — the failover
+// execution shape: every shard worker replicates every graph, so when
+// the mesh (or the rank that owns the query) is unavailable, any live
+// worker can still answer from its own copy without touching the
+// fabric. No plan, no fault injection, no degradation: failover exists
+// to produce a definite answer, and a p=1 machine has no peers to lose.
+func ExecuteLocal(ctx context.Context, sg *StoredGraph, alg string, pr ExecParams) (*QueryResult, error) {
+	mach, err := acquireMachine(1)
+	if err != nil {
+		return nil, err
+	}
+	var out kernelOut
+	st, err := mach.RunCtx(ctx, kernelBody(sg.Snap, alg, "", pr.internal(), nil, &out))
+	if err != nil {
+		return nil, err
+	}
+	releaseMachine(mach)
 	return assembleResult(sg, alg, st, &out), nil
 }
 

@@ -14,10 +14,12 @@ import (
 // NewHandler builds the camcd HTTP API over an engine:
 //
 //	POST /v1/graphs?name=NAME&format=edgelist|snap  — register a graph (body: text)
+//	GET  /v1/graphs                                 — list graphs (name, version, fingerprint)
 //	POST /v1/query                                  — run cc | mincut | approxcut
 //	GET  /v1/stats                                  — pool, cache, and query metrics
 //	GET  /metrics                                   — Prometheus exposition
 //	GET  /healthz                                   — liveness
+//	GET  /readyz                                    — readiness (mesh + catch-up state)
 //
 // Error mapping: malformed input and bad parameters → 400, missing or
 // unknown API token (multi-tenant mode) → 401, unknown graph
@@ -42,17 +44,36 @@ type HandlerOptions struct {
 	// stay unauthenticated, and the tenant quota state is embedded in
 	// /v1/stats and exported as camc_tenant_* metrics.
 	Tenants *tenant.Registry
+	// Ready, when non-nil, backs /readyz: a nil return is 200 "ready", an
+	// error is 503 with the reason — distinct from /healthz (liveness)
+	// so an orchestrator can keep a catching-up process alive without
+	// routing queries to it. A nil Ready makes /readyz always ready.
+	Ready func() error
+	// Health, when non-nil, backs /healthz instead of the static "ok": a
+	// nil return is 200, an error 503 — the worker wires this to mesh
+	// connectivity so a process whose every peer is unreachable reports
+	// itself dead instead of lying to the prober.
+	Health func() error
+	// Fleet, when non-nil, is embedded under "fleet" in /v1/stats — the
+	// shard worker exposes its mesh liveness and catch-up state here.
+	Fleet func() interface{}
+	// ExtraMetrics, when non-nil, is appended to the /metrics exposition
+	// (the shard worker's camc_fleet_* families).
+	ExtraMetrics func(io.Writer)
 }
 
 // NewHandlerOpts is NewHandler with options.
 func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/graphs", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-			return
+		switch r.Method {
+		case http.MethodPost:
+			handleUpload(e, w, r)
+		case http.MethodGet:
+			handleList(e, w)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, errors.New("GET or POST only"))
 		}
-		handleUpload(e, w, r)
 	})
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -66,17 +87,34 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		if opts.Tenants != nil {
 			st.Tenants = opts.Tenants.Snapshot()
 		}
+		if opts.Fleet != nil {
+			st.Fleet = opts.Fleet()
+		}
 		writeJSON(w, http.StatusOK, st)
 	})
-	mux.HandleFunc("/metrics", handleMetrics(e, opts.Tenants))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/metrics", handleMetrics(e, opts.Tenants, opts.ExtraMetrics))
+	mux.HandleFunc("/healthz", probeEndpoint(opts.Health, "ok"))
+	mux.HandleFunc("/readyz", probeEndpoint(opts.Ready, "ready"))
 	if opts.Tenants != nil {
 		return TenantMiddleware(opts.Tenants, mux)
 	}
 	return mux
+}
+
+// probeEndpoint builds a health/readiness handler over an optional
+// check: nil check or nil error → 200 okBody, error → 503 + reason.
+func probeEndpoint(check func() error, okBody string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, err.Error())
+				return
+			}
+		}
+		fmt.Fprintln(w, okBody)
+	}
 }
 
 // maxUploadBytes bounds graph upload bodies (64 MiB — far above the
@@ -141,6 +179,18 @@ func handleUpload(e *Engine, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, infoOf(sg))
+}
+
+// handleList writes the registry inventory — the view a rejoining
+// replica (or an operator checking re-replication) diffs against a
+// peer's: fingerprints prove the catch-up transfer was byte-identical.
+func handleList(e *Engine, w http.ResponseWriter) {
+	stored := e.Registry().List()
+	infos := make([]GraphInfo, len(stored))
+	for i, sg := range stored {
+		infos[i] = infoOf(sg)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"graphs": infos})
 }
 
 // QueryResponse is the wire form of a query result. Labels and Side are

@@ -292,7 +292,7 @@ func writeTenantMetrics(m metricsWriter, snaps []tenant.TenantSnapshot) {
 // unauthenticated (scrapers sit inside the trust boundary, like
 // /healthz); tenant quota state appears under camc_tenant_* when a
 // tenant registry is configured.
-func handleMetrics(e *Engine, tenants *tenant.Registry) http.HandlerFunc {
+func handleMetrics(e *Engine, tenants *tenant.Registry, extra func(io.Writer)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
@@ -304,6 +304,9 @@ func handleMetrics(e *Engine, tenants *tenant.Registry) http.HandlerFunc {
 		}
 		var b strings.Builder
 		WriteMetrics(&b, st)
+		if extra != nil {
+			extra(&b)
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = io.WriteString(w, b.String())
 	}

@@ -10,6 +10,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/graph"
@@ -98,6 +99,36 @@ func (r *Registry) Put(name string, g *graph.Graph) (*StoredGraph, error) {
 	return sg, nil
 }
 
+// PutVersion registers g under name at an exact version — the
+// re-replication primitive: a catch-up transfer must reproduce the
+// leader's (name, version) identity bit-for-bit so cache keys and
+// fingerprints agree across replicas, which Put's auto-increment cannot
+// guarantee after a replica missed uploads while dead. A registration
+// already at or past version is rejected (the replica is not behind;
+// clobbering it would move version numbers backwards).
+func (r *Registry) PutVersion(name string, version uint64, g *graph.Graph) (*StoredGraph, error) {
+	if name == "" || version == 0 {
+		return nil, fmt.Errorf("%w: PutVersion needs an explicit name and version", ErrBadRequest)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadRequest)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	snap := g.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.graphs[name]; ok && prev.Version >= version {
+		return nil, fmt.Errorf("%w: %q already at version %d (catch-up offered %d)",
+			ErrBadRequest, name, prev.Version, version)
+	}
+	sg := &StoredGraph{Name: name, Version: version, Snap: snap}
+	r.graphs[name] = sg
+	r.evictPlansLocked(name)
+	return sg, nil
+}
+
 // Get returns the graph registered under name.
 func (r *Registry) Get(name string) (*StoredGraph, error) {
 	r.mu.RLock()
@@ -118,6 +149,20 @@ func (r *Registry) Delete(name string) bool {
 	delete(r.graphs, name)
 	r.evictPlansLocked(name)
 	return ok
+}
+
+// List returns every registered graph, sorted by name — the catch-up
+// protocol's inventory view (a rejoining replica diffs it against the
+// leader's to find what it missed).
+func (r *Registry) List() []*StoredGraph {
+	r.mu.RLock()
+	out := make([]*StoredGraph, 0, len(r.graphs))
+	for _, sg := range r.graphs {
+		out = append(out, sg)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Len returns the number of registered graphs.

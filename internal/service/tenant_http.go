@@ -20,8 +20,8 @@ import (
 //
 // Contract:
 //
-//   - /healthz and /metrics pass through unauthenticated (probes and
-//     scrapers sit inside the trust boundary).
+//   - /healthz, /readyz, and /metrics pass through unauthenticated
+//     (probes and scrapers sit inside the trust boundary).
 //   - Every other request needs "Authorization: Bearer <token>" naming
 //     a configured tenant; otherwise 401 with WWW-Authenticate.
 //   - /v1/query takes one QPS token and one concurrency slot, released
@@ -33,7 +33,7 @@ import (
 func TenantMiddleware(reg *tenant.Registry, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/healthz", "/metrics":
+		case "/healthz", "/readyz", "/metrics":
 			next.ServeHTTP(w, r)
 			return
 		}

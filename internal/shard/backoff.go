@@ -1,0 +1,49 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// jitterBackoff computes retry delays with capped exponential backoff
+// and full jitter (the AWS architecture-blog scheme): attempt k draws
+// uniformly from [0, min(cap, base·2^k)]. Full jitter beats equal or
+// no jitter for thundering herds — after a leader crash every queued
+// client retries at once, and decorrelating the whole delay (not just
+// a fraction of it) spreads the stampede across the window instead of
+// synchronizing it at the cap.
+//
+// The generator is owned (math/rand's global source would contend with
+// every other user) and mutex-guarded: delays are drawn on request
+// goroutines.
+type jitterBackoff struct {
+	base time.Duration
+	cap  time.Duration
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+func newJitterBackoff(base, cap time.Duration, seed int64) *jitterBackoff {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if cap < base {
+		cap = 40 * base
+	}
+	return &jitterBackoff{base: base, cap: cap, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the sleep before retry attempt (attempt 0 = first
+// retry).
+func (jb *jitterBackoff) delay(attempt int) time.Duration {
+	ceil := jb.base << uint(attempt)
+	if ceil > jb.cap || ceil <= 0 { // <= 0: shift overflow
+		ceil = jb.cap
+	}
+	jb.mu.Lock()
+	d := time.Duration(jb.rnd.Int63n(int64(ceil) + 1))
+	jb.mu.Unlock()
+	return d
+}

@@ -134,6 +134,20 @@ func edgeListOf(t *testing.T, g *graph.Graph) string {
 	return b.String()
 }
 
+// waitReady blocks until the worker reports ready (mesh connected and
+// catch-up complete) or 5s pass.
+func waitReady(t *testing.T, w *Worker) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.Ready() == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("worker rank %d never became ready: %v", w.Rank(), w.Ready())
+}
+
 func postJSON(t *testing.T, url string, v interface{}) *http.Response {
 	t.Helper()
 	body, _ := json.Marshal(v)
@@ -282,6 +296,10 @@ func TestFleetEndToEnd(t *testing.T) {
 func TestFleetPartialReplication(t *testing.T) {
 	workers, urls := newWorkerGroup(t, 2, 300, nil)
 	g := gen.Cycle(32, 2)
+	// Let the join-time catch-up round finish first — otherwise the
+	// leader-only registration below races the initial state/sync
+	// exchange, which would (correctly) re-replicate it to the peer.
+	waitReady(t, workers[1])
 	// Register on the leader only.
 	if _, err := workers[0].Engine().Registry().Put("lopsided", g); err != nil {
 		t.Fatal(err)

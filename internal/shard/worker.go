@@ -46,14 +46,29 @@ type WorkerConfig struct {
 	// 60s). Leader-side deadlines propagate faster through the abort
 	// protocol; this is the backstop against a vanished leader.
 	JobTimeout time.Duration
+	// Incarnation is this process's monotonic incarnation number for
+	// mesh admission (default 1). A supervisor respawning a crashed rank
+	// passes a strictly higher value so the survivors' slots accept the
+	// replacement and reject any straggling connection from the corpse.
+	Incarnation uint64
+	// HeartbeatInterval and PhiThreshold tune the mesh failure detector
+	// (zero = transport defaults: 500ms, phi 8).
+	HeartbeatInterval time.Duration
+	PhiThreshold      float64
+	// CrashFn overrides what an injected crash fault does (in-process
+	// tests substitute a worker shutdown); nil exits the process with
+	// transport.CrashExitCode, which the camcd supervisor recognizes.
+	CrashFn func()
 }
 
 // ctrlMsg is the JSON job-control protocol riding the mesh's control
-// frames: the leader announces a run ("start"), each peer validates its
-// registry and answers ("ack"), and the leader releases the barrier
-// ("go") once every peer is ready.
+// frames. Job control: the leader announces a run ("start"), each peer
+// validates its registry and answers ("ack"), and the leader releases
+// the barrier ("go") once every peer is ready. Catch-up (see
+// selfheal.go): a peer offers its inventory to the leader ("state"),
+// and the leader answers with every graph the peer is missing ("sync").
 type ctrlMsg struct {
-	Type    string             `json:"type"` // start | ack | go
+	Type    string             `json:"type"` // start | ack | go | state | sync
 	Run     uint64             `json:"run"`
 	Graph   string             `json:"graph,omitempty"`
 	Version uint64             `json:"version,omitempty"`
@@ -62,6 +77,8 @@ type ctrlMsg struct {
 	OK      bool               `json:"ok,omitempty"`
 	Err     string             `json:"err,omitempty"`
 	Rank    int                `json:"rank,omitempty"`
+	Graphs  []graphState       `json:"graphs,omitempty"` // state: sender's inventory
+	Sync    []syncGraph        `json:"sync,omitempty"`   // sync: graphs the peer lacks
 }
 
 type ackResult struct {
@@ -89,6 +106,15 @@ type Worker struct {
 	staged map[uint64]ctrlMsg        // peer: validated runs awaiting "go"
 	closed bool
 	jobs   sync.WaitGroup
+
+	// Self-healing state (see selfheal.go). meshUp gates catch-up
+	// goroutines spawned by mesh callbacks: they may fire while NewMesh
+	// is still constructing, before w.mesh is assigned.
+	meshUp       chan struct{}
+	caughtUp     atomic.Bool
+	catchupSent  atomic.Uint64 // leader: graphs shipped to rejoining peers
+	catchupRecv  atomic.Uint64 // peer: graphs received via catch-up
+	localQueries atomic.Uint64 // failover/hedged queries answered locally
 }
 
 // NewWorker connects the rank into its shard's mesh (blocking until all
@@ -104,6 +130,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		jobTimeout: cfg.JobTimeout,
 		acks:       make(map[uint64]chan ackResult),
 		staged:     make(map[uint64]ctrlMsg),
+		meshUp:     make(chan struct{}),
 	}
 	for i := range w.members {
 		w.members[i] = i
@@ -114,13 +141,26 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if w.jobTimeout <= 0 {
 		w.jobTimeout = 60 * time.Second
 	}
+	// The leader is born caught-up (it is the catch-up source); peers of
+	// a 1-rank group have nothing to catch up on. A p>1 peer starts
+	// not-ready and flips once its first state/sync round-trip with the
+	// leader completes (instant on an empty registry).
+	if cfg.Rank == 0 || p == 1 {
+		w.caughtUp.Store(true)
+	}
 	mesh, err := transport.NewMesh(transport.MeshConfig{
-		Rank:         cfg.Rank,
-		Addrs:        cfg.Addrs,
-		MachineEpoch: cfg.Epoch,
-		Listener:     cfg.Listener,
-		DialTimeout:  cfg.DialTimeout,
-		Control:      w.handleControl,
+		Rank:              cfg.Rank,
+		Addrs:             cfg.Addrs,
+		MachineEpoch:      cfg.Epoch,
+		Listener:          cfg.Listener,
+		DialTimeout:       cfg.DialTimeout,
+		Control:           w.handleControl,
+		Incarnation:       cfg.Incarnation,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		PhiThreshold:      cfg.PhiThreshold,
+		OnPeerUp:          w.onPeerUp,
+		OnPeerDown:        w.onPeerDown,
+		CrashFn:           cfg.CrashFn,
 	})
 	if err != nil {
 		return nil, err
@@ -133,6 +173,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		svc.Executor = &rejectExecutor{rank: cfg.Rank, p: p}
 	}
 	w.engine = service.NewEngine(svc)
+	// Catch-up goroutines spawned by mesh callbacks (possibly already
+	// fired during NewMesh) block on meshUp until both the mesh and the
+	// engine fields are assigned.
+	close(w.meshUp)
 	return w, nil
 }
 
@@ -142,9 +186,22 @@ func (w *Worker) Rank() int { return w.rank }
 // Engine exposes the worker's service engine (registry, stats).
 func (w *Worker) Engine() *service.Engine { return w.engine }
 
-// Handler returns the worker's HTTP API — the standard service surface;
-// the frontend talks to it with plain service requests.
-func (w *Worker) Handler() http.Handler { return service.NewHandler(w.engine) }
+// Handler returns the worker's HTTP API: the standard service surface
+// (with /healthz wired to mesh connectivity, /readyz to mesh + catch-up
+// state, and the camc_fleet_* metric families) plus /v1/local, the
+// frontend's failover/hedge target (see selfheal.go).
+func (w *Worker) Handler() http.Handler {
+	base := service.NewHandlerOpts(w.engine, service.HandlerOptions{
+		Health:       w.Health,
+		Ready:        w.Ready,
+		Fleet:        func() interface{} { return w.FleetStats() },
+		ExtraMetrics: w.writeFleetMetrics,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	mux.HandleFunc("/v1/local", w.handleLocal)
+	return mux
+}
 
 // Close shuts the worker down: engine first (draining queries, which
 // aborts their sessions), then the mesh, then any straggling peer jobs.
@@ -208,6 +265,14 @@ func (w *Worker) handleControl(src int, epoch uint64, payload []byte) {
 		w.mu.Unlock()
 		if ok && !closed {
 			go w.runPeerJob(job)
+		}
+	case "state":
+		if w.rank == 0 {
+			go w.serveCatchup(msg)
+		}
+	case "sync":
+		if src == 0 && w.rank != 0 {
+			go w.applyCatchup(msg)
 		}
 	}
 }

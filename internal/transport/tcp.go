@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,18 @@ import (
 // process folds the sub-group ledgers it did not witness (each group's
 // rank-0 process logs that group's ledger; the flat union over processes
 // equals the in-process hierarchical fold as a multiset).
+//
+// Self-healing (DESIGN.md §4i): the mesh outlives individual
+// connections. Each peer rank is a slot whose connection can be
+// replaced — a maintenance loop sends per-peer heartbeats and runs a
+// phi-accrual failure detector (silent peers are severed once phi
+// crosses the threshold), the accept loop stays open for the mesh's
+// lifetime so a reincarnated peer (strictly larger incarnation number)
+// or a healed partition (same incarnation) can drain-and-reconnect its
+// slot, and surviving higher ranks redial lost lower ranks — the same
+// orientation as initial setup (higher dials lower), so reconnects
+// never cross. Sessions in flight when a connection dies abort with
+// ErrPeerLost; the mesh itself stays up and heals.
 
 // MeshConfig configures one worker process's position in the mesh.
 type MeshConfig struct {
@@ -50,25 +63,78 @@ type MeshConfig struct {
 	// Control receives out-of-band job-control frames (shard worker
 	// coordination). It runs on a read-pump goroutine and must not block.
 	Control func(src int, epoch uint64, payload []byte)
+	// Incarnation is this process's monotonic incarnation number for its
+	// rank (default 1). A supervisor respawning a crashed worker bumps
+	// it; peers use it to tell a legitimate reincarnation from a stale
+	// duplicate dialer.
+	Incarnation uint64
+	// HeartbeatInterval paces the liveness beacons and the failure
+	// detector's checks (default 500ms).
+	HeartbeatInterval time.Duration
+	// PhiThreshold is the phi-accrual suspicion level at which a silent
+	// peer's connection is severed (default 8, ≈2.4 quiet heartbeat
+	// intervals at steady state).
+	PhiThreshold float64
+	// OnPeerUp, when non-nil, runs after a peer's connection is
+	// (re)established. incarnation is the peer's handshaken incarnation
+	// for accepted connections and 0 for dialed ones (the dial preamble
+	// is one-way). Runs off the mesh lock; must not block for long.
+	OnPeerUp func(rank int, incarnation uint64)
+	// OnPeerDown, when non-nil, runs after a peer's current connection
+	// is lost. Runs off the mesh lock; must not block for long.
+	OnPeerDown func(rank int)
+	// CrashFn is what the crash wire fault executes (default
+	// os.Exit(CrashExitCode)). In-process tests override it.
+	CrashFn func()
 }
 
+// CrashExitCode is the exit status of a fault-injected hard crash
+// (`crash@rank:step`). Supervisors use it to tell an injected chaos
+// crash (respawn clean, without the fault spec) from an organic one.
+const CrashExitCode = 86
+
 // Mesh is a worker process's set of persistent peer connections. One
-// mesh serves many sessions (jobs) over its lifetime.
+// mesh serves many sessions (jobs) over its lifetime, and each peer
+// slot's connection can die and be replaced without tearing the mesh
+// down.
 type Mesh struct {
 	rank  int
 	p     int
 	epoch uint64
+	inc   uint64
 
 	ln      net.Listener
 	control func(src int, epoch uint64, payload []byte)
+	addrs   []string
 
-	mu       sync.Mutex
-	peers    []*peerConn
-	sessions map[uint64]*Session
-	orphans  map[uint64][]frame
-	closed   bool
+	hbInterval time.Duration
+	phiThresh  float64
+	onPeerUp   func(rank int, incarnation uint64)
+	onPeerDown func(rank int)
+	crashFn    func()
 
+	mu        sync.Mutex
+	peers     []*peerSlot
+	sessions  map[uint64]*Session
+	orphans   map[uint64][]frame
+	closed    bool
+	partUntil time.Time            // injected partition deadline
+	hbFilter  func(dst int) bool // test hook: false = suppress beacons to dst
+
+	stop  chan struct{}
 	pumps sync.WaitGroup
+	loops sync.WaitGroup
+}
+
+// peerSlot is the durable per-rank state; the connection inside it is
+// replaceable. All fields are guarded by the mesh mutex except the
+// detector, which has its own.
+type peerSlot struct {
+	rank        int
+	cur         *peerConn // nil while the peer is down
+	incarnation uint64    // largest handshaken incarnation seen
+	det         *phiDetector
+	dialing     bool // a redial attempt is in flight
 }
 
 // maxOrphans bounds frames buffered for a not-yet-registered session or
@@ -85,7 +151,9 @@ type peerConn struct {
 	dead atomic.Bool
 }
 
-// write frames out one buffer under the connection's write lock.
+// write frames out one buffer under the connection's write lock. A
+// failed write also closes the socket so the read pump (possibly
+// blocked on a half-dead connection) unblocks and runs the loss path.
 func (pc *peerConn) write(buf []byte) error {
 	pc.wmu.Lock()
 	defer pc.wmu.Unlock()
@@ -98,6 +166,7 @@ func (pc *peerConn) write(buf []byte) error {
 		}
 	}
 	pc.dead.Store(true)
+	pc.conn.Close()
 	return fmt.Errorf("%w: write to rank %d: connection failed", ErrPeerLost, pc.rank)
 }
 
@@ -105,6 +174,11 @@ func (pc *peerConn) write(buf []byte) error {
 // Addrs[Rank], dials every lower rank (with retry, so start order does
 // not matter), accepts every higher rank, and returns once all p-1
 // connections are up and handshaken.
+//
+// A reincarnated worker joins through exactly the same flow: its dials
+// to lower ranks land on their still-open accept loops, and surviving
+// higher ranks redial it from their maintenance loops within about one
+// heartbeat interval.
 func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	p := len(cfg.Addrs)
 	if cfg.Rank < 0 || cfg.Rank >= p {
@@ -118,15 +192,40 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
 		}
 	}
+	inc := cfg.Incarnation
+	if inc == 0 {
+		inc = 1
+	}
+	hb := cfg.HeartbeatInterval
+	if hb <= 0 {
+		hb = 500 * time.Millisecond
+	}
+	phi := cfg.PhiThreshold
+	if phi <= 0 {
+		phi = 8
+	}
 	m := &Mesh{
-		rank:     cfg.Rank,
-		p:        p,
-		epoch:    cfg.MachineEpoch,
-		ln:       ln,
-		control:  cfg.Control,
-		peers:    make([]*peerConn, p),
-		sessions: make(map[uint64]*Session),
-		orphans:  make(map[uint64][]frame),
+		rank:       cfg.Rank,
+		p:          p,
+		epoch:      cfg.MachineEpoch,
+		inc:        inc,
+		ln:         ln,
+		control:    cfg.Control,
+		addrs:      append([]string(nil), cfg.Addrs...),
+		hbInterval: hb,
+		phiThresh:  phi,
+		onPeerUp:   cfg.OnPeerUp,
+		onPeerDown: cfg.OnPeerDown,
+		crashFn:    cfg.CrashFn,
+		peers:      make([]*peerSlot, p),
+		sessions:   make(map[uint64]*Session),
+		orphans:    make(map[uint64][]frame),
+		stop:       make(chan struct{}),
+	}
+	for j := 0; j < p; j++ {
+		if j != m.rank {
+			m.peers[j] = &peerSlot{rank: j}
+		}
 	}
 	timeout := cfg.DialTimeout
 	if timeout <= 0 {
@@ -136,26 +235,27 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 
 	accepted := make(chan error, 1)
 	if ln != nil {
-		go m.acceptLoop(accepted, deadline)
+		go m.acceptLoop(accepted)
 	}
 	// Dial every lower rank; they are accepting already or will be soon.
 	for j := 0; j < m.rank; j++ {
 		conn, err := dialRetry(cfg.Addrs[j], deadline)
 		if err == nil {
-			err = writePreamble(conn, m.rank, m.epoch)
+			err = writePreamble(conn, m.rank, m.epoch, m.inc)
 		}
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", j, cfg.Addrs[j], err)
 		}
-		m.addPeer(j, conn)
+		m.admitPeer(j, 0, conn)
 	}
-	// Wait for every higher rank to dial in.
+	// Wait for every higher rank to dial in (at first start they dial on
+	// their own; at rejoin the survivors' maintenance loops redial us).
 	for {
 		m.mu.Lock()
 		missing := 0
 		for j := m.rank + 1; j < p; j++ {
-			if m.peers[j] == nil {
+			if m.peers[j].cur == nil {
 				missing++
 			}
 		}
@@ -173,6 +273,10 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 			m.Close()
 			return nil, fmt.Errorf("%w: %d higher rank(s) never dialed in", ErrPeerLost, missing)
 		}
+	}
+	if p > 1 {
+		m.loops.Add(1)
+		go m.maintain()
 	}
 	return m, nil
 }
@@ -194,9 +298,10 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	}
 }
 
-// acceptLoop admits higher-rank dialers; each handshake result is
-// signalled to NewMesh through ch.
-func (m *Mesh) acceptLoop(ch chan<- error, deadline time.Time) {
+// acceptLoop admits higher-rank dialers for the mesh's whole lifetime
+// (initial setup and every later rejoin); each handshake result is
+// signalled through ch, which only NewMesh's setup wait reads.
+func (m *Mesh) acceptLoop(ch chan<- error) {
 	for {
 		conn, err := m.ln.Accept()
 		if err != nil {
@@ -211,8 +316,8 @@ func (m *Mesh) acceptLoop(ch chan<- error, deadline time.Time) {
 			}
 			return
 		}
-		_ = conn.SetReadDeadline(deadline)
-		rank, err := readPreamble(conn, m.epoch)
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		rank, inc, err := readPreamble(conn, m.epoch)
 		_ = conn.SetReadDeadline(time.Time{})
 		if err != nil || rank <= m.rank || rank >= m.p {
 			if err == nil {
@@ -225,7 +330,7 @@ func (m *Mesh) acceptLoop(ch chan<- error, deadline time.Time) {
 			}
 			continue
 		}
-		m.addPeer(rank, conn)
+		m.admitPeer(rank, inc, conn)
 		select {
 		case ch <- nil:
 		default:
@@ -233,48 +338,83 @@ func (m *Mesh) acceptLoop(ch chan<- error, deadline time.Time) {
 	}
 }
 
-// addPeer registers a handshaken connection and starts its read pump.
-func (m *Mesh) addPeer(rank int, conn net.Conn) {
+// admitPeer installs a handshaken connection into its rank's slot and
+// starts its read pump. inc is the dialer's handshaken incarnation for
+// accepted connections and 0 for connections this process dialed (the
+// preamble is one-way). A dialer presenting an incarnation below the
+// slot's high-water mark is a stale duplicate and is rejected; an
+// equal incarnation is a reconnect after a severed connection (healed
+// partition) and replaces the old one; a higher incarnation is a
+// reincarnated peer — the old connection is drained (closed) and the
+// slot rebound.
+func (m *Mesh) admitPeer(rank int, inc uint64, conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // supersteps are latency-bound, not throughput-bound
 	}
 	pc := &peerConn{rank: rank, conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
 	m.mu.Lock()
-	if m.closed || m.peers[rank] != nil {
+	sl := m.peers[rank]
+	if m.closed || sl == nil || time.Now().Before(m.partUntil) || inc < sl.incarnation {
 		m.mu.Unlock()
 		conn.Close()
 		return
 	}
-	m.peers[rank] = pc
+	old := sl.cur
+	sl.cur = pc
+	if inc > sl.incarnation {
+		sl.incarnation = inc
+	}
+	det := newPhiDetector(m.hbInterval)
+	sl.det = det
+	up := m.onPeerUp
 	m.mu.Unlock()
+	if old != nil {
+		old.dead.Store(true)
+		old.conn.Close()
+	}
 	m.pumps.Add(1)
-	go m.readPump(pc)
+	go m.readPump(pc, det)
+	if up != nil {
+		up(rank, inc)
+	}
 }
 
 // Rank returns this process's mesh rank.
 func (m *Mesh) Rank() int { return m.rank }
 
+// Addrs returns the mesh's rank-indexed address list (a copy) — what a
+// replacement process for a dead rank needs to rejoin.
+func (m *Mesh) Addrs() []string { return append([]string(nil), m.addrs...) }
+
 // Size returns the mesh's process count.
 func (m *Mesh) Size() int { return m.p }
 
 // readPump decodes inbound frames from one peer until the connection
-// dies, routing each to its session (or the orphan buffer).
-func (m *Mesh) readPump(pc *peerConn) {
+// dies, routing each to its session (or the orphan buffer). Every
+// inbound frame feeds the slot's failure detector as proof of life.
+func (m *Mesh) readPump(pc *peerConn, det *phiDetector) {
 	defer m.pumps.Done()
 	br := bufio.NewReaderSize(pc.conn, 64<<10)
 	for {
 		f, err := readFrame(br)
 		if err != nil {
 			pc.dead.Store(true)
-			m.peerLost(pc.rank, err)
+			pc.conn.Close()
+			m.connLost(pc, err)
 			return
 		}
-		if f.kind == frameControl {
+		switch f.kind {
+		case frameHeartbeat:
+			det.observe(time.Now())
+			continue
+		case frameControl:
+			det.touch(time.Now())
 			if h := m.control; h != nil {
 				h(f.src, f.epoch, f.payload)
 			}
 			continue
 		}
+		det.touch(time.Now())
 		m.mu.Lock()
 		s := m.sessions[f.epoch]
 		if s == nil {
@@ -286,6 +426,29 @@ func (m *Mesh) readPump(pc *peerConn) {
 		}
 		m.mu.Unlock()
 		s.deliver(f)
+	}
+}
+
+// connLost runs when a read pump exits: if the dead connection is
+// still its slot's current one, the peer is marked down, every live
+// session aborts with ErrPeerLost, and OnPeerDown fires. A connection
+// already drained out of its slot (replaced by a rejoin) dies silently.
+func (m *Mesh) connLost(pc *peerConn, cause error) {
+	m.mu.Lock()
+	sl := m.peers[pc.rank]
+	isCur := sl != nil && sl.cur == pc
+	if isCur {
+		sl.cur = nil
+	}
+	closed := m.closed
+	down := m.onPeerDown
+	m.mu.Unlock()
+	if !isCur || closed {
+		return
+	}
+	m.peerLost(pc.rank, cause)
+	if down != nil {
+		down(pc.rank)
 	}
 }
 
@@ -310,7 +473,10 @@ func (m *Mesh) peerLost(rank int, cause error) {
 // sendFrame writes one frame to a mesh peer, returning the bytes moved.
 func (m *Mesh) sendFrame(dst int, buf []byte) (int, error) {
 	m.mu.Lock()
-	pc := m.peers[dst]
+	var pc *peerConn
+	if sl := m.peers[dst]; sl != nil {
+		pc = sl.cur
+	}
 	m.mu.Unlock()
 	if pc == nil {
 		return 0, fmt.Errorf("%w: no connection to rank %d", ErrPeerLost, dst)
@@ -338,20 +504,186 @@ func (m *Mesh) SendControl(dst int, epoch uint64, payload []byte) error {
 }
 
 // DropPeers severs every peer connection — the "drop" wire fault. Both
-// sides' read pumps fail, aborting live sessions with ErrPeerLost.
+// sides' read pumps fail, aborting live sessions with ErrPeerLost. The
+// maintenance loops on both sides then heal the mesh within about one
+// heartbeat interval (unless a partition is in force).
 func (m *Mesh) DropPeers() {
 	m.mu.Lock()
-	peers := append([]*peerConn(nil), m.peers...)
+	conns := make([]*peerConn, 0, len(m.peers))
+	for _, sl := range m.peers {
+		if sl != nil && sl.cur != nil {
+			conns = append(conns, sl.cur)
+		}
+	}
 	m.mu.Unlock()
-	for _, pc := range peers {
-		if pc != nil {
-			pc.dead.Store(true)
-			pc.conn.Close()
+	for _, pc := range conns {
+		pc.dead.Store(true)
+		pc.conn.Close()
+	}
+}
+
+// Partition simulates a network partition of this process for d: every
+// connection is severed and, until the deadline passes, inbound
+// handshakes are rejected and outbound redials suppressed. After the
+// deadline the mesh heals through the ordinary rejoin machinery. The
+// seam the `partition@rank:step:dur` fault kind compiles onto.
+func (m *Mesh) Partition(d time.Duration) {
+	m.mu.Lock()
+	if until := time.Now().Add(d); until.After(m.partUntil) {
+		m.partUntil = until
+	}
+	m.mu.Unlock()
+	m.DropPeers()
+}
+
+// maintain is the mesh's self-healing loop: every heartbeat interval it
+// beacons each live peer, severs peers whose phi-accrual suspicion
+// crossed the threshold, and redials lost lower ranks (the same
+// higher-dials-lower orientation as initial setup, so reconnects never
+// cross).
+func (m *Mesh) maintain() {
+	defer m.loops.Done()
+	t := time.NewTicker(m.hbInterval)
+	defer t.Stop()
+	buf := appendFrameHeader(make([]byte, 0, 4+frameHeaderLen), frameHeartbeat, 0, 0, 0, m.rank)
+	patchFrameLen(buf)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		type livePeer struct {
+			pc  *peerConn
+			det *phiDetector
+		}
+		var live []livePeer
+		var redial []int
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		part := now.Before(m.partUntil)
+		filter := m.hbFilter
+		for r, sl := range m.peers {
+			if sl == nil {
+				continue
+			}
+			switch {
+			case sl.cur != nil:
+				live = append(live, livePeer{sl.cur, sl.det})
+			case r < m.rank && !part && !sl.dialing:
+				sl.dialing = true
+				redial = append(redial, r)
+			}
+		}
+		m.mu.Unlock()
+		for _, lp := range live {
+			if lp.det.phi(now) > m.phiThresh {
+				// Silent too long: sever, so the read pump runs the
+				// ErrPeerLost path and the redial machinery takes over.
+				lp.pc.dead.Store(true)
+				lp.pc.conn.Close()
+				continue
+			}
+			if filter != nil && !filter(lp.pc.rank) {
+				continue
+			}
+			_ = lp.pc.write(buf)
+		}
+		for _, r := range redial {
+			go m.redial(r)
 		}
 	}
 }
 
-// Close tears the mesh down: listener, connections, and sessions.
+// redial attempts one reconnect to a lost lower rank.
+func (m *Mesh) redial(rank int) {
+	defer func() {
+		m.mu.Lock()
+		if sl := m.peers[rank]; sl != nil {
+			sl.dialing = false
+		}
+		m.mu.Unlock()
+	}()
+	timeout := 4 * m.hbInterval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	conn, err := net.DialTimeout("tcp", m.addrs[rank], timeout)
+	if err != nil {
+		return
+	}
+	if err := writePreamble(conn, m.rank, m.epoch, m.inc); err != nil {
+		conn.Close()
+		return
+	}
+	m.admitPeer(rank, 0, conn)
+}
+
+// crash runs the configured crash action — the `crash@rank:step` fault.
+func (m *Mesh) crash() {
+	if m.crashFn != nil {
+		m.crashFn()
+		return
+	}
+	os.Exit(CrashExitCode)
+}
+
+// Incarnation returns this process's incarnation number.
+func (m *Mesh) Incarnation() uint64 { return m.inc }
+
+// PeerUp reports whether the connection to rank is currently live (own
+// rank: always true).
+func (m *Mesh) PeerUp(rank int) bool {
+	if rank == m.rank {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rank < 0 || rank >= m.p || m.peers[rank] == nil {
+		return false
+	}
+	return m.peers[rank].cur != nil
+}
+
+// PeersUp returns how many of the p-1 peer connections are live.
+func (m *Mesh) PeersUp() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := 0
+	for _, sl := range m.peers {
+		if sl != nil && sl.cur != nil {
+			up++
+		}
+	}
+	return up
+}
+
+// PeerIncarnation returns the largest incarnation handshaken from rank
+// (0 when the peer has only ever been dialed, never accepted).
+func (m *Mesh) PeerIncarnation(rank int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rank < 0 || rank >= m.p || m.peers[rank] == nil {
+		return 0
+	}
+	return m.peers[rank].incarnation
+}
+
+// SetHeartbeatFilter installs a test hook suppressing outbound beacons
+// to ranks the filter rejects — the way tests starve the phi detector
+// without killing the TCP connection.
+func (m *Mesh) SetHeartbeatFilter(f func(dst int) bool) {
+	m.mu.Lock()
+	m.hbFilter = f
+	m.mu.Unlock()
+}
+
+// Close tears the mesh down: maintenance loop, listener, connections,
+// and sessions.
 func (m *Mesh) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -359,7 +691,13 @@ func (m *Mesh) Close() error {
 		return nil
 	}
 	m.closed = true
-	peers := append([]*peerConn(nil), m.peers...)
+	close(m.stop)
+	conns := make([]*peerConn, 0, len(m.peers))
+	for _, sl := range m.peers {
+		if sl != nil && sl.cur != nil {
+			conns = append(conns, sl.cur)
+		}
+	}
 	sessions := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		sessions = append(sessions, s)
@@ -371,11 +709,10 @@ func (m *Mesh) Close() error {
 	if m.ln != nil {
 		m.ln.Close()
 	}
-	for _, pc := range peers {
-		if pc != nil {
-			pc.conn.Close()
-		}
+	for _, pc := range conns {
+		pc.conn.Close()
 	}
+	m.loops.Wait()
 	m.pumps.Wait()
 	return nil
 }
@@ -397,9 +734,10 @@ type Session struct {
 
 	// wireHook, when non-nil, runs before each root-group Exchange's
 	// sends with the group superstep; it may request a drop (sever all
-	// connections) or a stall (delay the outbound flush). The seam
-	// internal/faults' transport kinds compile onto.
-	wireHook func(step uint64) (drop bool, stall time.Duration)
+	// connections), a stall (delay the outbound flush), a crash (hard
+	// process exit), or a partition (sever + refuse reconnects for the
+	// duration). The seam internal/faults' transport kinds compile onto.
+	wireHook func(step uint64) (drop bool, stall time.Duration, crash bool, partition time.Duration)
 
 	foldMu  sync.Mutex
 	foldLog []Ledger
@@ -456,7 +794,7 @@ func (s *Session) Root() Transport { return s.root }
 
 // SetWireHook installs the session's wire fault hook (see wireHook).
 // Call before the run starts.
-func (s *Session) SetWireHook(h func(step uint64) (drop bool, stall time.Duration)) {
+func (s *Session) SetWireHook(h func(step uint64) (drop bool, stall time.Duration, crash bool, partition time.Duration)) {
 	s.wireHook = h
 }
 
@@ -510,7 +848,7 @@ func (s *Session) abort(err error, notifyPeers bool) {
 	if !first {
 		return
 	}
-	payload := encodeAbort(errors.Is(err, ErrCancelled), err.Error())
+	payload := encodeAbort(errors.Is(err, ErrCancelled), errors.Is(err, ErrPeerLost), err.Error())
 	buf := appendFrameHeader(make([]byte, 0, 4+frameHeaderLen+len(payload)), frameAbort, s.epoch, 0, 0, s.mesh.rank)
 	buf = append(buf, payload...)
 	patchFrameLen(buf)
@@ -529,8 +867,8 @@ func (s *Session) abort(err error, notifyPeers bool) {
 // derives it).
 func (s *Session) deliver(f frame) {
 	if f.kind == frameAbort {
-		cancelled, msg := decodeAbort(f.payload)
-		s.abort(&RemoteAbort{Rank: f.src, Msg: msg, Cancelled: cancelled}, false)
+		cancelled, peerLost, msg := decodeAbort(f.payload)
+		s.abort(&RemoteAbort{Rank: f.src, Msg: msg, Cancelled: cancelled, PeerLost: peerLost}, false)
 		return
 	}
 	s.mu.Lock()
@@ -717,9 +1055,15 @@ func (g *tcpGroup) Exchange() error {
 	step := g.step
 
 	if h := s.wireHook; h != nil {
-		drop, stall := h(step)
+		drop, stall, crash, part := h(step)
 		if stall > 0 {
 			time.Sleep(stall)
+		}
+		if crash {
+			s.mesh.crash()
+		}
+		if part > 0 {
+			s.mesh.Partition(part)
 		}
 		if drop {
 			s.mesh.DropPeers()
@@ -1029,6 +1373,18 @@ func NewLoopbackMeshes(p int, epoch uint64) ([]*Mesh, error) {
 // NewLoopbackMeshesControl is NewLoopbackMeshes with a per-rank control
 // handler factory (may be nil).
 func NewLoopbackMeshesControl(p int, epoch uint64, control func(rank int) func(src int, epoch uint64, payload []byte)) ([]*Mesh, error) {
+	var mut func(rank int, cfg *MeshConfig)
+	if control != nil {
+		mut = func(rank int, cfg *MeshConfig) { cfg.Control = control(rank) }
+	}
+	return NewLoopbackMeshesWith(p, epoch, mut)
+}
+
+// NewLoopbackMeshesWith is the general loopback harness: mut (may be
+// nil) edits each rank's MeshConfig before the mesh starts — the way
+// tests set heartbeat intervals, incarnations, callbacks, or crash
+// functions.
+func NewLoopbackMeshesWith(p int, epoch uint64, mut func(rank int, cfg *MeshConfig)) ([]*Mesh, error) {
 	lns := make([]net.Listener, p)
 	addrs := make([]string, p)
 	for i := 0; i < p; i++ {
@@ -1050,8 +1406,8 @@ func NewLoopbackMeshesControl(p int, epoch uint64, control func(rank int) func(s
 		go func(i int) {
 			defer wg.Done()
 			cfg := MeshConfig{Rank: i, Addrs: addrs, MachineEpoch: epoch, Listener: lns[i]}
-			if control != nil {
-				cfg.Control = control(i)
+			if mut != nil {
+				mut(i, &cfg)
 			}
 			meshes[i], errs[i] = NewMesh(cfg)
 		}(i)

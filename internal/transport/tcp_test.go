@@ -338,11 +338,11 @@ func TestTCPWireStallHook(t *testing.T) {
 			}
 			defer sess.Close()
 			if r == 1 {
-				sess.SetWireHook(func(step uint64) (bool, time.Duration) {
+				sess.SetWireHook(func(step uint64) (bool, time.Duration, bool, time.Duration) {
 					if step == 0 {
-						return false, stall
+						return false, stall, false, 0
 					}
-					return false, 0
+					return false, 0, false, 0
 				})
 			}
 			return sess.Root().Endpoint(r).Exchange()
@@ -368,8 +368,8 @@ func TestTCPWireDropHook(t *testing.T) {
 			}
 			defer sess.Close()
 			if r == 1 {
-				sess.SetWireHook(func(step uint64) (bool, time.Duration) {
-					return step == 0, 0
+				sess.SetWireHook(func(step uint64) (bool, time.Duration, bool, time.Duration) {
+					return step == 0, 0, false, 0
 				})
 			}
 			return sess.Root().Endpoint(r).Exchange()

@@ -50,17 +50,26 @@ var ErrPeerLost = errors.New("transport: peer connection lost")
 var ErrCancelled = errors.New("transport: cancelled")
 
 // RemoteAbort is the error surfaced when a peer process aborted the run
-// (its processor panicked, or its machine was cancelled). Cancelled
-// distinguishes cooperative cancellation from failure so the BSP layer
-// can rewrap it with its own cancellation sentinel.
+// (its processor panicked, its machine was cancelled, or it lost a mesh
+// peer). Cancelled distinguishes cooperative cancellation from failure
+// so the BSP layer can rewrap it with its own cancellation sentinel;
+// PeerLost preserves the ErrPeerLost identity across the wire, so a
+// survivor told about a dead peer by another survivor fails its run the
+// same way as the rank that noticed first.
 type RemoteAbort struct {
 	Rank      int    // mesh rank that originated the abort
 	Msg       string // the originating error's text
 	Cancelled bool   // true when the origin was a cooperative cancel
+	PeerLost  bool   // true when the origin was a lost peer connection
 }
 
 func (e *RemoteAbort) Error() string {
 	return "transport: remote abort from rank " + itoa(e.Rank) + ": " + e.Msg
+}
+
+// Is lets errors.Is(err, ErrPeerLost) see through a relayed abort.
+func (e *RemoteAbort) Is(target error) bool {
+	return target == ErrPeerLost && e.PeerLost
 }
 
 // Ledger is a fabric's communication accounting for one run: the ground

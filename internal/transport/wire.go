@@ -7,12 +7,19 @@ import (
 	"time"
 )
 
-// Wire protocol of the TCP fabric (DESIGN.md §4f).
+// Wire protocol of the TCP fabric (DESIGN.md §4f, §4i).
 //
-// A connection opens with a fixed 17-byte preamble — magic "CAMT",
-// protocol version, the dialer's mesh rank, and the dialer's machine
-// epoch — and then carries length-prefixed frames both ways for its
-// lifetime. All integers are little-endian.
+// A connection opens with a fixed 25-byte preamble — magic "CAMT",
+// protocol version, the dialer's mesh rank, the dialer's machine
+// epoch, and the dialer's incarnation number — and then carries
+// length-prefixed frames both ways for its lifetime. All integers are
+// little-endian.
+//
+// The incarnation number (version 2) is what makes rejoin safe: a
+// respawned worker presents a strictly larger incarnation than its
+// dead predecessor, so an accepter can tell a legitimate reincarnation
+// (or a reconnect after a healed partition, same incarnation) from a
+// stale duplicate dialer (lower incarnation, rejected).
 //
 // Frame layout:
 //
@@ -31,13 +38,14 @@ import (
 
 const (
 	wireMagic   = "CAMT"
-	wireVersion = 1
+	wireVersion = 2
 
 	// Frame kinds.
-	frameData    = 1 // superstep payload + size vector
-	frameAbort   = 2 // abort propagation (payload: u8 cancelled, error text)
-	frameLedger  = 3 // end-of-run fold-log merge
-	frameControl = 4 // out-of-band job control (payload: opaque bytes)
+	frameData      = 1 // superstep payload + size vector
+	frameAbort     = 2 // abort propagation (payload: u8 cancelled, error text)
+	frameLedger    = 3 // end-of-run fold-log merge
+	frameControl   = 4 // out-of-band job control (payload: opaque bytes)
+	frameHeartbeat = 5 // liveness beacon (empty payload)
 
 	frameHeaderLen = 1 + 8 + 8 + 8 + 4 // kind..src, after the length prefix
 
@@ -57,36 +65,40 @@ type frame struct {
 }
 
 // writePreamble emits the connection handshake.
-func writePreamble(w io.Writer, rank int, epoch uint64) error {
-	var b [17]byte
+func writePreamble(w io.Writer, rank int, epoch, incarnation uint64) error {
+	var b [25]byte
 	copy(b[:4], wireMagic)
 	b[4] = wireVersion
 	binary.LittleEndian.PutUint32(b[5:9], uint32(rank))
 	binary.LittleEndian.PutUint64(b[9:17], epoch)
+	binary.LittleEndian.PutUint64(b[17:25], incarnation)
 	_, err := w.Write(b[:])
 	return err
 }
 
-// readPreamble validates the handshake and returns the dialer's rank.
-// The accepter checks magic, protocol version, and machine epoch; a
-// mismatch is a deployment error surfaced as ErrPeerLost.
-func readPreamble(r io.Reader, wantEpoch uint64) (int, error) {
-	var b [17]byte
+// readPreamble validates the handshake and returns the dialer's rank
+// and incarnation. The accepter checks magic, protocol version, and
+// machine epoch; a mismatch is a deployment error surfaced as
+// ErrPeerLost. Incarnation admission (stale-dialer rejection) is the
+// mesh's job — the wire layer only transports the number.
+func readPreamble(r io.Reader, wantEpoch uint64) (rank int, incarnation uint64, err error) {
+	var b [25]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, fmt.Errorf("%w: handshake read: %w", ErrPeerLost, err)
+		return 0, 0, fmt.Errorf("%w: handshake read: %w", ErrPeerLost, err)
 	}
 	if string(b[:4]) != wireMagic {
-		return 0, fmt.Errorf("%w: bad handshake magic %q", ErrPeerLost, b[:4])
+		return 0, 0, fmt.Errorf("%w: bad handshake magic %q", ErrPeerLost, b[:4])
 	}
 	if b[4] != wireVersion {
-		return 0, fmt.Errorf("%w: protocol version %d, want %d", ErrPeerLost, b[4], wireVersion)
+		return 0, 0, fmt.Errorf("%w: protocol version %d, want %d", ErrPeerLost, b[4], wireVersion)
 	}
-	rank := int(binary.LittleEndian.Uint32(b[5:9]))
+	rank = int(binary.LittleEndian.Uint32(b[5:9]))
 	epoch := binary.LittleEndian.Uint64(b[9:17])
+	incarnation = binary.LittleEndian.Uint64(b[17:25])
 	if epoch != wantEpoch {
-		return 0, fmt.Errorf("%w: machine epoch %d, want %d", ErrPeerLost, epoch, wantEpoch)
+		return 0, 0, fmt.Errorf("%w: machine epoch %d, want %d", ErrPeerLost, epoch, wantEpoch)
 	}
-	return rank, nil
+	return rank, incarnation, nil
 }
 
 // appendFrameHeader appends the frame header (with a placeholder length
@@ -218,21 +230,33 @@ func decodeLedgers(payload []byte) (wireBytes uint64, ledgers []Ledger, err erro
 	return wireBytes, ledgers, nil
 }
 
+// Abort-payload flag bits (first byte). They carry the originating
+// error's typed identity across the wire so errors.Is keeps working on
+// the receiving side: which rank noticed a dead peer first must not
+// change the error class survivors observe.
+const (
+	abortFlagCancelled = 1 << 0
+	abortFlagPeerLost  = 1 << 1
+)
+
 // encodeAbort serializes an abort notification.
-func encodeAbort(cancelled bool, msg string) []byte {
+func encodeAbort(cancelled, peerLost bool, msg string) []byte {
 	buf := make([]byte, 0, 1+len(msg))
+	var flags byte
 	if cancelled {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+		flags |= abortFlagCancelled
 	}
+	if peerLost {
+		flags |= abortFlagPeerLost
+	}
+	buf = append(buf, flags)
 	return append(buf, msg...)
 }
 
 // decodeAbort parses encodeAbort's output.
-func decodeAbort(payload []byte) (cancelled bool, msg string) {
+func decodeAbort(payload []byte) (cancelled, peerLost bool, msg string) {
 	if len(payload) == 0 {
-		return false, "unknown cause"
+		return false, false, "unknown cause"
 	}
-	return payload[0] == 1, string(payload[1:])
+	return payload[0]&abortFlagCancelled != 0, payload[0]&abortFlagPeerLost != 0, string(payload[1:])
 }

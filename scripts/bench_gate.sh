@@ -19,6 +19,7 @@ files=(
   internal/bsp/BENCH_bsp.json
   internal/kernels/BENCH_kernels.json
   internal/transport/BENCH_transport.json
+  internal/shard/BENCH_fleet.json
 )
 
 rm -rf "$BASE"
@@ -39,5 +40,8 @@ go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/bsp/
 go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/kernels/
 go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/service/
 go test -run='^$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem -benchtime="$BENCHTIME" ./internal/transport/
+# The fleet scorecard is a scripted scenario, not a timing loop: one
+# iteration regenerates the deterministic counts.
+go test -run='^$' -bench=. -benchtime=1x ./internal/shard/
 
 go run ./cmd/benchgate -baseline "$BASE" -current .
