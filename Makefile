@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check chaos chaos-fleet lint vuln bench bench-bsp bench-kernels bench-service bench-planner bench-transport bench-fleet bench-gate load-smoke transport camcd
+.PHONY: all build test vet race check chaos chaos-fleet lint vuln bench bench-bsp bench-kernels bench-service bench-planner bench-transport bench-fleet bench-gate profile-transport load-smoke transport camcd
 
 all: check
 
@@ -90,11 +90,18 @@ bench-planner:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/service/
 
 # Cross-fabric benchmarks: the same all-to-all superstep through the
-# in-process fabric and the TCP-loopback fabric at p in {2,4,8} (also
-# writes internal/transport/BENCH_transport.json — the local-vs-socket
-# comparison CI archives).
+# in-process fabric and the TCP-loopback fabric (with and without
+# payload codecs) at p in {2,4,8} × {64,1024,65536} words/peer. The
+# transport TestMain runs the full sweep itself and writes
+# internal/transport/BENCH_transport.json, so the named run is just the
+# minimal trigger.
 bench-transport:
-	$(GO) test -run='^$$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem ./internal/transport/
+	$(GO) test -run='^$$' -bench='ExchangeLocal/p=2/w=64$$' ./internal/transport/
+
+# Profile the TCP wire path: CPU, mutex, and block profiles of the p=4
+# loopback exchange loop (override BENCH/BENCHTIME in the environment).
+profile-transport:
+	bash scripts/profile_transport.sh
 
 # Fleet self-healing scorecard: run the scripted kill/failover/respawn
 # scenario in-process and write internal/shard/BENCH_fleet.json (the

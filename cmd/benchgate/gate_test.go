@@ -48,8 +48,11 @@ const plannerFixture = `{
 const transportFixture = `{
   "name": "transport-bench",
   "benchmarks": [
-    {"transport": "local", "p": 2, "words_per_peer": 1024, "ns_per_superstep": 623, "mb_per_s": 25080},
-    {"transport": "tcp", "p": 2, "words_per_peer": 1024, "ns_per_superstep": 36471, "mb_per_s": 428}
+    {"transport": "local", "codec": false, "p": 2, "words_per_peer": 1024, "ns_per_superstep": 1020, "mb_per_s": 16063},
+    {"transport": "tcp", "codec": true, "p": 2, "words_per_peer": 1024, "ns_per_superstep": 15546, "mb_per_s": 1053,
+     "wire_bytes_per_superstep": 4254, "wire_raw_bytes_per_superstep": 16450, "compression_ratio": 3.87},
+    {"transport": "tcp", "codec": false, "p": 2, "words_per_peer": 1024, "ns_per_superstep": 15200, "mb_per_s": 1077,
+     "wire_bytes_per_superstep": 16450, "wire_raw_bytes_per_superstep": 16450, "compression_ratio": 1}
   ]
 }`
 
@@ -285,6 +288,46 @@ func TestGateCatchesFleetCountDrift(t *testing.T) {
 	regs := Regressions(metrics)
 	if len(regs) != 1 || regs[0].File != "fleet" || regs[0].Name != "queries_failed_over" {
 		t.Fatalf("regressions = %+v, want exactly fleet/queries_failed_over", regs)
+	}
+}
+
+// TestGateCatchesWireCompressionLoss: the wire compression ratio is a
+// deterministic property of the payloads and the codec choice, so a
+// collapse toward 1 (codec silently disabled or misnegotiated) is an
+// exact-class failure on any machine.
+func TestGateCatchesWireCompressionLoss(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	flat := allFixtures()
+	flat["internal/transport/BENCH_transport.json"] = strings.Replace(transportFixture,
+		`"compression_ratio": 3.87`, `"compression_ratio": 1.02`, 1)
+	metrics, _, err := Compare(base, writeTree(t, flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(metrics)
+	if len(regs) != 1 || regs[0].Name != "compression_ratio/tcp/codec=true/p=2/w=1024" {
+		t.Fatalf("regressions = %+v, want exactly the compression ratio", regs)
+	}
+}
+
+// TestGateCatchesSocketTaxBlowup: the TCP-over-local cost ratio is
+// measured same-machine in one run, so a ~4× blowup of the wire path
+// relative to the in-process fabric must fail even though both raw
+// timings are informational. (Moderate shifts sit inside the gate's
+// Abs slack, which exists to absorb core-count-dependent speedup of
+// the local-fabric denominator across machines.)
+func TestGateCatchesSocketTaxBlowup(t *testing.T) {
+	base := writeTree(t, allFixtures())
+	slow := allFixtures()
+	slow["internal/transport/BENCH_transport.json"] = strings.Replace(transportFixture,
+		`"ns_per_superstep": 15546`, `"ns_per_superstep": 62000`, 1)
+	metrics, _, err := Compare(base, writeTree(t, slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(metrics)
+	if len(regs) != 1 || regs[0].Name != "socket_tax/p=2/w=1024" {
+		t.Fatalf("regressions = %+v, want exactly the socket tax", regs)
 	}
 }
 

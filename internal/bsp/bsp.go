@@ -657,6 +657,11 @@ type Stats struct {
 	// WireBytes counts real bytes moved over sockets during the run
 	// (frame headers included); zero on the in-process fabric.
 	WireBytes uint64
+	// WireRawBytes counts what the same frames would have cost under
+	// the raw (uncompressed) payload codec; the difference from
+	// WireBytes is what the wire codecs saved. Zero on the in-process
+	// fabric.
+	WireRawBytes uint64
 	// MaxAppTime / MaxCommTime are the per-run maxima over processors of
 	// cumulative computation and communication (Sync) wall time, matching
 	// the paper's "maximum among all participating processors" metric.
@@ -857,13 +862,14 @@ func (m *Machine) run(body func(c *Comm)) (*Stats, error) {
 	}
 	ledger := m.tr.Ledger()
 	st := &Stats{
-		P:           m.p,
-		Supersteps:  ledger.Supersteps,
-		Transport:   m.tr.Kind(),
-		CommVolume:  ledger.Volume,
-		HRelations:  ledger.HRelations,
-		WireBytes:   ledger.WireBytes,
-		SimCommTime: ledger.SimComm,
+		P:            m.p,
+		Supersteps:   ledger.Supersteps,
+		Transport:    m.tr.Kind(),
+		CommVolume:   ledger.Volume,
+		HRelations:   ledger.HRelations,
+		WireBytes:    ledger.WireBytes,
+		WireRawBytes: ledger.WireRawBytes,
+		SimCommTime:  ledger.SimComm,
 	}
 	for _, c := range m.comms {
 		if c == nil {

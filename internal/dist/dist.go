@@ -13,8 +13,14 @@ import (
 	"repro/internal/graph"
 )
 
-// Words per encoded edge: (u, v, w).
-const edgeWords = 3
+// EdgeWords is the number of BSP words per encoded edge: (u, v, w).
+// The TCP fabric's edge-delta payload codec recognizes this exact
+// layout structurally (transport.EdgeStride must equal it), so sorted
+// edge streams staged through these helpers compress on the wire with
+// no tagging from the kernels.
+const EdgeWords = 3
+
+const edgeWords = EdgeWords
 
 // EncodeEdges packs edges into BSP words (3 per edge).
 func EncodeEdges(es []graph.Edge) []uint64 {
@@ -123,14 +129,18 @@ func GatherEdges(c *bsp.Comm, root int, local []graph.Edge) []graph.Edge {
 
 // AllGatherEdges collects all local edge slices at every processor.
 func AllGatherEdges(c *bsp.Comm, local []graph.Edge) []graph.Edge {
-	words := EncodeEdges(local)
+	words := AppendEdges(c.Buffer(len(local) * edgeWords)[:0], local)
 	for dst := 0; dst < c.Size(); dst++ {
 		c.Send(dst, words)
 	}
 	c.Sync()
-	var all []graph.Edge
+	total := 0
 	for src := 0; src < c.Size(); src++ {
-		all = append(all, DecodeEdges(c.Recv(src))...)
+		total += len(c.Recv(src)) / edgeWords
+	}
+	all := make([]graph.Edge, 0, total)
+	for src := 0; src < c.Size(); src++ {
+		all = DecodeEdgesAppend(all, c.Recv(src))
 	}
 	return all
 }

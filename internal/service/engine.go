@@ -576,6 +576,7 @@ func (e *Engine) wait(ctx context.Context, c *call, start time.Time, outcome str
 		sample.AvoidedCommVolume = c.res.Kernel.AvoidedCommVolume
 		sample.Transport = c.res.Kernel.Transport
 		sample.WireBytes = c.res.Kernel.WireBytes
+		sample.WireRawBytes = c.res.Kernel.WireRawBytes
 		sample.Kernel = c.res.Kernel.Kernel
 		sample.PredictedMs = c.res.Kernel.PredictedMs
 		sample.KernelTimeMs = c.res.Kernel.TimeMs

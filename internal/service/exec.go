@@ -169,6 +169,10 @@ type KernelStats struct {
 	// in-process fabric.
 	Transport string `json:"transport,omitempty"`
 	WireBytes uint64 `json:"wire_bytes,omitempty"`
+	// WireRawBytes is what the same frames would have cost uncompressed
+	// (raw codec); the difference from WireBytes is the payload codecs'
+	// saving. Zero for the in-process fabric.
+	WireRawBytes uint64 `json:"wire_raw_bytes,omitempty"`
 	// Kernel names the portfolio kernel that produced the result; empty
 	// when the planner is off and no kernel was pinned (the default
 	// kernel ran). PredictedMs is the planner's predicted wall time for
@@ -218,6 +222,7 @@ func kernelStatsOf(st *bsp.Stats) KernelStats {
 		AvoidedCommVolume:  st.AvoidedCommVolume,
 		Transport:          st.Transport,
 		WireBytes:          st.WireBytes,
+		WireRawBytes:       st.WireRawBytes,
 	}
 }
 

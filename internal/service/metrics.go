@@ -159,6 +159,12 @@ func WriteMetrics(w io.Writer, st EngineStats) {
 		{"camc_transport_supersteps_total", "Supersteps per BSP fabric.", func(t trace.TransportStats) uint64 { return t.Supersteps }},
 		{"camc_transport_comm_volume_words_total", "Words communicated per BSP fabric.", func(t trace.TransportStats) uint64 { return t.CommVolume }},
 		{"camc_transport_wire_bytes_total", "Framed socket bytes per BSP fabric (0 for local).", func(t trace.TransportStats) uint64 { return t.WireBytes }},
+		{"camc_wire_saved_bytes_total", "Socket bytes the payload codecs saved per BSP fabric (raw-equivalent minus on-wire).", func(t trace.TransportStats) uint64 {
+			if t.WireRawBytes < t.WireBytes {
+				return 0
+			}
+			return t.WireRawBytes - t.WireBytes
+		}},
 	} {
 		m.header(c.name, c.help, "counter")
 		for _, tr := range transports {

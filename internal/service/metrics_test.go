@@ -34,7 +34,7 @@ func goldenStats() EngineStats {
 	col.Observe(trace.QuerySample{
 		Algorithm: "mincut", Outcome: trace.OutcomeExecuted, Latency: 45 * time.Millisecond,
 		P: 2, Supersteps: 24, CommVolume: 24132, AvoidedCollectives: 3, AvoidedCommVolume: 4096,
-		Transport: "tcp", WireBytes: 131072,
+		Transport: "tcp", WireBytes: 131072, WireRawBytes: 196608,
 	})
 	col.Observe(trace.QuerySample{Algorithm: "mincut", Outcome: trace.OutcomeRetried})
 	col.Observe(trace.QuerySample{Algorithm: "mincut", Outcome: trace.OutcomeRejected, QueueDepth: 7})

@@ -458,6 +458,7 @@ type FrontendStats struct {
 	CacheHits          uint64                          `json:"cache_hits"`
 	TransportLost      uint64                          `json:"transport_lost"`
 	WireBytes          uint64                          `json:"wire_bytes"`
+	WireRawBytes       uint64                          `json:"wire_raw_bytes"`
 	Transports         map[string]trace.TransportStats `json:"transports,omitempty"`
 	UnreachableWorkers int                             `json:"unreachable_workers"`
 	Tenants            []tenant.TenantSnapshot         `json:"tenants,omitempty"`
@@ -553,6 +554,7 @@ func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
 						out.CacheHits += st.Queries.Totals.CacheHits
 						out.TransportLost += st.Queries.Totals.TransportLost
 						out.WireBytes += st.Queries.Totals.WireBytes
+						out.WireRawBytes += st.Queries.Totals.WireRawBytes
 						for kind, ts := range st.Queries.Transports {
 							if out.Transports == nil {
 								out.Transports = make(map[string]trace.TransportStats)
@@ -562,6 +564,7 @@ func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
 							agg.Supersteps += ts.Supersteps
 							agg.CommVolume += ts.CommVolume
 							agg.WireBytes += ts.WireBytes
+							agg.WireRawBytes += ts.WireRawBytes
 							out.Transports[kind] = agg
 						}
 					}

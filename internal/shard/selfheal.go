@@ -82,10 +82,16 @@ func (w *Worker) inventory() []graphState {
 		inv[i] = graphState{
 			Name:        sg.Name,
 			Version:     sg.Version,
-			Fingerprint: fmt.Sprintf("%016x", sg.Snap.Fingerprint()),
+			Fingerprint: fingerprintOf(sg),
 		}
 	}
 	return inv
+}
+
+// fingerprintOf is the content identity used by both anti-entropy
+// inventories and the run-announcement handshake.
+func fingerprintOf(sg *service.StoredGraph) string {
+	return fmt.Sprintf("%016x", sg.Snap.Fingerprint())
 }
 
 // serveCatchup is the leader's side: diff the peer's inventory against

@@ -68,17 +68,19 @@ type WorkerConfig struct {
 // selfheal.go): a peer offers its inventory to the leader ("state"),
 // and the leader answers with every graph the peer is missing ("sync").
 type ctrlMsg struct {
-	Type    string             `json:"type"` // start | ack | go | state | sync
-	Run     uint64             `json:"run"`
-	Graph   string             `json:"graph,omitempty"`
-	Version uint64             `json:"version,omitempty"`
-	Alg     string             `json:"alg,omitempty"`
-	Params  service.ExecParams `json:"params,omitempty"`
-	OK      bool               `json:"ok,omitempty"`
-	Err     string             `json:"err,omitempty"`
-	Rank    int                `json:"rank,omitempty"`
-	Graphs  []graphState       `json:"graphs,omitempty"` // state: sender's inventory
-	Sync    []syncGraph        `json:"sync,omitempty"`   // sync: graphs the peer lacks
+	Type    string `json:"type"` // start | ack | go | state | sync
+	Run     uint64 `json:"run"`
+	Graph   string `json:"graph,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+	FP      string `json:"fp,omitempty"` // start: leader's graph fingerprint
+
+	Alg    string             `json:"alg,omitempty"`
+	Params service.ExecParams `json:"params,omitempty"`
+	OK     bool               `json:"ok,omitempty"`
+	Err    string             `json:"err,omitempty"`
+	Rank   int                `json:"rank,omitempty"`
+	Graphs []graphState       `json:"graphs,omitempty"` // state: sender's inventory
+	Sync   []syncGraph        `json:"sync,omitempty"`   // sync: graphs the peer lacks
 }
 
 type ackResult struct {
@@ -293,8 +295,14 @@ func (w *Worker) sendCtrl(dst int, msg ctrlMsg) error {
 func (w *Worker) runPeerJob(job ctrlMsg) {
 	defer w.jobs.Done()
 	sg, err := w.engine.Registry().Get(job.Graph)
-	if err != nil || sg.Version != job.Version {
-		return // validated at "start"; a racing re-registration aborts via the leader's timeout
+	if err != nil || (sg.Version != job.Version && fingerprintOf(sg) != job.FP) {
+		// Validated at "start"; a registration that truly changed the
+		// graph's content since then aborts via the leader's timeout.
+		// Version skew alone is benign — startup anti-entropy racing a
+		// direct upload can leave identical content at different
+		// versions on different ranks — so content identity (the
+		// fingerprint) is what gates participation.
+		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), w.jobTimeout)
 	defer cancel()
@@ -345,7 +353,7 @@ func (d *distExecutor) Execute(ctx context.Context, sg *service.StoredGraph, alg
 
 		start := ctrlMsg{
 			Type: "start", Run: run,
-			Graph: sg.Name, Version: sg.Version,
+			Graph: sg.Name, Version: sg.Version, FP: fingerprintOf(sg),
 			Alg: alg, Params: pr,
 		}
 		for peer := 1; peer < w.p; peer++ {

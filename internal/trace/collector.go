@@ -47,6 +47,9 @@ type QuerySample struct {
 	// sockets — always 0 for the in-process fabric.
 	Transport string
 	WireBytes uint64
+	// WireRawBytes is what the same frames would have cost uncompressed
+	// (raw codec); WireRawBytes − WireBytes is the wire codecs' saving.
+	WireRawBytes uint64
 	// Kernel names the portfolio kernel that computed the result
 	// ("sampling", "lowround", ...); empty when the planner is off and no
 	// kernel was pinned. PredictedMs is the planner's predicted time for
@@ -92,6 +95,7 @@ type AlgoStats struct {
 	AvoidedCollectives uint64  `json:"avoided_collectives"`
 	AvoidedCommVolume  uint64  `json:"avoided_comm_volume"`
 	WireBytes          uint64  `json:"wire_bytes"`
+	WireRawBytes       uint64  `json:"wire_raw_bytes"`
 	TotalLatencyMs     float64 `json:"total_latency_ms"`
 	MinLatencyMs       float64 `json:"min_latency_ms"`
 	MaxLatencyMs       float64 `json:"max_latency_ms"`
@@ -138,6 +142,7 @@ func (a *AlgoStats) observe(s QuerySample) {
 	a.Supersteps += uint64(s.Supersteps)
 	a.CommVolume += s.CommVolume
 	a.WireBytes += s.WireBytes
+	a.WireRawBytes += s.WireRawBytes
 	a.AvoidedCollectives += uint64(s.AvoidedCollectives)
 	a.AvoidedCommVolume += s.AvoidedCommVolume
 	if s.P > a.MaxP {
@@ -190,6 +195,7 @@ type TransportStats struct {
 	Supersteps       uint64 `json:"supersteps"`
 	CommVolume       uint64 `json:"comm_volume"`
 	WireBytes        uint64 `json:"wire_bytes"`
+	WireRawBytes     uint64 `json:"wire_raw_bytes"`
 }
 
 // CollectorSnapshot is a point-in-time copy of a Collector's aggregates.
@@ -247,6 +253,7 @@ func (c *Collector) Observe(s QuerySample) {
 		tr.Supersteps += uint64(s.Supersteps)
 		tr.CommVolume += s.CommVolume
 		tr.WireBytes += s.WireBytes
+		tr.WireRawBytes += s.WireRawBytes
 	}
 	if s.Kernel != "" {
 		k := c.kernels[s.Kernel]

@@ -2,9 +2,12 @@ package transport_test
 
 // Cross-fabric benchmarks: the same all-to-all superstep driven through
 // the in-process fabric and the TCP-loopback fabric, at matching rank
-// counts and payloads, so the socket tax is directly measurable. When
+// counts and payloads, so the socket tax is directly measurable. The
+// TCP fabric runs in two variants — payload codecs on (the default)
+// and off — so the wire-compression win is measurable too. When
 // benchmarks run, TestMain also writes BENCH_transport.json — the
-// machine-readable local-vs-tcp comparison CI archives.
+// machine-readable comparison CI archives, including per-superstep
+// wire/raw byte counts whose ratio the bench gate pins.
 
 import (
 	"encoding/json"
@@ -17,13 +20,17 @@ import (
 	"repro/internal/transport"
 )
 
-var benchPs = []int{2, 4, 8}
-
-const benchWords = 1024 // words staged per peer per superstep
+var (
+	benchPs    = []int{2, 4, 8}
+	benchWords = []int{64, 1024, 65536} // words staged per peer per superstep
+)
 
 // driveAllToAll runs b.N all-to-all supersteps: every rank stages
 // `words` words for every peer, then Exchanges. Exchange itself is the
 // barrier, so the ranks stay in lockstep without extra synchronization.
+// The payload is the word index — small values, so the varint codec has
+// something to chew on, like the rank-bucketed vertex ids real kernels
+// ship.
 func driveAllToAll(b *testing.B, eps []transport.Endpoint, words int) {
 	b.Helper()
 	p := len(eps)
@@ -56,35 +63,57 @@ func driveAllToAll(b *testing.B, eps []transport.Endpoint, words int) {
 
 func BenchmarkExchangeLocal(b *testing.B) {
 	for _, p := range benchPs {
-		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
-			l, err := transport.NewLocal(p)
-			if err != nil {
-				b.Fatal(err)
-			}
-			eps := make([]transport.Endpoint, p)
-			for r := 0; r < p; r++ {
-				eps[r] = l.Endpoint(r)
-			}
-			driveAllToAll(b, eps, benchWords)
-		})
+		for _, w := range benchWords {
+			b.Run(fmt.Sprintf("p=%d/w=%d", p, w), func(b *testing.B) {
+				l, err := transport.NewLocal(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eps := make([]transport.Endpoint, p)
+				for r := 0; r < p; r++ {
+					eps[r] = l.Endpoint(r)
+				}
+				driveAllToAll(b, eps, w)
+			})
+		}
 	}
 }
 
 func BenchmarkExchangeTCPLoopback(b *testing.B) {
 	for _, p := range benchPs {
-		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
-			eps, cleanup := newLoopbackEndpoints(b, p)
-			defer cleanup()
-			driveAllToAll(b, eps, benchWords)
-		})
+		for _, w := range benchWords {
+			b.Run(fmt.Sprintf("p=%d/w=%d", p, w), func(b *testing.B) {
+				eps, _, cleanup := newLoopbackEndpoints(b, p, false)
+				defer cleanup()
+				driveAllToAll(b, eps, w)
+			})
+		}
+	}
+}
+
+// BenchmarkExchangeTCPRaw is the codec-less control: identical frames,
+// raw 8-byte-word encoding. The gap to BenchmarkExchangeTCPLoopback is
+// what the payload codecs buy.
+func BenchmarkExchangeTCPRaw(b *testing.B) {
+	for _, p := range benchPs {
+		for _, w := range benchWords {
+			b.Run(fmt.Sprintf("p=%d/w=%d", p, w), func(b *testing.B) {
+				eps, _, cleanup := newLoopbackEndpoints(b, p, true)
+				defer cleanup()
+				driveAllToAll(b, eps, w)
+			})
+		}
 	}
 }
 
 // newLoopbackEndpoints brings up a p-process-equivalent loopback mesh
-// and opens one session across it, returning each rank's endpoint.
-func newLoopbackEndpoints(tb testing.TB, p int) ([]transport.Endpoint, func()) {
+// and opens one session across it, returning each rank's endpoint and
+// session (the latter for wire-byte accounting).
+func newLoopbackEndpoints(tb testing.TB, p int, disableCodecs bool) ([]transport.Endpoint, []*transport.Session, func()) {
 	tb.Helper()
-	meshes, err := transport.NewLoopbackMeshes(p, 1)
+	meshes, err := transport.NewLoopbackMeshesWith(p, 1, func(rank int, cfg *transport.MeshConfig) {
+		cfg.DisableCodecs = disableCodecs
+	})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -102,7 +131,7 @@ func newLoopbackEndpoints(tb testing.TB, p int) ([]transport.Endpoint, func()) {
 		sessions[r] = sess
 		eps[r] = sess.Root().Endpoint(r)
 	}
-	return eps, func() {
+	return eps, sessions, func() {
 		for _, s := range sessions {
 			s.Close()
 		}
@@ -112,19 +141,33 @@ func newLoopbackEndpoints(tb testing.TB, p int) ([]transport.Endpoint, func()) {
 	}
 }
 
-// benchRecord is one line of BENCH_transport.json.
+// benchRecord is one line of BENCH_transport.json. Wire-byte fields are
+// TCP-only: WireBytesPerStep is what actually crossed the socket per
+// superstep (summed over ranks), RawBytesPerStep what the same frames
+// would have cost with the raw codec, and CompressionRatio their
+// quotient — deterministic for a fixed payload, so the bench gate pins
+// it tightly.
 type benchRecord struct {
-	Transport      string  `json:"transport"`
-	P              int     `json:"p"`
-	WordsPerPeer   int     `json:"words_per_peer"`
-	NsPerSuperstep int64   `json:"ns_per_superstep"`
-	MBPerSec       float64 `json:"mb_per_s"`
+	Transport        string  `json:"transport"`
+	Codec            bool    `json:"codec"`
+	P                int     `json:"p"`
+	WordsPerPeer     int     `json:"words_per_peer"`
+	NsPerSuperstep   int64   `json:"ns_per_superstep"`
+	MBPerSec         float64 `json:"mb_per_s"`
+	WireBytesPerStep uint64  `json:"wire_bytes_per_superstep,omitempty"`
+	RawBytesPerStep  uint64  `json:"wire_raw_bytes_per_superstep,omitempty"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 }
 
 // TestMain writes BENCH_transport.json whenever benchmarks were
 // requested, mirroring the BENCH_bsp.json / BENCH_kernels.json idiom.
+// CAMC_NO_BENCH_SNAPSHOT skips the (full-sweep) snapshot so profiling
+// runs can benchmark one combination without paying for all of them.
 func TestMain(m *testing.M) {
 	code := m.Run()
+	if os.Getenv("CAMC_NO_BENCH_SNAPSHOT") != "" {
+		os.Exit(code)
+	}
 	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
 		if err := writeBenchSnapshot("BENCH_transport.json"); err != nil {
 			fmt.Fprintln(os.Stderr, "bench snapshot:", err)
@@ -139,46 +182,76 @@ func writeBenchSnapshot(path string) error {
 		Name       string        `json:"name"`
 		Benchmarks []benchRecord `json:"benchmarks"`
 	}
+	variants := []struct {
+		kind  string
+		codec bool
+	}{
+		{transport.KindLocal, false},
+		{transport.KindTCP, true},
+		{transport.KindTCP, false},
+	}
 	snap := snapshot{Name: "transport-bench"}
 	for _, p := range benchPs {
 		p := p
-		for _, kind := range []string{transport.KindLocal, transport.KindTCP} {
-			kind := kind
-			var failed error
-			res := testing.Benchmark(func(b *testing.B) {
-				var eps []transport.Endpoint
-				switch kind {
-				case transport.KindLocal:
-					l, err := transport.NewLocal(p)
-					if err != nil {
-						failed = err
-						b.SkipNow()
+		for _, w := range benchWords {
+			w := w
+			for _, v := range variants {
+				v := v
+				var failed error
+				var wire, raw uint64
+				var iters int
+				res := testing.Benchmark(func(b *testing.B) {
+					var eps []transport.Endpoint
+					var sessions []*transport.Session
+					switch v.kind {
+					case transport.KindLocal:
+						l, err := transport.NewLocal(p)
+						if err != nil {
+							failed = err
+							b.SkipNow()
+						}
+						eps = make([]transport.Endpoint, p)
+						for r := 0; r < p; r++ {
+							eps[r] = l.Endpoint(r)
+						}
+					case transport.KindTCP:
+						var cleanup func()
+						eps, sessions, cleanup = newLoopbackEndpoints(b, p, !v.codec)
+						defer cleanup()
 					}
-					eps = make([]transport.Endpoint, p)
-					for r := 0; r < p; r++ {
-						eps[r] = l.Endpoint(r)
+					driveAllToAll(b, eps, w)
+					// driveAllToAll returns only after every rank finished
+					// its Exchange barriers, so the send-side counters are
+					// settled; snapshot the last (largest-N) run.
+					wire, raw, iters = 0, 0, b.N
+					for _, s := range sessions {
+						wire += s.WireBytes()
+						raw += s.WireRawBytes()
 					}
-				case transport.KindTCP:
-					var cleanup func()
-					eps, cleanup = newLoopbackEndpoints(b, p)
-					defer cleanup()
+				})
+				if failed != nil {
+					return failed
 				}
-				driveAllToAll(b, eps, benchWords)
-			})
-			if failed != nil {
-				return failed
+				rec := benchRecord{
+					Transport:      v.kind,
+					Codec:          v.codec,
+					P:              p,
+					WordsPerPeer:   w,
+					NsPerSuperstep: res.NsPerOp(),
+				}
+				if res.NsPerOp() > 0 {
+					bytes := float64(p * (p - 1) * w * 8)
+					rec.MBPerSec = bytes / float64(res.NsPerOp()) * 1e9 / (1 << 20)
+				}
+				if v.kind == transport.KindTCP && iters > 0 {
+					rec.WireBytesPerStep = wire / uint64(iters)
+					rec.RawBytesPerStep = raw / uint64(iters)
+					if rec.WireBytesPerStep > 0 {
+						rec.CompressionRatio = float64(rec.RawBytesPerStep) / float64(rec.WireBytesPerStep)
+					}
+				}
+				snap.Benchmarks = append(snap.Benchmarks, rec)
 			}
-			rec := benchRecord{
-				Transport:      kind,
-				P:              p,
-				WordsPerPeer:   benchWords,
-				NsPerSuperstep: res.NsPerOp(),
-			}
-			if res.NsPerOp() > 0 {
-				bytes := float64(p * (p - 1) * benchWords * 8)
-				rec.MBPerSec = bytes / float64(res.NsPerOp()) * 1e9 / (1 << 20)
-			}
-			snap.Benchmarks = append(snap.Benchmarks, rec)
 		}
 	}
 	f, err := os.Create(path)

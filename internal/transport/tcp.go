@@ -86,6 +86,12 @@ type MeshConfig struct {
 	// CrashFn is what the crash wire fault executes (default
 	// os.Exit(CrashExitCode)). In-process tests override it.
 	CrashFn func()
+	// DisableCodecs restricts this process to the raw payload codec:
+	// it advertises only raw in handshakes and never encodes outbound
+	// frames. Benchmark baselines and wire-format debugging use it; the
+	// mesh interoperates freely with codec-enabled peers (codec choice
+	// is per connection direction, negotiated to the intersection).
+	DisableCodecs bool
 }
 
 // CrashExitCode is the exit status of a fault-injected hard crash
@@ -98,10 +104,11 @@ const CrashExitCode = 86
 // slot's connection can die and be replaced without tearing the mesh
 // down.
 type Mesh struct {
-	rank  int
-	p     int
-	epoch uint64
-	inc   uint64
+	rank   int
+	p      int
+	epoch  uint64
+	inc    uint64
+	codecs byte // payload codecs this process is willing to send/receive
 
 	ln      net.Listener
 	control func(src int, epoch uint64, payload []byte)
@@ -118,7 +125,7 @@ type Mesh struct {
 	sessions  map[uint64]*Session
 	orphans   map[uint64][]frame
 	closed    bool
-	partUntil time.Time            // injected partition deadline
+	partUntil time.Time          // injected partition deadline
 	hbFilter  func(dst int) bool // test hook: false = suppress beacons to dst
 
 	stop  chan struct{}
@@ -142,33 +149,6 @@ type peerSlot struct {
 // dropped (the eventual barrier wait surfaces the loss as a stall that
 // the job deadline converts into a cancel).
 const maxOrphans = 1 << 16
-
-type peerConn struct {
-	rank int
-	conn net.Conn
-	wmu  sync.Mutex
-	bw   *bufio.Writer
-	dead atomic.Bool
-}
-
-// write frames out one buffer under the connection's write lock. A
-// failed write also closes the socket so the read pump (possibly
-// blocked on a half-dead connection) unblocks and runs the loss path.
-func (pc *peerConn) write(buf []byte) error {
-	pc.wmu.Lock()
-	defer pc.wmu.Unlock()
-	if pc.dead.Load() {
-		return fmt.Errorf("%w: rank %d", ErrPeerLost, pc.rank)
-	}
-	if _, err := pc.bw.Write(buf); err == nil {
-		if err = pc.bw.Flush(); err == nil {
-			return nil
-		}
-	}
-	pc.dead.Store(true)
-	pc.conn.Close()
-	return fmt.Errorf("%w: write to rank %d: connection failed", ErrPeerLost, pc.rank)
-}
 
 // NewMesh connects this process into the full mesh: it listens at
 // Addrs[Rank], dials every lower rank (with retry, so start order does
@@ -204,11 +184,16 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	if phi <= 0 {
 		phi = 8
 	}
+	codecs := codecMaskAll
+	if cfg.DisableCodecs {
+		codecs = codecMaskRaw
+	}
 	m := &Mesh{
 		rank:       cfg.Rank,
 		p:          p,
 		epoch:      cfg.MachineEpoch,
 		inc:        inc,
+		codecs:     codecs,
 		ln:         ln,
 		control:    cfg.Control,
 		addrs:      append([]string(nil), cfg.Addrs...),
@@ -240,14 +225,18 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	// Dial every lower rank; they are accepting already or will be soon.
 	for j := 0; j < m.rank; j++ {
 		conn, err := dialRetry(cfg.Addrs[j], deadline)
+		var peerCodecs byte
 		if err == nil {
-			err = writePreamble(conn, m.rank, m.epoch, m.inc)
+			peerCodecs, err = m.dialHandshake(conn, deadline)
 		}
 		if err != nil {
+			if conn != nil {
+				conn.Close()
+			}
 			m.Close()
 			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", j, cfg.Addrs[j], err)
 		}
-		m.admitPeer(j, 0, conn)
+		m.admitPeer(j, 0, conn, peerCodecs)
 	}
 	// Wait for every higher rank to dial in (at first start they dial on
 	// their own; at rejoin the survivors' maintenance loops redial us).
@@ -279,6 +268,18 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		go m.maintain()
 	}
 	return m, nil
+}
+
+// dialHandshake runs the dialer's half of the wire handshake: send the
+// preamble, read back the accepter's ack to learn its codec support.
+func (m *Mesh) dialHandshake(conn net.Conn, deadline time.Time) (peerCodecs byte, err error) {
+	if err := writePreamble(conn, m.rank, m.epoch, m.inc, m.codecs); err != nil {
+		return 0, err
+	}
+	_ = conn.SetReadDeadline(deadline)
+	peerCodecs, err = readAck(conn)
+	_ = conn.SetReadDeadline(time.Time{})
+	return peerCodecs, err
 }
 
 func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
@@ -317,12 +318,26 @@ func (m *Mesh) acceptLoop(ch chan<- error) {
 			return
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-		rank, inc, err := readPreamble(conn, m.epoch)
+		rank, inc, peerCodecs, err := readPreamble(conn, m.epoch)
 		_ = conn.SetReadDeadline(time.Time{})
-		if err != nil || rank <= m.rank || rank >= m.p {
-			if err == nil {
-				err = fmt.Errorf("%w: unexpected dialer rank %d", ErrPeerLost, rank)
+		if err == nil && (rank <= m.rank || rank >= m.p) {
+			err = fmt.Errorf("%w: unexpected dialer rank %d", ErrPeerLost, rank)
+		}
+		if err == nil {
+			// Pre-check admission before acking so a doomed dialer (stale
+			// incarnation, partition in force) sees a silent close, never
+			// an ack; admitPeer re-checks authoritatively under the lock.
+			m.mu.Lock()
+			sl := m.peers[rank]
+			reject := m.closed || sl == nil || time.Now().Before(m.partUntil) || inc < sl.incarnation
+			m.mu.Unlock()
+			if reject {
+				conn.Close()
+				continue
 			}
+			err = writeAck(conn, m.codecs)
+		}
+		if err != nil {
 			conn.Close()
 			select {
 			case ch <- err:
@@ -330,7 +345,7 @@ func (m *Mesh) acceptLoop(ch chan<- error) {
 			}
 			continue
 		}
-		m.admitPeer(rank, inc, conn)
+		m.admitPeer(rank, inc, conn, peerCodecs)
 		select {
 		case ch <- nil:
 		default:
@@ -347,11 +362,12 @@ func (m *Mesh) acceptLoop(ch chan<- error) {
 // partition) and replaces the old one; a higher incarnation is a
 // reincarnated peer — the old connection is drained (closed) and the
 // slot rebound.
-func (m *Mesh) admitPeer(rank int, inc uint64, conn net.Conn) {
+func (m *Mesh) admitPeer(rank int, inc uint64, conn net.Conn, peerCodecs byte) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // supersteps are latency-bound, not throughput-bound
 	}
-	pc := &peerConn{rank: rank, conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+	// Send with codecs both sides support; raw is always in the set.
+	pc := newPeerConn(rank, conn, peerCodecs&m.codecs)
 	m.mu.Lock()
 	sl := m.peers[rank]
 	if m.closed || sl == nil || time.Now().Before(m.partUntil) || inc < sl.incarnation {
@@ -369,11 +385,11 @@ func (m *Mesh) admitPeer(rank int, inc uint64, conn net.Conn) {
 	up := m.onPeerUp
 	m.mu.Unlock()
 	if old != nil {
-		old.dead.Store(true)
-		old.conn.Close()
+		old.kill()
 	}
-	m.pumps.Add(1)
+	m.pumps.Add(2)
 	go m.readPump(pc, det)
+	go m.writePump(pc)
 	if up != nil {
 		up(rank, inc)
 	}
@@ -398,20 +414,23 @@ func (m *Mesh) readPump(pc *peerConn, det *phiDetector) {
 	for {
 		f, err := readFrame(br)
 		if err != nil {
-			pc.dead.Store(true)
-			pc.conn.Close()
+			pc.kill()
 			m.connLost(pc, err)
 			return
 		}
 		switch f.kind {
 		case frameHeartbeat:
 			det.observe(time.Now())
+			f.release()
 			continue
 		case frameControl:
 			det.touch(time.Now())
 			if h := m.control; h != nil {
+				// Control handlers consume the payload synchronously
+				// (the shard tier unmarshals it); nothing retains it.
 				h(f.src, f.epoch, f.payload)
 			}
+			f.release()
 			continue
 		}
 		det.touch(time.Now())
@@ -420,6 +439,8 @@ func (m *Mesh) readPump(pc *peerConn, det *phiDetector) {
 		if s == nil {
 			if !m.closed && len(m.orphans[f.epoch]) < maxOrphans {
 				m.orphans[f.epoch] = append(m.orphans[f.epoch], f)
+			} else {
+				f.release()
 			}
 			m.mu.Unlock()
 			continue
@@ -470,18 +491,30 @@ func (m *Mesh) peerLost(rank int, cause error) {
 	}
 }
 
-// sendFrame writes one frame to a mesh peer, returning the bytes moved.
-func (m *Mesh) sendFrame(dst int, buf []byte) (int, error) {
+// peer returns the live connection to a mesh rank.
+func (m *Mesh) peer(dst int) (*peerConn, error) {
 	m.mu.Lock()
 	var pc *peerConn
-	if sl := m.peers[dst]; sl != nil {
-		pc = sl.cur
+	if dst >= 0 && dst < len(m.peers) {
+		if sl := m.peers[dst]; sl != nil {
+			pc = sl.cur
+		}
 	}
 	m.mu.Unlock()
 	if pc == nil {
-		return 0, fmt.Errorf("%w: no connection to rank %d", ErrPeerLost, dst)
+		return nil, fmt.Errorf("%w: no connection to rank %d", ErrPeerLost, dst)
 	}
-	if err := pc.write(buf); err != nil {
+	return pc, nil
+}
+
+// sendFrame queues one unpooled (caller-owned, possibly shared) frame
+// buffer for a mesh peer's writer, returning the bytes queued.
+func (m *Mesh) sendFrame(dst int, buf []byte) (int, error) {
+	pc, err := m.peer(dst)
+	if err != nil {
+		return 0, err
+	}
+	if err := pc.send(sendItem{buf: buf}); err != nil {
 		return 0, err
 	}
 	return len(buf), nil
@@ -517,8 +550,7 @@ func (m *Mesh) DropPeers() {
 	}
 	m.mu.Unlock()
 	for _, pc := range conns {
-		pc.dead.Store(true)
-		pc.conn.Close()
+		pc.kill()
 	}
 }
 
@@ -584,14 +616,15 @@ func (m *Mesh) maintain() {
 			if lp.det.phi(now) > m.phiThresh {
 				// Silent too long: sever, so the read pump runs the
 				// ErrPeerLost path and the redial machinery takes over.
-				lp.pc.dead.Store(true)
-				lp.pc.conn.Close()
+				lp.pc.kill()
 				continue
 			}
 			if filter != nil && !filter(lp.pc.rank) {
 				continue
 			}
-			_ = lp.pc.write(buf)
+			// One shared read-only beacon buffer for every peer; a full
+			// queue means frames are flowing, which beats the beacon.
+			lp.pc.tryEnqueue(sendItem{buf: buf})
 		}
 		for _, r := range redial {
 			go m.redial(r)
@@ -616,11 +649,12 @@ func (m *Mesh) redial(rank int) {
 	if err != nil {
 		return
 	}
-	if err := writePreamble(conn, m.rank, m.epoch, m.inc); err != nil {
+	peerCodecs, err := m.dialHandshake(conn, time.Now().Add(timeout))
+	if err != nil {
 		conn.Close()
 		return
 	}
-	m.admitPeer(rank, 0, conn)
+	m.admitPeer(rank, 0, conn, peerCodecs)
 }
 
 // crash runs the configured crash action — the `crash@rank:step` fault.
@@ -646,7 +680,8 @@ func (m *Mesh) PeerUp(rank int) bool {
 	if rank < 0 || rank >= m.p || m.peers[rank] == nil {
 		return false
 	}
-	return m.peers[rank].cur != nil
+	cur := m.peers[rank].cur
+	return cur != nil && !cur.dead.Load()
 }
 
 // PeersUp returns how many of the p-1 peer connections are live.
@@ -655,7 +690,7 @@ func (m *Mesh) PeersUp() int {
 	defer m.mu.Unlock()
 	up := 0
 	for _, sl := range m.peers {
-		if sl != nil && sl.cur != nil {
+		if sl != nil && sl.cur != nil && !sl.cur.dead.Load() {
 			up++
 		}
 	}
@@ -710,7 +745,7 @@ func (m *Mesh) Close() error {
 		m.ln.Close()
 	}
 	for _, pc := range conns {
-		pc.conn.Close()
+		pc.kill()
 	}
 	m.loops.Wait()
 	m.pumps.Wait()
@@ -730,7 +765,21 @@ type Session struct {
 	sent    bool // abort frames already broadcast
 
 	abortFlag atomic.Bool
-	wireBytes atomic.Uint64
+	// wireBytes counts what this process actually wrote for the session;
+	// wireRawBytes counts what the same frames would have cost had every
+	// payload gone out under the raw codec. Their difference is the
+	// codec's savings (the camc_wire_saved_bytes_total metric); neither
+	// feeds the ledger's logical volume, which is counted in words.
+	wireBytes    atomic.Uint64
+	wireRawBytes atomic.Uint64
+
+	// wordPool recycles []uint64 payload buffers session-wide: Buffer
+	// hands them to kernels, the decode path fills inbox rows from them,
+	// and Exchange recycles the previous superstep's rows. Safe because
+	// an endpoint's Recv data is only guaranteed until its next Exchange
+	// and kernels never re-stage a received slice as owned (they stage
+	// into Buffer slices).
+	wordPool sync.Pool
 
 	// wireHook, when non-nil, runs before each root-group Exchange's
 	// sends with the group superstep; it may request a drop (sever all
@@ -801,6 +850,31 @@ func (s *Session) SetWireHook(h func(step uint64) (drop bool, stall time.Duratio
 // WireBytes returns the bytes this process has written for the session.
 func (s *Session) WireBytes() uint64 { return s.wireBytes.Load() }
 
+// WireRawBytes returns what this process's writes would have cost
+// under the raw codec — the pre-compression equivalent of WireBytes.
+func (s *Session) WireRawBytes() uint64 { return s.wireRawBytes.Load() }
+
+// getWords returns a pooled word slice of length n (contents arbitrary
+// — every caller overwrites the full length before reading).
+func (s *Session) getWords(n int) []uint64 {
+	if v := s.wordPool.Get(); v != nil {
+		ws := *(v.(*[]uint64))
+		if cap(ws) >= n {
+			return ws[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// putWords recycles a word slice whose contents are dead.
+func (s *Session) putWords(ws []uint64) {
+	if cap(ws) == 0 {
+		return
+	}
+	ws = ws[:0]
+	s.wordPool.Put(&ws)
+}
+
 // Close deregisters the session from its mesh. Idempotent; live waiters
 // are aborted first.
 func (s *Session) Close() error {
@@ -858,6 +932,7 @@ func (s *Session) abort(err error, notifyPeers bool) {
 		}
 		if n, err2 := s.mesh.sendFrame(r, buf); err2 == nil {
 			s.wireBytes.Add(uint64(n))
+			s.wireRawBytes.Add(uint64(n))
 		}
 	}
 }
@@ -868,6 +943,7 @@ func (s *Session) abort(err error, notifyPeers bool) {
 func (s *Session) deliver(f frame) {
 	if f.kind == frameAbort {
 		cancelled, peerLost, msg := decodeAbort(f.payload)
+		f.release()
 		s.abort(&RemoteAbort{Rank: f.src, Msg: msg, Cancelled: cancelled, PeerLost: peerLost}, false)
 		return
 	}
@@ -876,6 +952,8 @@ func (s *Session) deliver(f frame) {
 	if g == nil {
 		if len(s.orphans[f.tag]) < maxOrphans {
 			s.orphans[f.tag] = append(s.orphans[f.tag], f)
+		} else {
+			f.release()
 		}
 		s.mu.Unlock()
 		return
@@ -909,8 +987,9 @@ type stepState struct {
 }
 
 type ledgerMsg struct {
-	wireBytes uint64
-	ledgers   []Ledger
+	wireBytes    uint64
+	wireRawBytes uint64
+	ledgers      []Ledger
 }
 
 // tcpGroup is one communicator over the mesh: the session's root group
@@ -929,7 +1008,6 @@ type tcpGroup struct {
 	step    uint64
 	staging [][]uint64
 	inbox   [][]uint64
-	sendBuf []byte   // frame build scratch, reused across supersteps
 	mySizes []uint32 // size vector scratch
 
 	mu       sync.Mutex
@@ -972,12 +1050,14 @@ func (g *tcpGroup) groupRankOf(meshRank int) int {
 func (g *tcpGroup) deliver(f frame) {
 	src := g.groupRankOf(f.src)
 	if src < 0 || src == g.rank {
+		f.release()
 		g.sess.abort(fmt.Errorf("%w: frame from rank %d not a peer of group %#x", ErrPeerLost, f.src, g.tag), true)
 		return
 	}
 	switch f.kind {
 	case frameData:
-		sizes, words, err := decodeDataPayload(f.payload, len(g.members), g.rank)
+		sizes, words, err := decodeDataPayload(f.payload, len(g.members), g.rank, g.sess.getWords)
+		f.release()
 		if err != nil {
 			g.sess.abort(fmt.Errorf("%w: rank %d: %v", ErrPeerLost, f.src, err), true)
 			return
@@ -993,18 +1073,26 @@ func (g *tcpGroup) deliver(f frame) {
 		}
 		st.sizes[src] = sizes
 		st.words[src] = words
-		g.cond.Broadcast()
+		// Wake the barrier waiter only when its step is complete — each
+		// earlier frame would otherwise cost a spurious wake/recheck/park
+		// cycle on the Exchange goroutine.
+		if st.got >= len(g.members)-1 {
+			g.cond.Broadcast()
+		}
 		g.mu.Unlock()
 	case frameLedger:
-		wb, ledgers, err := decodeLedgers(f.payload)
+		wb, wrb, ledgers, err := decodeLedgers(f.payload)
+		f.release()
 		if err != nil {
 			g.sess.abort(fmt.Errorf("%w: rank %d: %v", ErrPeerLost, f.src, err), true)
 			return
 		}
 		g.mu.Lock()
-		g.ledgerIn[src] = ledgerMsg{wireBytes: wb, ledgers: ledgers}
+		g.ledgerIn[src] = ledgerMsg{wireBytes: wb, wireRawBytes: wrb, ledgers: ledgers}
 		g.cond.Broadcast()
 		g.mu.Unlock()
+	default:
+		f.release()
 	}
 }
 
@@ -1021,13 +1109,18 @@ func (g *tcpGroup) Send(to int, words []uint64) {
 	g.staging[to] = append(g.staging[to], words...)
 }
 
-// SendOwned stages words; over sockets adoption saves nothing beyond
-// the copy Send would do, so it shares Send's path.
+// SendOwned stages words, adopting the slice when the staging cell is
+// empty (the adopted slice re-enters the session pool once its contents
+// have been serialized and delivered); the displaced empty cell goes
+// back to the pool.
 func (g *tcpGroup) SendOwned(to int, words []uint64) {
 	if to < 0 || to >= len(g.staging) {
 		panic(fmt.Sprintf("transport: send to rank %d of %d", to, len(g.staging)))
 	}
 	if len(g.staging[to]) == 0 {
+		if old := g.staging[to]; cap(old) > 0 {
+			g.sess.putWords(old)
+		}
 		g.staging[to] = words
 		return
 	}
@@ -1038,9 +1131,10 @@ func (g *tcpGroup) SendOwned(to int, words []uint64) {
 // Exchange.
 func (g *tcpGroup) Recv(src int) []uint64 { return g.inbox[src] }
 
-// Buffer returns a fresh word slice (socket groups decode into new
-// slices anyway, so there is no pool to recycle from).
-func (g *tcpGroup) Buffer(n int) []uint64 { return make([]uint64, n) }
+// Buffer returns a word slice of length n from the session's pool (the
+// contents are arbitrary, exactly like a fresh make's would be after
+// the caller fills it — and every caller fills it).
+func (g *tcpGroup) Buffer(n int) []uint64 { return g.sess.getWords(n) }
 
 // Exchange is the superstep barrier over sockets: coalesce one data
 // frame per peer (carrying the full size vector), then block until all
@@ -1073,24 +1167,37 @@ func (g *tcpGroup) Exchange() error {
 	for d := 0; d < gp; d++ {
 		g.mySizes[d] = uint32(len(g.staging[d]))
 	}
+	// Serialize each destination's coalesced frame straight into a
+	// pooled buffer and hand it to that peer's writer immediately, so
+	// the first frame is streaming into its socket while the later ones
+	// are still being encoded. Buffer ownership transfers to the writer,
+	// which recycles it after the vectored write.
 	for dst := 0; dst < gp; dst++ {
 		if dst == g.rank {
 			continue
 		}
-		buf := appendFrameHeader(g.sendBuf[:0], frameData, s.epoch, g.tag, step, s.mesh.rank)
-		buf = appendUint32(buf, uint32(gp))
-		for _, sz := range g.mySizes {
-			buf = appendUint32(buf, sz)
-		}
-		buf = appendWords(buf, g.staging[dst])
-		patchFrameLen(buf)
-		g.sendBuf = buf[:0]
-		n, err := s.mesh.sendFrame(g.members[dst], buf)
+		pc, err := s.mesh.peer(g.members[dst])
 		if err != nil {
 			s.abort(err, true)
 			return g.waitErr()
 		}
+		words := g.staging[dst]
+		head := 4 + frameHeaderLen + 4 + 4*gp + 1
+		buf := frameBufGet(head + 8*len(words))[:0]
+		buf = appendFrameHeader(buf, frameData, s.epoch, g.tag, step, s.mesh.rank)
+		buf = appendUint32(buf, uint32(gp))
+		for _, sz := range g.mySizes {
+			buf = appendUint32(buf, sz)
+		}
+		buf = appendEncodedPayload(buf, words, pc.codecs)
+		patchFrameLen(buf)
+		n := len(buf)
+		if err := pc.send(sendItem{buf: buf, pooled: true}); err != nil {
+			s.abort(err, true)
+			return g.waitErr()
+		}
 		s.wireBytes.Add(uint64(n))
+		s.wireRawBytes.Add(uint64(head + 8*len(words)))
 	}
 
 	// Barrier: wait for every peer's frame for this step. The step state
@@ -1113,12 +1220,18 @@ func (g *tcpGroup) Exchange() error {
 	g.mu.Unlock()
 
 	// Deliver: peers' payloads plus the self-staged words; the displaced
-	// self buffer becomes the next superstep's self staging cell.
+	// self buffer becomes the next superstep's self staging cell, and
+	// the previous superstep's peer rows (whose contents the contract
+	// says no one may read past this point) recycle into the word pool
+	// that the decode path draws from.
 	spare := g.inbox[g.rank]
 	for src := 0; src < gp; src++ {
 		if src == g.rank {
 			g.inbox[src] = g.staging[src]
 		} else {
+			if old := g.inbox[src]; cap(old) > 0 {
+				g.sess.putWords(old)
+			}
 			g.inbox[src] = st.words[src]
 		}
 	}
@@ -1284,9 +1397,10 @@ func (g *tcpGroup) FinishRun() error {
 	ownLog := append([]Ledger(nil), s.foldLog...)
 	s.foldMu.Unlock()
 	ownWire := s.wireBytes.Load()
+	ownRaw := s.wireRawBytes.Load()
 
 	if gp > 1 {
-		payload := encodeLedgers(ownWire, ownLog)
+		payload := encodeLedgers(ownWire, ownRaw, ownLog)
 		for i, r := range g.members {
 			if i == g.rank {
 				continue
@@ -1300,6 +1414,7 @@ func (g *tcpGroup) FinishRun() error {
 				return g.waitErr()
 			}
 			s.wireBytes.Add(uint64(n))
+			s.wireRawBytes.Add(uint64(n))
 		}
 		g.mu.Lock()
 		for len(g.ledgerIn) < gp-1 {
@@ -1318,12 +1433,14 @@ func (g *tcpGroup) FinishRun() error {
 		merged.add(&l)
 	}
 	merged.WireBytes = ownWire
+	merged.WireRawBytes = ownRaw
 	g.mu.Lock()
 	for _, msg := range g.ledgerIn {
 		for _, l := range msg.ledgers {
 			merged.add(&l)
 		}
 		merged.WireBytes += msg.wireBytes
+		merged.WireRawBytes += msg.wireRawBytes
 	}
 	g.mu.Unlock()
 	g.merged = &merged

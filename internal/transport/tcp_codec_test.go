@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pooledTraffic drives a pool-hostile exchange pattern: every payload
+// is built in a Buffer()-provided slice (so each superstep reuses
+// memory recycled from earlier supersteps and from delivered inboxes),
+// sizes vary per step so differently-sized buffers recirculate, and
+// values cover all three codec classes. Returns a positional checksum
+// of everything received, which must be fabric- and codec-independent.
+func pooledTraffic(ep Endpoint, steps int) (uint64, error) {
+	p := ep.Size()
+	r := ep.Rank()
+	var sum uint64
+	for s := 0; s < steps; s++ {
+		for dst := 0; dst < p; dst++ {
+			n := 8 + 32*((s+r+dst)%5)
+			buf := ep.Buffer(n)[:0]
+			for i := 0; i < n; i++ {
+				switch s % 3 {
+				case 0: // small values: varint territory
+					buf = append(buf, uint64(i+dst))
+				case 1: // sorted edge-ish triples when n%3 == 0
+					buf = append(buf, uint64(i/3), uint64(i%3), uint64(s+1))
+				default: // incompressible
+					buf = append(buf, (uint64(s)<<56)|(uint64(r)<<48)|(uint64(i)*0x9e3779b97f4a7c15))
+				}
+			}
+			ep.SendOwned(dst, buf)
+		}
+		if err := ep.Exchange(); err != nil {
+			return 0, err
+		}
+		for src := 0; src < p; src++ {
+			for i, w := range ep.Recv(src) {
+				sum = sum*1099511628211 + w + uint64(i) + uint64(src)<<32
+			}
+		}
+	}
+	return sum, nil
+}
+
+// TestBufferPoolReuseBitIdentical proves the session word pool behind
+// (*tcpGroup).Buffer is invisible to kernels: a pool-hostile pattern
+// over sockets produces bit-identical payload streams (positional
+// checksum) and an identical ledger to the in-process fabric, whose
+// Buffer has always been pool-backed.
+func TestBufferPoolReuseBitIdentical(t *testing.T) {
+	const steps = 9
+	for _, p := range []int{2, 4} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			sums := make([]uint64, p)
+			local := runLocal(t, p, func(ep *LocalEndpoint) error {
+				sum, err := pooledTraffic(ep, steps)
+				sums[ep.Rank()] = sum
+				return err
+			})
+			wantLedger := local.Ledger()
+
+			withMeshes(t, p, func(meshes []*Mesh) {
+				tcpSums := make([]uint64, p)
+				ledgers := make([]Ledger, p)
+				errs := runRanks(p, func(r int) error {
+					sess, err := meshes[r].NewSession(1, allMembers(p))
+					if err != nil {
+						return err
+					}
+					defer sess.Close()
+					root := sess.Root()
+					if err := root.Reset(); err != nil {
+						return err
+					}
+					sum, err := pooledTraffic(root.Endpoint(r), steps)
+					if err != nil {
+						return err
+					}
+					tcpSums[r] = sum
+					if err := root.FinishRun(); err != nil {
+						return err
+					}
+					ledgers[r] = root.Ledger()
+					return nil
+				})
+				for r, err := range errs {
+					if err != nil {
+						t.Fatalf("rank %d: %v", r, err)
+					}
+				}
+				for r := 0; r < p; r++ {
+					if tcpSums[r] != sums[r] {
+						t.Fatalf("rank %d: tcp checksum %#x != local %#x (pooled buffer leaked stale words)", r, tcpSums[r], sums[r])
+					}
+					if !ledgerEq(ledgers[r], wantLedger) {
+						t.Fatalf("rank %d: tcp ledger %+v != local %+v", r, ledgers[r], wantLedger)
+					}
+				}
+			})
+		})
+	}
+}
+
+// runCodecMeshes runs pooledTraffic over loopback meshes with codecs
+// enabled or disabled and returns per-rank (checksum, ledger).
+func runCodecMeshes(t *testing.T, p, steps int, disable bool) ([]uint64, []Ledger) {
+	t.Helper()
+	meshes, err := NewLoopbackMeshesWith(p, 77, func(rank int, cfg *MeshConfig) {
+		cfg.DisableCodecs = disable
+	})
+	if err != nil {
+		t.Fatalf("loopback meshes: %v", err)
+	}
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	sums := make([]uint64, p)
+	ledgers := make([]Ledger, p)
+	errs := runRanks(p, func(r int) error {
+		sess, err := meshes[r].NewSession(1, allMembers(p))
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		root := sess.Root()
+		if err := root.Reset(); err != nil {
+			return err
+		}
+		sum, err := pooledTraffic(root.Endpoint(r), steps)
+		if err != nil {
+			return err
+		}
+		sums[r] = sum
+		if err := root.FinishRun(); err != nil {
+			return err
+		}
+		ledgers[r] = root.Ledger()
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d (disable=%v): %v", r, disable, err)
+		}
+	}
+	return sums, ledgers
+}
+
+// TestCodecOnOffCrossCheck runs identical traffic with codecs on and
+// off: payloads and the logical ledger must be identical, while the
+// codec run's on-wire bytes must be strictly smaller and its
+// raw-equivalent counter must equal the codec-less run's wire bytes
+// exactly (same frames, raw encoding).
+func TestCodecOnOffCrossCheck(t *testing.T) {
+	const p, steps = 2, 9
+	onSums, onLedgers := runCodecMeshes(t, p, steps, false)
+	offSums, offLedgers := runCodecMeshes(t, p, steps, true)
+	for r := 0; r < p; r++ {
+		if onSums[r] != offSums[r] {
+			t.Fatalf("rank %d: codec checksum %#x != raw %#x", r, onSums[r], offSums[r])
+		}
+		if !ledgerEq(onLedgers[r], offLedgers[r]) {
+			t.Fatalf("rank %d: logical ledger differs with codecs: %+v vs %+v", r, onLedgers[r], offLedgers[r])
+		}
+		if onLedgers[r].WireBytes >= offLedgers[r].WireBytes {
+			t.Fatalf("rank %d: codecs did not shrink wire bytes: %d vs %d", r, onLedgers[r].WireBytes, offLedgers[r].WireBytes)
+		}
+		if onLedgers[r].WireRawBytes != offLedgers[r].WireBytes {
+			t.Fatalf("rank %d: raw-equivalent %d != codec-less wire bytes %d", r, onLedgers[r].WireRawBytes, offLedgers[r].WireBytes)
+		}
+		if offLedgers[r].WireRawBytes != offLedgers[r].WireBytes {
+			t.Fatalf("rank %d: raw run raw-equivalent %d != wire %d", r, offLedgers[r].WireRawBytes, offLedgers[r].WireBytes)
+		}
+	}
+}

@@ -89,6 +89,10 @@ type Ledger struct {
 	// included), so ledger words and wire traffic can be compared; always
 	// zero on the Local fabric.
 	WireBytes uint64
+	// WireRawBytes counts what the same frames would have cost under
+	// the raw (uncompressed) payload codec; WireRawBytes − WireBytes is
+	// what the codecs saved. Always zero on the Local fabric.
+	WireRawBytes uint64
 }
 
 // add folds another ledger's accounting into l (used for Split

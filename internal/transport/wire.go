@@ -7,13 +7,15 @@ import (
 	"time"
 )
 
-// Wire protocol of the TCP fabric (DESIGN.md §4f, §4i).
+// Wire protocol of the TCP fabric (DESIGN.md §4f, §4i, §4j).
 //
-// A connection opens with a fixed 25-byte preamble — magic "CAMT",
+// A connection opens with a fixed 26-byte preamble — magic "CAMT",
 // protocol version, the dialer's mesh rank, the dialer's machine
-// epoch, and the dialer's incarnation number — and then carries
-// length-prefixed frames both ways for its lifetime. All integers are
-// little-endian.
+// epoch, the dialer's incarnation number, and the dialer's payload
+// codec capability mask — answered by an 8-byte accept acknowledgement
+// ("CAMA", version, the accepter's codec mask) so both sides learn the
+// other's codec support. The connection then carries length-prefixed
+// frames both ways for its lifetime. All integers are little-endian.
 //
 // The incarnation number (version 2) is what makes rejoin safe: a
 // respawned worker presents a strictly larger incarnation than its
@@ -31,14 +33,18 @@ import (
 //	u32  sender's mesh rank
 //	...  kind-specific payload
 //
-// Data frames carry the sender's complete per-destination size vector
-// ahead of the payload words, so every rank of a group reconstructs the
-// same p×p size matrix and accounts the superstep's h-relation
-// identically to the in-process fabric's finalizer.
+// Data frames carry the sender's complete per-destination size vector,
+// then a one-byte payload codec identifier (version 3, see codec.go),
+// then the codec-encoded payload words. The size vector lets every rank
+// of a group reconstruct the same p×p size matrix and account the
+// superstep's h-relation identically to the in-process fabric's
+// finalizer — in words, so the choice of codec never shows up in the
+// ledger's logical volume.
 
 const (
 	wireMagic   = "CAMT"
-	wireVersion = 2
+	wireVersion = 3
+	ackMagic    = "CAMA"
 
 	// Frame kinds.
 	frameData      = 1 // superstep payload + size vector
@@ -52,9 +58,16 @@ const (
 	// maxFrameLen bounds a frame's self-declared length so a corrupt or
 	// hostile peer cannot make the pump allocate unboundedly.
 	maxFrameLen = 1 << 30
+
+	// frameReadChunk caps how much readFrame allocates before any of a
+	// frame's bytes have arrived (see the growth loop there).
+	frameReadChunk = 1 << 20
 )
 
-// frame is one decoded wire frame.
+// frame is one decoded wire frame. payload aliases raw, the pooled
+// receive buffer; release returns raw to framePool once the payload has
+// been decoded (or the frame dropped) and must not be called while any
+// reference into payload is still live.
 type frame struct {
 	kind    byte
 	epoch   uint64
@@ -62,43 +75,83 @@ type frame struct {
 	step    uint64
 	src     int
 	payload []byte
+	raw     []byte
+}
+
+// release recycles the frame's receive buffer. Safe on a zero frame.
+func (f *frame) release() {
+	if f.raw != nil {
+		frameBufPut(f.raw)
+		f.raw = nil
+		f.payload = nil
+	}
 }
 
 // writePreamble emits the connection handshake.
-func writePreamble(w io.Writer, rank int, epoch, incarnation uint64) error {
-	var b [25]byte
+func writePreamble(w io.Writer, rank int, epoch, incarnation uint64, codecs byte) error {
+	var b [26]byte
 	copy(b[:4], wireMagic)
 	b[4] = wireVersion
 	binary.LittleEndian.PutUint32(b[5:9], uint32(rank))
 	binary.LittleEndian.PutUint64(b[9:17], epoch)
 	binary.LittleEndian.PutUint64(b[17:25], incarnation)
+	b[25] = codecs | codecMaskRaw
 	_, err := w.Write(b[:])
 	return err
 }
 
-// readPreamble validates the handshake and returns the dialer's rank
-// and incarnation. The accepter checks magic, protocol version, and
-// machine epoch; a mismatch is a deployment error surfaced as
-// ErrPeerLost. Incarnation admission (stale-dialer rejection) is the
-// mesh's job — the wire layer only transports the number.
-func readPreamble(r io.Reader, wantEpoch uint64) (rank int, incarnation uint64, err error) {
-	var b [25]byte
+// readPreamble validates the handshake and returns the dialer's rank,
+// incarnation, and codec capability mask. The accepter checks magic,
+// protocol version, and machine epoch; a mismatch is a deployment error
+// surfaced as ErrPeerLost. Incarnation admission (stale-dialer
+// rejection) is the mesh's job — the wire layer only transports the
+// number.
+func readPreamble(r io.Reader, wantEpoch uint64) (rank int, incarnation uint64, codecs byte, err error) {
+	var b [26]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, 0, fmt.Errorf("%w: handshake read: %w", ErrPeerLost, err)
+		return 0, 0, 0, fmt.Errorf("%w: handshake read: %w", ErrPeerLost, err)
 	}
 	if string(b[:4]) != wireMagic {
-		return 0, 0, fmt.Errorf("%w: bad handshake magic %q", ErrPeerLost, b[:4])
+		return 0, 0, 0, fmt.Errorf("%w: bad handshake magic %q", ErrPeerLost, b[:4])
 	}
 	if b[4] != wireVersion {
-		return 0, 0, fmt.Errorf("%w: protocol version %d, want %d", ErrPeerLost, b[4], wireVersion)
+		return 0, 0, 0, fmt.Errorf("%w: protocol version %d, want %d", ErrPeerLost, b[4], wireVersion)
 	}
 	rank = int(binary.LittleEndian.Uint32(b[5:9]))
 	epoch := binary.LittleEndian.Uint64(b[9:17])
 	incarnation = binary.LittleEndian.Uint64(b[17:25])
 	if epoch != wantEpoch {
-		return 0, 0, fmt.Errorf("%w: machine epoch %d, want %d", ErrPeerLost, epoch, wantEpoch)
+		return 0, 0, 0, fmt.Errorf("%w: machine epoch %d, want %d", ErrPeerLost, epoch, wantEpoch)
 	}
-	return rank, incarnation, nil
+	return rank, incarnation, b[25] | codecMaskRaw, nil
+}
+
+// writeAck emits the accepter's half of the handshake: its codec
+// capability mask, so the dialer knows what it may send (the preamble
+// alone is one-way).
+func writeAck(w io.Writer, codecs byte) error {
+	var b [8]byte
+	copy(b[:4], ackMagic)
+	b[4] = wireVersion
+	b[5] = codecs | codecMaskRaw
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readAck validates the accepter's acknowledgement and returns its
+// codec capability mask.
+func readAck(r io.Reader) (codecs byte, err error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: handshake ack read: %w", ErrPeerLost, err)
+	}
+	if string(b[:4]) != ackMagic {
+		return 0, fmt.Errorf("%w: bad handshake ack magic %q", ErrPeerLost, b[:4])
+	}
+	if b[4] != wireVersion {
+		return 0, fmt.Errorf("%w: ack protocol version %d, want %d", ErrPeerLost, b[4], wireVersion)
+	}
+	return b[5] | codecMaskRaw, nil
 }
 
 // appendFrameHeader appends the frame header (with a placeholder length
@@ -118,7 +171,9 @@ func patchFrameLen(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 }
 
-// readFrame reads one frame from r into a freshly allocated payload.
+// readFrame reads one frame from r into a pooled receive buffer; the
+// caller (or whoever it hands the frame to) must release() it after
+// decoding.
 func readFrame(r io.Reader) (frame, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
@@ -128,9 +183,34 @@ func readFrame(r io.Reader) (frame, error) {
 	if n < frameHeaderLen || n > maxFrameLen {
 		return frame{}, fmt.Errorf("frame length %d out of range", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return frame{}, err
+	// The self-declared length is untrusted until the bytes actually
+	// arrive: allocate at most frameReadChunk up front and grow
+	// geometrically as data lands, so a lying prefix costs a bounded
+	// allocation instead of n. Frames at or under the chunk size — all
+	// realistic traffic — take the exact single-allocation path.
+	total := int(n)
+	alloc := total
+	if alloc > frameReadChunk {
+		alloc = frameReadChunk
+	}
+	body := frameBufGet(alloc)
+	for read := 0; ; {
+		if _, err := io.ReadFull(r, body[read:]); err != nil {
+			frameBufPut(body)
+			return frame{}, err
+		}
+		read = len(body)
+		if read == total {
+			break
+		}
+		next := 2 * read
+		if next > total {
+			next = total
+		}
+		grown := frameBufGet(next)
+		copy(grown, body)
+		frameBufPut(body)
+		body = grown
 	}
 	f := frame{
 		kind:    body[0],
@@ -139,6 +219,7 @@ func readFrame(r io.Reader) (frame, error) {
 		step:    binary.LittleEndian.Uint64(body[17:25]),
 		src:     int(binary.LittleEndian.Uint32(body[25:29])),
 		payload: body[frameHeaderLen:],
+		raw:     body,
 	}
 	return f, nil
 }
@@ -153,9 +234,17 @@ func appendWords(buf []byte, words []uint64) []byte {
 
 // decodeDataPayload splits a data frame's payload into the sender's
 // per-destination size vector (group-sized) and the words destined for
-// the receiving rank.
-func decodeDataPayload(payload []byte, groupSize, myRank int) (sizes []uint32, words []uint64, err error) {
-	need := 4 + 4*groupSize
+// the receiving rank, decoded through the frame's payload codec. alloc
+// provides the word slice (nil → plain make), letting the session's
+// word pool back the decode; the returned words have exactly the length
+// the size vector promises. Malformed input — wrong group size, a size
+// vector claiming more words than the body could hold under any codec,
+// a truncated or over-long codec body — returns an error, never panics.
+func decodeDataPayload(payload []byte, groupSize, myRank int, alloc func(int) []uint64) (sizes []uint32, words []uint64, err error) {
+	need := 4 + 4*groupSize + 1
+	if groupSize <= 0 || myRank < 0 || myRank >= groupSize {
+		return nil, nil, fmt.Errorf("data frame decode for rank %d of group size %d", myRank, groupSize)
+	}
 	if len(payload) < need {
 		return nil, nil, fmt.Errorf("data frame payload %dB, want ≥%dB", len(payload), need)
 	}
@@ -166,22 +255,31 @@ func decodeDataPayload(payload []byte, groupSize, myRank int) (sizes []uint32, w
 	for i := range sizes {
 		sizes[i] = binary.LittleEndian.Uint32(payload[4+4*i:])
 	}
+	codec := payload[need-1]
 	body := payload[need:]
 	n := int(sizes[myRank])
-	if len(body) != 8*n {
+	// Every codec costs at least one byte per word, so a size vector
+	// claiming more words than the body has bytes is corrupt; rejecting
+	// it here bounds the allocation below by the frame length, which
+	// readFrame already capped.
+	if n > len(body) && !(codec == codecRaw && len(body) == 8*n) {
 		return nil, nil, fmt.Errorf("data frame body %dB, size vector says %d words", len(body), n)
 	}
-	words = make([]uint64, n)
-	for i := range words {
-		words[i] = binary.LittleEndian.Uint64(body[8*i:])
+	if alloc == nil {
+		alloc = func(n int) []uint64 { return make([]uint64, n) }
+	}
+	words, err = decodeCodec(codec, body, n, alloc(n)[:0])
+	if err != nil {
+		return nil, nil, err
 	}
 	return sizes, words, nil
 }
 
 // encodeLedgers serializes a process's fold-log (plus its wire-byte
-// count) for the end-of-run merge.
-func encodeLedgers(wireBytes uint64, ledgers []Ledger) []byte {
+// counts, actual and raw-equivalent) for the end-of-run merge.
+func encodeLedgers(wireBytes, wireRawBytes uint64, ledgers []Ledger) []byte {
 	buf := binary.LittleEndian.AppendUint64(nil, wireBytes)
+	buf = binary.LittleEndian.AppendUint64(buf, wireRawBytes)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ledgers)))
 	for _, l := range ledgers {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(l.Supersteps))
@@ -194,16 +292,17 @@ func encodeLedgers(wireBytes uint64, ledgers []Ledger) []byte {
 }
 
 // decodeLedgers parses encodeLedgers' output.
-func decodeLedgers(payload []byte) (wireBytes uint64, ledgers []Ledger, err error) {
-	bad := func() (uint64, []Ledger, error) {
-		return 0, nil, fmt.Errorf("malformed ledger frame (%dB)", len(payload))
+func decodeLedgers(payload []byte) (wireBytes, wireRawBytes uint64, ledgers []Ledger, err error) {
+	bad := func() (uint64, uint64, []Ledger, error) {
+		return 0, 0, nil, fmt.Errorf("malformed ledger frame (%dB)", len(payload))
 	}
-	if len(payload) < 12 {
+	if len(payload) < 20 {
 		return bad()
 	}
 	wireBytes = binary.LittleEndian.Uint64(payload[:8])
-	count := int(binary.LittleEndian.Uint32(payload[8:12]))
-	off := 12
+	wireRawBytes = binary.LittleEndian.Uint64(payload[8:16])
+	count := int(binary.LittleEndian.Uint32(payload[16:20]))
+	off := 20
 	for i := 0; i < count; i++ {
 		if len(payload) < off+28 {
 			return bad()
@@ -227,7 +326,7 @@ func decodeLedgers(payload []byte) (wireBytes uint64, ledgers []Ledger, err erro
 	if off != len(payload) {
 		return bad()
 	}
-	return wireBytes, ledgers, nil
+	return wireBytes, wireRawBytes, ledgers, nil
 }
 
 // Abort-payload flag bits (first byte). They carry the originating

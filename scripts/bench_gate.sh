@@ -39,7 +39,10 @@ echo "bench_gate: saved $found baseline(s) under $BASE; re-running benches at -b
 go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/bsp/
 go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/kernels/
 go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/service/
-go test -run='^$' -bench='ExchangeLocal|ExchangeTCPLoopback' -benchmem -benchtime="$BENCHTIME" ./internal/transport/
+# Any matched benchmark makes the transport TestMain regenerate
+# BENCH_transport.json with its full local/tcp × codec sweep at
+# $BENCHTIME, so the named run is kept minimal.
+go test -run='^$' -bench='ExchangeLocal/p=2/w=64$' -benchtime="$BENCHTIME" ./internal/transport/
 # The fleet scorecard is a scripted scenario, not a timing loop: one
 # iteration regenerates the deterministic counts.
 go test -run='^$' -bench=. -benchtime=1x ./internal/shard/

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# profile_transport.sh — CPU, mutex-contention, and block profiles of
+# the TCP-loopback exchange loop (p=4, 1024 words/peer by default: the
+# mid-size all-to-all the wire-path optimization work is tuned on).
+#
+#   scripts/profile_transport.sh
+#   BENCH='ExchangeTCPLoopback/p=8/w=65536$' BENCHTIME=10s scripts/profile_transport.sh
+#
+# CAMC_NO_BENCH_SNAPSHOT keeps the transport TestMain from appending
+# its full bench sweep (and rewriting BENCH_transport.json) after the
+# profiled run — profiling must measure one combination, not the sweep.
+set -euo pipefail
+
+OUT=${OUT:-.profiles}
+BENCH=${BENCH:-ExchangeTCPLoopback/p=4/w=1024\$}
+BENCHTIME=${BENCHTIME:-3s}
+NODECOUNT=${NODECOUNT:-15}
+
+mkdir -p "$OUT"
+
+CAMC_NO_BENCH_SNAPSHOT=1 go test -run='^$' -bench="$BENCH" -benchtime="$BENCHTIME" \
+  -cpuprofile "$OUT/transport_cpu.out" \
+  -mutexprofile "$OUT/transport_mutex.out" \
+  -blockprofile "$OUT/transport_block.out" \
+  -o "$OUT/transport.test" \
+  ./internal/transport/
+
+for kind in cpu mutex block; do
+  echo
+  echo "== top $NODECOUNT ($kind) =="
+  go tool pprof -top -nodecount="$NODECOUNT" "$OUT/transport.test" "$OUT/transport_${kind}.out" 2>/dev/null
+done
+
+echo
+echo "profiles written to $OUT/ — drill in with:"
+echo "  go tool pprof $OUT/transport.test $OUT/transport_cpu.out"
